@@ -1,0 +1,36 @@
+// Command calib prints calibration statistics of the generated world for
+// comparison against the paper's §3 measurements.
+package main
+
+import (
+	"fmt"
+
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+func main() {
+	w := world.MustGenerate(world.Config{Seed: 1, NumBlocks: 20000})
+	var all, pub stats.Dataset
+	for _, b := range w.Blocks {
+		d := b.ClientLDNSDistance()
+		all.Add(d, b.Demand)
+		if b.LDNS.IsPublic() {
+			pub.Add(d, b.Demand)
+		}
+	}
+	fmt.Printf("blocks=%d ldns=%d total=%.3f pubfrac=%.3f\n",
+		len(w.Blocks), len(w.LDNSes), w.TotalDemand(), w.PublicDemandFraction())
+	fmt.Printf("all: median=%.0f mean=%.0f p90=%.0f\n", all.Median(), all.Mean(), all.Percentile(90))
+	fmt.Printf("pub: median=%.0f mean=%.0f p90=%.0f\n", pub.Median(), pub.Mean(), pub.Percentile(90))
+	for _, c := range w.Countries {
+		var d stats.Dataset
+		for _, b := range c.Blocks {
+			d.Add(b.ClientLDNSDistance(), b.Demand)
+		}
+		fmt.Printf("%s median=%6.0f p75=%6.0f p95=%6.0f\n",
+			c.Code(), d.Median(), d.Percentile(75), d.Percentile(95))
+	}
+	cidrs := w.BGPCIDRs()
+	fmt.Printf("cidrs=%d ratio=%.2f\n", len(cidrs), float64(len(w.Blocks))/float64(len(cidrs)))
+}

@@ -1,0 +1,73 @@
+// Command digecs is a minimal dig-like DNS query tool with EDNS0
+// client-subnet support, for exercising eumdns (or any ECS-aware
+// authoritative server):
+//
+//	digecs -server 127.0.0.1:5300 -subnet 203.0.113.0/24 www.cdn.example.net
+//	digecs -server 127.0.0.1:5300 whoami.cdn.example.net TXT
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"strings"
+	"time"
+
+	"eum/internal/dnsclient"
+	"eum/internal/dnsmsg"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5300", "DNS server host:port")
+	subnet := flag.String("subnet", "", "EDNS0 client-subnet, e.g. 203.0.113.0/24 (empty = no ECS)")
+	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		log.Fatal("usage: digecs [-server host:port] [-subnet prefix] name [type]")
+	}
+	name := dnsmsg.Name(flag.Arg(0))
+	qtype := dnsmsg.TypeA
+	if flag.NArg() > 1 {
+		switch strings.ToUpper(flag.Arg(1)) {
+		case "A":
+			qtype = dnsmsg.TypeA
+		case "AAAA":
+			qtype = dnsmsg.TypeAAAA
+		case "TXT":
+			qtype = dnsmsg.TypeTXT
+		case "NS":
+			qtype = dnsmsg.TypeNS
+		case "CNAME":
+			qtype = dnsmsg.TypeCNAME
+		case "SOA":
+			qtype = dnsmsg.TypeSOA
+		case "ANY":
+			qtype = dnsmsg.TypeANY
+		default:
+			log.Fatalf("unsupported query type %q", flag.Arg(1))
+		}
+	}
+
+	var prefix netip.Prefix
+	if *subnet != "" {
+		p, err := netip.ParsePrefix(*subnet)
+		if err != nil {
+			log.Fatalf("bad -subnet: %v", err)
+		}
+		prefix = p
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := &dnsclient.Client{Timeout: *timeout}
+	start := time.Now()
+	resp, err := c.Lookup(ctx, *server, name, qtype, prefix)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+	fmt.Printf(";; server %s, rtt %v\n", *server, time.Since(start).Round(time.Microsecond))
+	fmt.Print(resp.String())
+}

@@ -1,0 +1,157 @@
+// Command eumdns runs a live authoritative DNS server for a synthetic CDN
+// zone, answering A queries through the end-user mapping system over real
+// UDP and TCP sockets. Query it with cmd/digecs (or any stub resolver that
+// can set the EDNS0 client-subnet option).
+//
+//	eumdns -addr 127.0.0.1:5300 -policy eu
+//	digecs -server 127.0.0.1:5300 -subnet 203.0.113.0/24 www.cdn.example.net
+//
+// With -config, the zone, policy, world, platform, hosted customer CNAMEs
+// and low-level NS sites come from a JSON document (see internal/config);
+// when the config lists sites, eumdns serves the two-level Figure 3
+// hierarchy: this process is the top level, delegating to the listed
+// low-level sites.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"eum/internal/authority"
+	"eum/internal/cdn"
+	"eum/internal/config"
+	"eum/internal/dnsmsg"
+	"eum/internal/dnsserver"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5300", "UDP+TCP listen address")
+	configPath := flag.String("config", "", "JSON config file (overrides the flags below)")
+	zone := flag.String("zone", "cdn.example.net", "served zone")
+	policyName := flag.String("policy", "eu", "mapping policy: ns, eu, or cans")
+	blocks := flag.Int("blocks", 8000, "synthetic world size in /24 client blocks")
+	deployments := flag.Int("deployments", 600, "CDN deployment locations")
+	seed := flag.Int64("seed", 1, "generation seed")
+	verbose := flag.Bool("verbose", false, "log every query (structured JSON on stderr)")
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.Zone = *zone
+	cfg.Policy = strings.ToLower(*policyName)
+	cfg.World = config.WorldConfig{Seed: *seed, Blocks: *blocks}
+	cfg.Platform = config.PlatformConfig{Seed: *seed, Deployments: *deployments}
+	if *configPath != "" {
+		var err error
+		if cfg, err = config.Load(*configPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	policy, err := cfg.MappingPolicy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("generating world (%d blocks) and platform (%d deployments)...",
+		cfg.World.Blocks, cfg.Platform.Deployments)
+	w := world.MustGenerate(world.Config{
+		Seed: cfg.World.Seed, NumBlocks: cfg.World.Blocks, IPv6Fraction: cfg.World.IPv6Fraction,
+	})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{
+		Seed: cfg.Platform.Seed, NumDeployments: cfg.Platform.Deployments,
+		ServersPerDeployment: cfg.Platform.ServersPer,
+	})
+	system := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapping.Config{
+		Policy:      policy,
+		PingTargets: cfg.World.Blocks / 10,
+	})
+
+	handler, described, err := buildHandler(cfg, system, platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		handler = dnsserver.WithLogging(handler, slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
+
+	srv, err := dnsserver.Listen(*addr, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcpSrv, err := dnsserver.ListenTCP(*addr, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s on %s (udp+tcp), policy %s", described, srv.Addr(), policy)
+
+	// Print a few real client subnets to try.
+	fmt.Println("example queries:")
+	for i, b := range w.Blocks {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  digecs -server %s -subnet %s www.b.%s\n", srv.Addr(), b.Prefix, cfg.Zone)
+	}
+	fmt.Printf("  digecs -server %s whoami.%s TXT\n", srv.Addr(), cfg.Zone)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		_ = srv.Close()
+		_ = tcpSrv.Close()
+	}()
+
+	go func() { _ = tcpSrv.Serve() }()
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildHandler wires either a flat authority or the two-level hierarchy,
+// per the config.
+func buildHandler(cfg config.Config, system *mapping.System, platform *cdn.Platform) (dnsserver.Handler, string, error) {
+	if len(cfg.Sites) == 0 && len(cfg.Customers) == 0 {
+		a, err := authority.New(dnsmsg.Name(cfg.Zone), system)
+		if err != nil {
+			return nil, "", err
+		}
+		return a, "authoritative for " + string(a.Zone()), nil
+	}
+	tl, err := authority.NewTopLevel(dnsmsg.Name(cfg.Zone), system)
+	if err != nil {
+		return nil, "", err
+	}
+	for alias, target := range cfg.Customers {
+		if err := tl.RegisterCustomer(dnsmsg.Name(alias), dnsmsg.Name(target)); err != nil {
+			return nil, "", err
+		}
+	}
+	for _, s := range cfg.Sites {
+		addr, err := netip.ParseAddr(s.Addr)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := tl.AddSite(authority.NSSite{
+			Host:       dnsmsg.Name(s.Host),
+			Addr:       addr,
+			Deployment: platform.Deployments[s.DeploymentIndex],
+		}); err != nil {
+			return nil, "", err
+		}
+	}
+	return tl, "top-level authority for " + string(tl.Zone()), nil
+}

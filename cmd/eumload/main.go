@@ -1,0 +1,105 @@
+// Command eumload load-tests a running eumdns server: it fires concurrent
+// DNS queries (optionally with random ECS subnets from real client blocks)
+// and reports achieved throughput and latency percentiles — a quick way to
+// see the name-server side of the §5 scaling story on real sockets.
+//
+//	eumdns -addr 127.0.0.1:5300 &
+//	eumload -server 127.0.0.1:5300 -duration 5s -concurrency 16 -ecs 0.5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eum/internal/dnsclient"
+	"eum/internal/dnsmsg"
+	"eum/internal/world"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5300", "DNS server host:port")
+	zone := flag.String("zone", "cdn.example.net", "zone to query under")
+	duration := flag.Duration("duration", 5*time.Second, "test duration")
+	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
+	ecsRatio := flag.Float64("ecs", 0.5, "fraction of queries carrying an ECS option")
+	domains := flag.Int("domains", 50, "distinct domains to query")
+	blocks := flag.Int("blocks", 2000, "world size for sampling ECS subnets")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	// Sample realistic ECS prefixes from a world (eumdns defaults to the
+	// same generator, so many prefixes will be known to the server).
+	w := world.MustGenerate(world.Config{Seed: *seed, NumBlocks: *blocks})
+	prefixes := make([]netip.Prefix, 0, len(w.Blocks))
+	for _, b := range w.Blocks {
+		prefixes = append(prefixes, b.Prefix)
+	}
+
+	var sent, failed atomic.Uint64
+	var mu sync.Mutex
+	var latencies []time.Duration
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(wkr)))
+			c := &dnsclient.Client{Timeout: 2 * time.Second, Retries: 0}
+			for ctx.Err() == nil {
+				name := dnsmsg.Name(fmt.Sprintf("e%04d.b.%s", rng.Intn(*domains), *zone))
+				var ecs netip.Prefix
+				if rng.Float64() < *ecsRatio {
+					ecs = prefixes[rng.Intn(len(prefixes))]
+				}
+				t0 := time.Now()
+				_, err := c.Lookup(ctx, *server, name, dnsmsg.TypeA, ecs)
+				if ctx.Err() != nil {
+					return
+				}
+				sent.Add(1)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := sent.Load()
+	if total == 0 {
+		log.Fatal("no queries completed; is eumdns running?")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p / 100 * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	fmt.Printf("sent %d queries in %v: %.0f q/s, %d failed\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), failed.Load())
+	fmt.Printf("latency p50 %v  p90 %v  p99 %v\n",
+		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond), pct(99).Round(time.Microsecond))
+}

@@ -1,0 +1,106 @@
+// Hierarchy runs the paper's Figure 3 name-server architecture end to end
+// on loopback sockets: a top-level authority hosting a customer CNAME and
+// delegating the content zone to two low-level name-server sites, plus an
+// iterative resolver that chases the CNAME and follows the referral —
+// printing every step of the resolution.
+//
+//	go run ./examples/hierarchy
+//
+// Note: the low-level sites bind 127.0.0.2 and 127.0.0.3; on systems
+// without a full 127/8 loopback (macOS by default), add the aliases first.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"eum/internal/authority"
+	"eum/internal/cdn"
+	"eum/internal/dnsclient"
+	"eum/internal/dnsmsg"
+	"eum/internal/dnsserver"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+func main() {
+	w := world.MustGenerate(world.Config{Seed: 4, NumBlocks: 4000})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 4, NumDeployments: 300})
+	system := mapping.NewSystem(w, platform, netmodel.NewDefault(),
+		mapping.Config{Policy: mapping.EndUser, PingTargets: 500})
+
+	// Low-level name servers inside two clusters, on distinct loopback
+	// addresses sharing one port (referral glue carries only the IP).
+	low, err := authority.New("b.cdn.example.net", system)
+	check(err)
+	lowA, err := dnsserver.Listen("127.0.0.2:0", low)
+	check(err)
+	defer lowA.Close()
+	go serve(lowA)
+	port := lowA.Addr().(*net.UDPAddr).Port
+	lowB, err := dnsserver.Listen("127.0.0.3:"+strconv.Itoa(port), low)
+	check(err)
+	defer lowB.Close()
+	go serve(lowB)
+
+	// The top level: customer CNAME hosting + LDNS-aware delegation.
+	top, err := authority.NewTopLevel("cdn.example.net", system)
+	check(err)
+	check(top.AddSite(authority.NSSite{
+		Host: "n1.ns.cdn.example.net", Addr: netip.MustParseAddr("127.0.0.2"),
+		Deployment: platform.Deployments[0],
+	}))
+	check(top.AddSite(authority.NSSite{
+		Host: "n2.ns.cdn.example.net", Addr: netip.MustParseAddr("127.0.0.3"),
+		Deployment: platform.Deployments[1],
+	}))
+	check(top.RegisterCustomer("www.whitehouse.example", "e2561.b.cdn.example.net"))
+
+	topSrv, err := dnsserver.Listen("127.0.0.1:0", top)
+	check(err)
+	defer topSrv.Close()
+	go serve(topSrv)
+
+	// A client in the world resolves the customer domain iteratively.
+	blk := w.Blocks[123]
+	fmt.Printf("client block %v in %s (%s)\n\n", blk.Prefix, blk.City, blk.Country.Code())
+	it := &dnsclient.Iterative{
+		Client: dnsclient.Client{Timeout: 2 * time.Second},
+		Root:   topSrv.Addr().String(),
+		Port:   port,
+	}
+	resp, trace, err := it.Resolve(context.Background(),
+		"www.whitehouse.example", dnsmsg.TypeA, blk.Prefix)
+	check(err)
+
+	fmt.Println("resolution trace:")
+	for i, s := range trace.Servers {
+		fmt.Printf("  step %d: queried %s\n", i+1, s)
+	}
+	for _, c := range trace.CNAMEs {
+		fmt.Printf("  followed CNAME -> %s\n", c)
+	}
+	for _, r := range trace.Referrals {
+		fmt.Printf("  followed referral -> %s\n", r)
+	}
+	fmt.Println("\nfinal answer:")
+	fmt.Print(resp.String())
+}
+
+func serve(s *dnsserver.Server) {
+	if err := s.Serve(); err != nil {
+		log.Println(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Quickstart: build a synthetic Internet, a CDN platform, and a mapping
+// system; then resolve a content domain the way an LDNS would — once
+// without and once with the EDNS0 client-subnet option — and compare the
+// assignments.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eum/internal/cdn"
+	"eum/internal/geo"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+func main() {
+	// 1. A world: countries, ASes, /24 client blocks, ISP resolvers and
+	// anycast public resolvers, with realistic demand and geography.
+	w := world.MustGenerate(world.Config{Seed: 42, NumBlocks: 5000})
+	fmt.Printf("world: %d client blocks, %d LDNSes, %d ASes, %.1f%% of demand on public resolvers\n",
+		len(w.Blocks), len(w.LDNSes), len(w.ASes), 100*w.PublicDemandFraction())
+
+	// 2. A CDN platform: deployment locations with servers.
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 42, NumDeployments: 500})
+	fmt.Printf("platform: %d deployments, %d servers in %d countries\n",
+		len(platform.Deployments), platform.NumServers(), len(platform.Countries()))
+
+	// 3. The mapping system, running the end-user mapping policy: it
+	// routes by client subnet when the query carries one, and by the
+	// LDNS otherwise.
+	system := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapping.Config{
+		Policy:      mapping.EndUser,
+		PingTargets: 500,
+	})
+
+	// Pick a client whose resolver is far away: the case end-user
+	// mapping exists for.
+	var client *world.ClientBlock
+	for _, b := range w.Blocks {
+		if b.LDNS.IsPublic() && b.ClientLDNSDistance() > 3000 {
+			client = b
+			break
+		}
+	}
+	if client == nil {
+		log.Fatal("no far public-resolver client found")
+	}
+	fmt.Printf("\nclient block %v in %s (%s), using public resolver %s/%s %.0f miles away\n",
+		client.Prefix, client.City, client.Country.Code(),
+		client.LDNS.Provider, client.LDNS.Site, client.ClientLDNSDistance())
+
+	// 4a. Traditional resolution: the authoritative server only sees the
+	// LDNS address.
+	nsResp, err := system.Map(mapping.Request{
+		Domain: "www.cdn.example.net",
+		LDNS:   client.LDNS.Addr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4b. ECS resolution: the LDNS forwards the client's /24.
+	euResp, err := system.Map(mapping.Request{
+		Domain:       "www.cdn.example.net",
+		LDNS:         client.LDNS.Addr,
+		ClientSubnet: client.Prefix,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, r *mapping.Response) {
+		fmt.Printf("%-18s -> %s (%.0f miles from client), servers %v, ecs-scope /%d, ttl %v\n",
+			label, r.Deployment.Name,
+			geo.Distance(r.Deployment.Loc, client.Loc),
+			addrsOf(r), r.ScopePrefix, r.TTL)
+	}
+	fmt.Println()
+	show("without ECS (NS)", nsResp)
+	show("with ECS (EU)", euResp)
+}
+
+func addrsOf(r *mapping.Response) []string {
+	var out []string
+	for _, s := range r.Servers {
+		out = append(out, s.Addr.String())
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Rollout replays the paper's §4 experience: RUM measurements from clients
+// of public resolvers before, during and after the end-user mapping
+// roll-out (Mar 28 - Apr 15, 2014), reporting the headline improvements —
+// mapping distance, RTT, TTFB and content download time — split into the
+// paper's high/low expectation country groups.
+//
+//	go run ./examples/rollout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eum/internal/cdn"
+	"eum/internal/netmodel"
+	"eum/internal/simulation"
+	"eum/internal/world"
+)
+
+func main() {
+	w := world.MustGenerate(world.Config{Seed: 7, NumBlocks: 8000})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 7, NumDeployments: 600})
+	net := netmodel.NewDefault()
+
+	cfg := simulation.DefaultRolloutConfig()
+	cfg.DailyMeasurements = 200
+	fmt.Printf("simulating %s .. %s (roll-out %s .. %s)...\n",
+		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"),
+		cfg.RolloutStart.Format("2006-01-02"), cfg.RolloutEnd.Format("2006-01-02"))
+
+	res, err := simulation.RunRollout(w, platform, net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	metrics := []struct {
+		name string
+		unit string
+		g    *simulation.GroupSeries
+	}{
+		{"mapping distance", "mi", &res.MappingDistance},
+		{"RTT", "ms", &res.RTT},
+		{"TTFB", "ms", &res.TTFB},
+		{"content download", "ms", &res.Download},
+	}
+	for _, group := range []struct {
+		label string
+		high  bool
+	}{{"HIGH expectation countries", true}, {"LOW expectation countries", false}} {
+		fmt.Printf("\n%s:\n", group.label)
+		for _, m := range metrics {
+			before, after := simulation.BeforeAfter(m.g, group.high, res)
+			fmt.Printf("  %-17s mean %7.1f -> %7.1f %-3s (%.1fx better, p75 %.0f -> %.0f)\n",
+				m.name, before.Mean(), after.Mean(), m.unit,
+				before.Mean()/after.Mean(), before.Percentile(75), after.Percentile(75))
+		}
+	}
+
+	// The daily timeline around the roll-out window, like Fig 13.
+	fmt.Println("\nhigh-expectation daily mean mapping distance (weekly samples):")
+	days := res.MappingDistance.High.DailyMeans()
+	for i, d := range days {
+		if i%7 != 0 {
+			continue
+		}
+		bar := barFor(d.Mean, 25)
+		fmt.Printf("  %s %6.0f mi %s\n", d.Start.Format("Jan 02"), d.Mean, bar)
+	}
+}
+
+func barFor(v float64, scale float64) string {
+	n := int(v / scale / 4)
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

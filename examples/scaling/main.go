@@ -1,0 +1,64 @@
+// Scaling walks through the paper's §5 scaling analysis: how many mapping
+// units end-user mapping must handle (Figs 21-22), and what turning on the
+// EDNS0 client-subnet option does to authoritative DNS query rates
+// (Figs 23-24) — the costs that come with the accuracy.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eum/internal/experiments"
+)
+
+func main() {
+	fmt.Println("building lab...")
+	lab := experiments.NewLab(experiments.Small, 3)
+
+	// How many units must the mapping system measure and decide for?
+	cov, _ := experiments.Fig21MappingUnitCoverage(lab)
+	fmt.Printf("\ncovering 95%% of demand takes %d LDNSes under NS mapping,\n", cov.LDNS95)
+	fmt.Printf("but %d /24 blocks under end-user mapping — a %.0fx blow-up (Fig 21).\n",
+		cov.Blocks95, float64(cov.Blocks95)/float64(cov.LDNS95))
+
+	// The /x granularity trade-off.
+	rows, rep := experiments.Fig22PrefixTradeoff(lab)
+	fmt.Println()
+	fmt.Println(rep.Table())
+	var p20, p24 experiments.Fig22Row
+	for _, r := range rows {
+		switch r.PrefixBits {
+		case 20:
+			p20 = r
+		case 24:
+			p24 = r
+		}
+	}
+	fmt.Printf("/20 units cut the unit count %.1fx vs /24 while %.0f%% of demand stays in\n",
+		float64(p24.Units)/float64(p20.Units), 100*p20.Within100mi)
+	fmt.Println("clusters of radius <= 100 miles — the paper's 'worthy option' (§5.1).")
+
+	// The query-rate cost.
+	pts, _, err := experiments.Fig23QueryRateIncrease(lab, experiments.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre, post := pts[4], pts[len(pts)-1]
+	fmt.Printf("\nDNS query rate at the authoritative servers (Fig 23):\n")
+	fmt.Printf("  total:  %7.0f -> %7.0f q/s (%.2fx)\n", pre.AuthQPS, post.AuthQPS, post.AuthQPS/pre.AuthQPS)
+	fmt.Printf("  public: %7.0f -> %7.0f q/s (%.2fx)  <- the roll-out's cost\n",
+		pre.PublicAuthQPS, post.PublicAuthQPS, post.PublicAuthQPS/pre.PublicAuthQPS)
+
+	buckets, _, err := experiments.Fig24PopularityFactor(lab, experiments.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nquery-rate factor by (domain, LDNS) popularity (Fig 24):")
+	for _, b := range buckets {
+		fmt.Printf("  %.1f-%.1f q/TTL: %5.1fx  (%d pairs, %.0f%% of pre-roll-out queries)\n",
+			b.PopularityLo, b.PopularityHi, b.FactorIncrease, b.Pairs, 100*b.PreQueryShare)
+	}
+	fmt.Println("popular pairs pay the multiplier; rare ones barely notice (§5.2).")
+}

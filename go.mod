@@ -1,0 +1,3 @@
+module eum
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package authority implements the CDN's authoritative DNS name server
+// behaviour (§2.2 component 3): it answers A queries for content domains
+// under the CDN zone by asking the mapping system which servers the
+// requesting client should use, honouring the EDNS0 client-subnet option
+// end-to-end — reading the source prefix from the query and returning the
+// answer's scope prefix in the response, exactly as Figure 4 traces.
+//
+// It also serves the whoami diagnostic name the paper's NetSession
+// measurement uses to discover a client's LDNS (§3.1): a TXT/A query for
+// whoami.<zone> answers with the resolver address the query arrived from.
+package authority
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync/atomic"
+
+	"eum/internal/dnsmsg"
+	"eum/internal/mapping"
+)
+
+// Authority answers DNS queries for one CDN zone using a mapping system.
+// It implements dnsserver.Handler and is safe for concurrent use.
+type Authority struct {
+	zone   dnsmsg.Name
+	system *mapping.System
+
+	// ECSQueries counts queries carrying a client-subnet option.
+	ECSQueries atomic.Uint64
+	// TotalQueries counts all well-formed in-zone queries.
+	TotalQueries atomic.Uint64
+}
+
+// New creates an authority for the given zone (e.g. "cdn.example.net").
+func New(zone dnsmsg.Name, system *mapping.System) (*Authority, error) {
+	if zone.Canonical() == "" {
+		return nil, fmt.Errorf("authority: empty zone")
+	}
+	if system == nil {
+		return nil, fmt.Errorf("authority: nil mapping system")
+	}
+	return &Authority{zone: zone.Canonical(), system: system}, nil
+}
+
+// Zone returns the served zone.
+func (a *Authority) Zone() dnsmsg.Name { return a.zone }
+
+// WhoamiName returns the diagnostic name whose answer reveals the LDNS.
+func (a *Authority) WhoamiName() dnsmsg.Name {
+	return dnsmsg.Name("whoami." + string(a.zone))
+}
+
+// ServeDNS implements dnsserver.Handler.
+func (a *Authority) ServeDNS(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message {
+	resp := query.Reply()
+	resp.Authoritative = true
+	resp.RecursionAvailable = false
+
+	if query.OpCode != dnsmsg.OpCodeQuery || len(query.Questions) != 1 {
+		resp.RCode = dnsmsg.RCodeNotImplemented
+		return resp
+	}
+	q := query.Questions[0]
+	name := q.Name.Canonical()
+	if q.Class != dnsmsg.ClassINET {
+		resp.RCode = dnsmsg.RCodeRefused
+		return resp
+	}
+	if !name.IsSubdomainOf(a.zone) {
+		// Not our zone: refuse rather than lie.
+		resp.RCode = dnsmsg.RCodeRefused
+		return resp
+	}
+	a.TotalQueries.Add(1)
+
+	if name == a.WhoamiName().Canonical() {
+		return a.serveWhoami(remote, q, resp)
+	}
+
+	switch q.Type {
+	case dnsmsg.TypeA, dnsmsg.TypeANY:
+		return a.serveMapping(remote, query, q, resp)
+	case dnsmsg.TypeAAAA, dnsmsg.TypeTXT, dnsmsg.TypeNS, dnsmsg.TypeCNAME:
+		// Name exists (any content domain under the zone does), but we
+		// have no records of this type: NOERROR/NODATA with an SOA.
+		resp.Authorities = append(resp.Authorities, a.soa())
+		return resp
+	default:
+		resp.RCode = dnsmsg.RCodeNotImplemented
+		return resp
+	}
+}
+
+// serveWhoami answers the LDNS-discovery name with the resolver's address.
+func (a *Authority) serveWhoami(remote netip.AddrPort, q dnsmsg.Question, resp *dnsmsg.Message) *dnsmsg.Message {
+	switch q.Type {
+	case dnsmsg.TypeTXT, dnsmsg.TypeANY:
+		resp.Answers = append(resp.Answers, dnsmsg.RR{
+			Name: q.Name, Class: dnsmsg.ClassINET, TTL: 0,
+			Data: &dnsmsg.TXT{Strings: []string{"resolver", remote.Addr().Unmap().String()}},
+		})
+	case dnsmsg.TypeA:
+		addr := remote.Addr().Unmap()
+		if addr.Is4() {
+			resp.Answers = append(resp.Answers, dnsmsg.RR{
+				Name: q.Name, Class: dnsmsg.ClassINET, TTL: 0,
+				Data: &dnsmsg.A{Addr: addr},
+			})
+		}
+	}
+	return resp
+}
+
+// serveMapping asks the mapping system for servers and builds the answer.
+func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q dnsmsg.Question, resp *dnsmsg.Message) *dnsmsg.Message {
+	req := mapping.Request{
+		Domain: string(q.Name.Canonical()),
+		LDNS:   remote.Addr().Unmap(),
+	}
+	var ecs *dnsmsg.ClientSubnet
+	if query.EDNS {
+		if ecs = query.ClientSubnet(); ecs != nil {
+			a.ECSQueries.Add(1)
+			if ecs.SourcePrefix > 0 {
+				req.ClientSubnet = ecs.Prefix()
+			}
+		}
+	}
+
+	decision, err := a.system.Map(req)
+	if err != nil {
+		resp.RCode = dnsmsg.RCodeServerFailure
+		return resp
+	}
+	ttl := uint32(decision.TTL.Seconds())
+	for _, srv := range decision.Servers {
+		resp.Answers = append(resp.Answers, dnsmsg.RR{
+			Name: q.Name, Class: dnsmsg.ClassINET, TTL: ttl,
+			Data: &dnsmsg.A{Addr: srv.Addr},
+		})
+	}
+
+	// Echo the ECS option with the answer's scope (RFC 7871 §7.2.2: a
+	// server receiving ECS must include the option with its scope, even
+	// when the scope is zero, so caches know how to file the answer).
+	if ecs != nil {
+		resp.Options = append(resp.Options, &dnsmsg.ClientSubnet{
+			Family:       ecs.Family,
+			SourcePrefix: ecs.SourcePrefix,
+			ScopePrefix:  decision.ScopePrefix,
+			Address:      ecs.Address,
+		})
+	}
+	return resp
+}
+
+// soa returns the zone's SOA record for negative/nodata answers.
+func (a *Authority) soa() dnsmsg.RR {
+	return dnsmsg.RR{
+		Name: a.zone, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: &dnsmsg.SOA{
+			MName:   dnsmsg.Name("ns1." + string(a.zone)),
+			RName:   dnsmsg.Name("hostmaster." + strings.TrimPrefix(string(a.zone), "www.")),
+			Serial:  2014032801,
+			Refresh: 3600, Retry: 600, Expire: 86400, Minimum: 30,
+		},
+	}
+}

@@ -1,0 +1,330 @@
+// Package cdn models the content delivery platform itself: server
+// deployment locations ("clusters") around the world, the servers in them,
+// and their real-time liveness, load and cache state.
+//
+// It substitutes for the paper's production platform of 170,000+ servers in
+// 2642 candidate deployment locations across 100 countries (§6), at a
+// configurable scale. Deployment locations are generated around the world
+// model's population centres, since CDNs deploy where clients are.
+package cdn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"eum/internal/geo"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+// Server is a single content server in a deployment.
+type Server struct {
+	ID         uint64
+	Addr       netip.Addr
+	Deployment *Deployment
+
+	mu    sync.Mutex
+	alive bool
+	load  float64 // current load in demand units
+	cap   float64 // capacity in demand units
+}
+
+// Alive reports whether the server is live.
+func (s *Server) Alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive
+}
+
+// SetAlive marks the server live or dead (failure injection).
+func (s *Server) SetAlive(v bool) {
+	s.mu.Lock()
+	s.alive = v
+	s.mu.Unlock()
+}
+
+// Load returns the server's current load.
+func (s *Server) Load() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load
+}
+
+// Capacity returns the server's capacity.
+func (s *Server) Capacity() float64 { return s.cap }
+
+// AddLoad adds (or with a negative delta, removes) load, reporting whether
+// the server remains within capacity afterwards.
+func (s *Server) AddLoad(delta float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.load += delta
+	if s.load < 0 {
+		s.load = 0
+	}
+	return s.load <= s.cap
+}
+
+// ResetLoad zeroes the server's load (start of a load-balancing interval).
+func (s *Server) ResetLoad() {
+	s.mu.Lock()
+	s.load = 0
+	s.mu.Unlock()
+}
+
+// Utilisation returns load/capacity.
+func (s *Server) Utilisation() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cap == 0 {
+		return math.Inf(1)
+	}
+	return s.load / s.cap
+}
+
+// Deployment is a server cluster at one location — the unit the global
+// load balancer assigns clients to.
+type Deployment struct {
+	ID      uint64
+	Name    string
+	Loc     geo.Point
+	ASN     uint32
+	Country string
+	Servers []*Server
+}
+
+// Endpoint returns the deployment as a network-model endpoint.
+func (d *Deployment) Endpoint() netmodel.Endpoint {
+	return netmodel.Endpoint{ID: d.ID, Loc: d.Loc, ASN: d.ASN, Access: netmodel.AccessBackbone}
+}
+
+// Capacity returns the summed capacity of live servers.
+func (d *Deployment) Capacity() float64 {
+	var sum float64
+	for _, s := range d.Servers {
+		if s.Alive() {
+			sum += s.cap
+		}
+	}
+	return sum
+}
+
+// Load returns the summed load of live servers.
+func (d *Deployment) Load() float64 {
+	var sum float64
+	for _, s := range d.Servers {
+		if s.Alive() {
+			sum += s.Load()
+		}
+	}
+	return sum
+}
+
+// LiveServers returns the deployment's live servers.
+func (d *Deployment) LiveServers() []*Server {
+	out := make([]*Server, 0, len(d.Servers))
+	for _, s := range d.Servers {
+		if s.Alive() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Alive reports whether the deployment has at least one live server.
+func (d *Deployment) Alive() bool { return len(d.LiveServers()) > 0 }
+
+// ResetLoad zeroes every server's load.
+func (d *Deployment) ResetLoad() {
+	for _, s := range d.Servers {
+		s.ResetLoad()
+	}
+}
+
+// Platform is a set of deployments with their servers.
+type Platform struct {
+	Deployments []*Deployment
+}
+
+// Config parameterises universe generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumDeployments is the number of candidate deployment locations
+	// (the paper's universe has 2642).
+	NumDeployments int
+	// ServersPerDeployment is the mean cluster size; actual sizes vary
+	// around it.
+	ServersPerDeployment int
+}
+
+// DefaultConfig mirrors the paper's deployment universe at full scale.
+func DefaultConfig() Config {
+	return Config{Seed: 1, NumDeployments: 2642, ServersPerDeployment: 12}
+}
+
+// GenerateUniverse creates a deployment universe over the world model's
+// geography: locations are placed in and around population centres,
+// proportionally to country demand, mirroring how a CDN deploys close to
+// clients. Generation is deterministic in cfg.Seed.
+func GenerateUniverse(w *world.World, cfg Config) (*Platform, error) {
+	if cfg.NumDeployments <= 0 {
+		return nil, fmt.Errorf("cdn: NumDeployments must be positive, got %d", cfg.NumDeployments)
+	}
+	if cfg.ServersPerDeployment <= 0 {
+		cfg.ServersPerDeployment = 12
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Platform{}
+
+	// Per-country deployment counts proportional to demand with a floor,
+	// echoing the paper's "good coverage of the global Internet".
+	type slot struct {
+		country string
+		loc     geo.Point
+		asn     uint32
+	}
+	// Deployment density follows demand, discounted by infrastructure
+	// tier: CDN build-out in well-connected markets (tier 1) is dense,
+	// while emerging markets host far fewer clusters per unit of demand —
+	// the 2014-era coverage gap that makes end-user mapping matter most
+	// exactly where client-LDNS distances are largest.
+	tierFactor := map[int]float64{1: 1.0, 2: 0.4, 3: 0.15}
+	var weightSum float64
+	weights := make([]float64, len(w.Countries))
+	for i, c := range w.Countries {
+		f := tierFactor[c.Spec.InfraTier]
+		if f == 0 {
+			f = 0.4
+		}
+		weights[i] = c.Demand * f
+		weightSum += weights[i]
+	}
+	var slots []slot
+	for ci, c := range w.Countries {
+		n := int(math.Round(weights[ci] / weightSum * float64(cfg.NumDeployments)))
+		if n < 2 {
+			n = 2
+		}
+		// Cycle through the country's cities; scatter each deployment
+		// within the metro area. Deployments inside ISPs reuse the
+		// country's AS numbers (the paper's CDN deploys inside 1300+ ISPs).
+		for i := 0; i < n; i++ {
+			city := c.Spec.Cities[i%len(c.Spec.Cities)]
+			loc := geo.Offset(city.Loc, rng.Float64()*360, rng.ExpFloat64()*20)
+			asn := uint32(64512)
+			if len(c.ASes) > 0 {
+				asn = c.ASes[rng.Intn(len(c.ASes))].ASN
+			}
+			slots = append(slots, slot{c.Code(), loc, asn})
+		}
+	}
+	// Trim or pad to the exact requested count deterministically.
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	for len(slots) > cfg.NumDeployments {
+		slots = slots[:len(slots)-1]
+	}
+	for len(slots) < cfg.NumDeployments {
+		slots = append(slots, slots[rng.Intn(len(slots))])
+	}
+
+	var id uint64 = 1 << 32 // distinct from world entity IDs
+	var serverIP uint32 = 0x17000000
+	for i, sl := range slots {
+		d := &Deployment{
+			ID:      id,
+			Name:    fmt.Sprintf("%s-%04d", sl.country, i),
+			Loc:     sl.loc,
+			ASN:     sl.asn,
+			Country: sl.country,
+		}
+		id++
+		nSrv := 1 + rng.Intn(2*cfg.ServersPerDeployment)
+		for s := 0; s < nSrv; s++ {
+			srv := &Server{
+				ID:         id,
+				Addr:       ipv4(serverIP),
+				Deployment: d,
+				alive:      true,
+				cap:        1,
+			}
+			id++
+			serverIP++
+			d.Servers = append(d.Servers, srv)
+		}
+		p.Deployments = append(p.Deployments, d)
+	}
+	return p, nil
+}
+
+// MustGenerateUniverse is GenerateUniverse that panics on error.
+func MustGenerateUniverse(w *world.World, cfg Config) *Platform {
+	p, err := GenerateUniverse(w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Subset returns a platform restricted to the first n deployments of a
+// deterministic random ordering — the paper's methodology for Fig 25
+// ("randomly order the deployments in U; for each N, simulate with the
+// first N").
+func (p *Platform) Subset(n int, seed int64) *Platform {
+	if n > len(p.Deployments) {
+		n = len(p.Deployments)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(len(p.Deployments))
+	out := &Platform{Deployments: make([]*Deployment, 0, n)}
+	for _, idx := range perm[:n] {
+		out.Deployments = append(out.Deployments, p.Deployments[idx])
+	}
+	return out
+}
+
+// TotalCapacity sums live capacity across deployments.
+func (p *Platform) TotalCapacity() float64 {
+	var sum float64
+	for _, d := range p.Deployments {
+		sum += d.Capacity()
+	}
+	return sum
+}
+
+// NumServers counts all servers on the platform.
+func (p *Platform) NumServers() int {
+	n := 0
+	for _, d := range p.Deployments {
+		n += len(d.Servers)
+	}
+	return n
+}
+
+// ResetLoad zeroes load on all deployments.
+func (p *Platform) ResetLoad() {
+	for _, d := range p.Deployments {
+		d.ResetLoad()
+	}
+}
+
+// Countries returns the distinct countries with deployments, sorted.
+func (p *Platform) Countries() []string {
+	set := map[string]bool{}
+	for _, d := range p.Deployments {
+		set[d.Country] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func ipv4(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

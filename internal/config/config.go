@@ -1,0 +1,165 @@
+// Package config loads and validates the declarative configuration of an
+// authoritative deployment: the served zone, the routing policy, the
+// synthetic world and platform parameters, hosted customer CNAMEs, and
+// low-level name-server sites. The eumdns command accepts such a file via
+// -config, so a whole Figure 3 hierarchy can be described declaratively.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strings"
+
+	"eum/internal/mapping"
+)
+
+// Config is the top-level configuration document.
+type Config struct {
+	// Zone is the CDN zone served, e.g. "cdn.example.net".
+	Zone string `json:"zone"`
+	// Policy is "ns", "eu" or "cans" (default "eu").
+	Policy string `json:"policy,omitempty"`
+	// TTLSeconds is the DNS answer TTL (default 20).
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+
+	// World parameterises the synthetic Internet.
+	World WorldConfig `json:"world"`
+	// Platform parameterises the CDN deployment universe.
+	Platform PlatformConfig `json:"platform"`
+
+	// Customers maps hosted customer domains to content domains under
+	// the zone (served as CNAMEs by the top-level authority).
+	Customers map[string]string `json:"customers,omitempty"`
+	// Sites are low-level name-server sites for delegation; empty means
+	// a flat (single-level) authority.
+	Sites []SiteConfig `json:"sites,omitempty"`
+}
+
+// WorldConfig selects world-generation parameters.
+type WorldConfig struct {
+	Seed         int64   `json:"seed"`
+	Blocks       int     `json:"blocks"`
+	IPv6Fraction float64 `json:"ipv6_fraction,omitempty"`
+}
+
+// PlatformConfig selects deployment-universe parameters.
+type PlatformConfig struct {
+	Seed        int64 `json:"seed"`
+	Deployments int   `json:"deployments"`
+	ServersPer  int   `json:"servers_per_deployment,omitempty"`
+}
+
+// SiteConfig is one low-level name-server site.
+type SiteConfig struct {
+	// Host is the NS host name (must be under the zone).
+	Host string `json:"host"`
+	// Addr is the glue address.
+	Addr string `json:"addr"`
+	// DeploymentIndex selects the platform deployment hosting the site.
+	DeploymentIndex int `json:"deployment_index"`
+}
+
+// Default returns a runnable default configuration.
+func Default() Config {
+	return Config{
+		Zone:       "cdn.example.net",
+		Policy:     "eu",
+		TTLSeconds: 20,
+		World:      WorldConfig{Seed: 1, Blocks: 8000},
+		Platform:   PlatformConfig{Seed: 1, Deployments: 600},
+	}
+}
+
+// Load reads and validates a configuration file.
+func Load(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse reads and validates a configuration document.
+func Parse(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	cfg := Default()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if strings.TrimSpace(c.Zone) == "" {
+		return fmt.Errorf("config: zone is required")
+	}
+	if _, err := c.MappingPolicy(); err != nil {
+		return err
+	}
+	if c.TTLSeconds < 0 {
+		return fmt.Errorf("config: negative ttl_seconds")
+	}
+	if c.World.Blocks <= 0 {
+		return fmt.Errorf("config: world.blocks must be positive")
+	}
+	if c.World.IPv6Fraction < 0 || c.World.IPv6Fraction > 1 {
+		return fmt.Errorf("config: world.ipv6_fraction out of [0,1]")
+	}
+	if c.Platform.Deployments <= 0 {
+		return fmt.Errorf("config: platform.deployments must be positive")
+	}
+	zone := strings.ToLower(strings.TrimSuffix(c.Zone, "."))
+	for alias, target := range c.Customers {
+		if strings.TrimSpace(alias) == "" {
+			return fmt.Errorf("config: empty customer alias")
+		}
+		t := strings.ToLower(strings.TrimSuffix(target, "."))
+		if !strings.HasSuffix(t, ".b."+zone) {
+			return fmt.Errorf("config: customer %q target %q not under b.%s", alias, target, zone)
+		}
+	}
+	for i, s := range c.Sites {
+		h := strings.ToLower(strings.TrimSuffix(s.Host, "."))
+		if !strings.HasSuffix(h, "."+zone) {
+			return fmt.Errorf("config: site %d host %q outside zone %q", i, s.Host, c.Zone)
+		}
+		if _, err := netip.ParseAddr(s.Addr); err != nil {
+			return fmt.Errorf("config: site %d addr: %w", i, err)
+		}
+		if s.DeploymentIndex < 0 || s.DeploymentIndex >= c.Platform.Deployments {
+			return fmt.Errorf("config: site %d deployment_index %d out of range", i, s.DeploymentIndex)
+		}
+	}
+	return nil
+}
+
+// MappingPolicy translates the policy string.
+func (c Config) MappingPolicy() (mapping.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(c.Policy)) {
+	case "", "eu":
+		return mapping.EndUser, nil
+	case "ns":
+		return mapping.NSBased, nil
+	case "cans":
+		return mapping.ClientAwareNS, nil
+	}
+	return 0, fmt.Errorf("config: unknown policy %q (want ns, eu, or cans)", c.Policy)
+}
+
+// Save writes the configuration as formatted JSON.
+func (c Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

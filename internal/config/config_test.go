@@ -1,0 +1,124 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eum/internal/mapping"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	doc := `{
+		"zone": "cdn.example.net",
+		"policy": "cans",
+		"ttl_seconds": 30,
+		"world": {"seed": 7, "blocks": 2000, "ipv6_fraction": 0.2},
+		"platform": {"seed": 7, "deployments": 100, "servers_per_deployment": 4},
+		"customers": {"www.shop.example": "e1.b.cdn.example.net"},
+		"sites": [
+			{"host": "n1.ns.cdn.example.net", "addr": "127.0.0.2", "deployment_index": 0}
+		]
+	}`
+	cfg, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Zone != "cdn.example.net" || cfg.TTLSeconds != 30 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	pol, err := cfg.MappingPolicy()
+	if err != nil || pol != mapping.ClientAwareNS {
+		t.Errorf("policy = %v, %v", pol, err)
+	}
+	if cfg.World.IPv6Fraction != 0.2 || cfg.Platform.ServersPer != 4 {
+		t.Errorf("nested cfg = %+v", cfg)
+	}
+}
+
+func TestParseDefaultsApply(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(`{"zone": "z.net", "world": {"seed": 1, "blocks": 10}, "platform": {"seed": 1, "deployments": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TTLSeconds != 20 {
+		t.Errorf("default TTL = %d", cfg.TTLSeconds)
+	}
+	if pol, _ := cfg.MappingPolicy(); pol != mapping.EndUser {
+		t.Errorf("default policy = %v", pol)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"zone": "z.net", "bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := Default()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty-zone", func(c *Config) { c.Zone = " " }},
+		{"bad-policy", func(c *Config) { c.Policy = "anycast" }},
+		{"negative-ttl", func(c *Config) { c.TTLSeconds = -1 }},
+		{"zero-blocks", func(c *Config) { c.World.Blocks = 0 }},
+		{"bad-v6-fraction", func(c *Config) { c.World.IPv6Fraction = 1.5 }},
+		{"zero-deployments", func(c *Config) { c.Platform.Deployments = 0 }},
+		{"customer-outside-zone", func(c *Config) {
+			c.Customers = map[string]string{"www.x.example": "www.other.org"}
+		}},
+		{"empty-customer-alias", func(c *Config) {
+			c.Customers = map[string]string{" ": "e1.b.cdn.example.net"}
+		}},
+		{"site-outside-zone", func(c *Config) {
+			c.Sites = []SiteConfig{{Host: "ns.other.org", Addr: "10.0.0.1"}}
+		}},
+		{"site-bad-addr", func(c *Config) {
+			c.Sites = []SiteConfig{{Host: "n.cdn.example.net", Addr: "nonsense"}}
+		}},
+		{"site-bad-index", func(c *Config) {
+			c.Sites = []SiteConfig{{Host: "n.cdn.example.net", Addr: "10.0.0.1", DeploymentIndex: 10_000}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := Default()
+	cfg.Policy = "ns"
+	cfg.Customers = map[string]string{"www.shop.example": "e9.b.cdn.example.net"}
+	path := filepath.Join(t.TempDir(), "eum.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "ns" || got.Customers["www.shop.example"] != "e9.b.cdn.example.net" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/eum.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

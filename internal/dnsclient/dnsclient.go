@@ -1,0 +1,186 @@
+// Package dnsclient implements a UDP stub resolver client: it sends
+// dnsmsg queries to a server, matches responses by ID, and retries on
+// timeout. The digecs command builds on it to act like
+// "dig +subnet=<prefix>".
+package dnsclient
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+
+	"eum/internal/dnsmsg"
+)
+
+// Client issues DNS queries over UDP, falling back to TCP when a response
+// arrives truncated (TC=1). The zero value is usable; fields tune
+// behaviour.
+type Client struct {
+	// Timeout is the per-attempt read deadline (default 2s).
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a timeout (default 2).
+	Retries int
+	// DisableTCPFallback keeps truncated responses as-is instead of
+	// retrying over TCP.
+	DisableTCPFallback bool
+}
+
+// Exchange sends query to server ("host:port") and returns the response.
+// The query's ID is assigned randomly if zero. Responses with mismatched
+// ID or question are discarded and the read continues until the deadline.
+func (c *Client) Exchange(ctx context.Context, server string, query *dnsmsg.Message) (*dnsmsg.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	if query.ID == 0 {
+		query.ID = randomID()
+	}
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.exchangeOnce(ctx, server, query, wire, timeout)
+		if err == nil {
+			if resp.Truncated && !c.DisableTCPFallback {
+				if tcpResp, tcpErr := c.exchangeTCP(ctx, server, query, wire, timeout); tcpErr == nil {
+					return tcpResp, nil
+				}
+				// TCP failed: the truncated UDP response is still a
+				// valid (if partial) answer; return it.
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dnsclient: %d attempts failed: %w", attempts, lastErr)
+}
+
+// exchangeTCP retries the query over TCP with RFC 1035 length framing.
+func (c *Client) exchangeTCP(ctx context.Context, server string, query *dnsmsg.Message, wire []byte, timeout time.Duration) (*dnsmsg.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(wire)))
+	if _, err := conn.Write(append(lenBuf[:], wire...)); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		return nil, err
+	}
+	resp, err := dnsmsg.Unpack(msg)
+	if err != nil {
+		return nil, err
+	}
+	if !matches(query, resp) {
+		return nil, fmt.Errorf("dnsclient: TCP response does not match query")
+	}
+	return resp, nil
+}
+
+func (c *Client) exchangeOnce(ctx context.Context, server string, query *dnsmsg.Message, wire []byte, timeout time.Duration) (*dnsmsg.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep reading until deadline
+		}
+		if !matches(query, resp) {
+			continue // mismatched ID/question: possible spoof, ignore
+		}
+		return resp, nil
+	}
+}
+
+// matches verifies the response belongs to the query (ID and question).
+func matches(q, r *dnsmsg.Message) bool {
+	if !r.Response || r.ID != q.ID {
+		return false
+	}
+	if len(q.Questions) != len(r.Questions) {
+		return false
+	}
+	for i := range q.Questions {
+		a, b := q.Questions[i], r.Questions[i]
+		if a.Name.Canonical() != b.Name.Canonical() || a.Type != b.Type || a.Class != b.Class {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup is a convenience wrapper: query name/type at server, optionally
+// with an ECS option for clientPrefix (pass an invalid prefix to omit it).
+func (c *Client) Lookup(ctx context.Context, server string, name dnsmsg.Name, typ dnsmsg.Type, clientPrefix netip.Prefix) (*dnsmsg.Message, error) {
+	q := dnsmsg.NewQuery(randomID(), name, typ)
+	if clientPrefix.IsValid() {
+		if err := q.SetClientSubnet(clientPrefix.Addr(), uint8(clientPrefix.Bits())); err != nil {
+			return nil, err
+		}
+	}
+	return c.Exchange(ctx, server, q)
+}
+
+func randomID() uint16 {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived ID; queries remain functional.
+		return uint16(time.Now().UnixNano())
+	}
+	id := binary.BigEndian.Uint16(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id
+}

@@ -1,0 +1,113 @@
+package dnsclient
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"eum/internal/dnsmsg"
+)
+
+// Iterative resolves names the way a recursive resolver does against the
+// CDN's name-server hierarchy: it starts at a top-level server, follows
+// CNAME records (customer domain -> CDN domain) and NS referrals with glue
+// (top level -> low-level cluster), and returns the final answer — the full
+// client interaction of the paper's Figure 3.
+type Iterative struct {
+	// Client performs the individual exchanges.
+	Client Client
+	// Root is the top-level server ("host:port") where resolution starts.
+	Root string
+	// Port is the port low-level servers listen on; referrals carry only
+	// glue addresses. Defaults to the standard DNS port 53.
+	Port int
+	// MaxSteps bounds CNAME chases plus referrals (default 8).
+	MaxSteps int
+}
+
+// Trace records the steps of one iterative resolution, for observability
+// and tests.
+type Trace struct {
+	// Servers lists the servers contacted, in order.
+	Servers []string
+	// CNAMEs lists the CNAME targets followed, in order.
+	CNAMEs []dnsmsg.Name
+	// Referrals lists the NS hosts delegated through, in order.
+	Referrals []dnsmsg.Name
+}
+
+// Resolve iteratively resolves (name, typ), optionally carrying the ECS
+// prefix on every exchange, and returns the final response plus the trace.
+func (it *Iterative) Resolve(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type, ecs netip.Prefix) (*dnsmsg.Message, *Trace, error) {
+	maxSteps := it.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 8
+	}
+	port := it.Port
+	if port <= 0 {
+		port = 53
+	}
+	server := it.Root
+	qname := name.Canonical()
+	trace := &Trace{}
+
+	for step := 0; step < maxSteps; step++ {
+		trace.Servers = append(trace.Servers, server)
+		resp, err := it.Client.Lookup(ctx, server, qname, typ, ecs)
+		if err != nil {
+			return nil, trace, fmt.Errorf("dnsclient: iterative step %d at %s: %w", step, server, err)
+		}
+		if resp.RCode != dnsmsg.RCodeSuccess {
+			return resp, trace, nil
+		}
+
+		// Terminal answer of the requested type?
+		for _, rr := range resp.Answers {
+			if rr.Name.Canonical() == qname && rr.Data.Type() == typ {
+				return resp, trace, nil
+			}
+		}
+		// CNAME for the current name: chase from the root.
+		if cname, ok := findCNAME(resp, qname); ok {
+			trace.CNAMEs = append(trace.CNAMEs, cname)
+			qname = cname.Canonical()
+			server = it.Root
+			continue
+		}
+		// Referral: NS in the authority section with glue.
+		if next, host, ok := findReferral(resp, port); ok {
+			trace.Referrals = append(trace.Referrals, host)
+			server = next
+			continue
+		}
+		// NODATA or dead end.
+		return resp, trace, nil
+	}
+	return nil, trace, fmt.Errorf("dnsclient: resolution of %q exceeded %d steps", name, maxSteps)
+}
+
+func findCNAME(resp *dnsmsg.Message, qname dnsmsg.Name) (dnsmsg.Name, bool) {
+	for _, rr := range resp.Answers {
+		if c, ok := rr.Data.(*dnsmsg.CNAME); ok && rr.Name.Canonical() == qname {
+			return c.Target, true
+		}
+	}
+	return "", false
+}
+
+func findReferral(resp *dnsmsg.Message, port int) (server string, host dnsmsg.Name, ok bool) {
+	for _, auth := range resp.Authorities {
+		ns, isNS := auth.Data.(*dnsmsg.NS)
+		if !isNS {
+			continue
+		}
+		for _, add := range resp.Additionals {
+			a, isA := add.Data.(*dnsmsg.A)
+			if !isA || add.Name.Canonical() != ns.Host.Canonical() {
+				continue
+			}
+			return fmt.Sprintf("%s:%d", a.Addr, port), ns.Host.Canonical(), true
+		}
+	}
+	return "", "", false
+}

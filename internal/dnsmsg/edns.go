@@ -1,0 +1,248 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// EDNS0 option codes.
+const (
+	// OptionCodeClientSubnet is the EDNS Client Subnet option code
+	// (RFC 7871 §6), the protocol extension end-user mapping depends on.
+	OptionCodeClientSubnet uint16 = 8
+)
+
+// ECS address family numbers (RFC 7871 §6, from the IANA address family
+// registry).
+const (
+	ECSFamilyIPv4 uint16 = 1
+	ECSFamilyIPv6 uint16 = 2
+)
+
+// DefaultUDPSize is the EDNS0 UDP payload size this package advertises.
+const DefaultUDPSize = 1232
+
+// EDNSOption is a single option inside an OPT pseudo-RR.
+type EDNSOption interface {
+	// Code returns the option's EDNS0 option code.
+	Code() uint16
+	// packOption appends the option data (without the code/length header).
+	packOption(buf []byte) ([]byte, error)
+}
+
+// OPT is the EDNS0 pseudo-RR (RFC 6891). Its header fields are smuggled
+// through the RR's Class (UDP payload size) and TTL (extended RCODE, EDNS
+// version, DO bit), which Message handles during pack/unpack.
+type OPT struct {
+	Options []EDNSOption
+}
+
+// Type implements RData.
+func (*OPT) Type() Type { return TypeOPT }
+
+func (o *OPT) packData(buf []byte, _ compressor) ([]byte, error) {
+	for _, opt := range o.Options {
+		buf = appendUint16(buf, opt.Code())
+		lenAt := len(buf)
+		buf = appendUint16(buf, 0)
+		var err error
+		buf, err = opt.packOption(buf)
+		if err != nil {
+			return nil, err
+		}
+		binary.BigEndian.PutUint16(buf[lenAt:], uint16(len(buf)-lenAt-2))
+	}
+	return buf, nil
+}
+
+// String lists the contained options.
+func (o *OPT) String() string { return fmt.Sprintf("OPT %v", o.Options) }
+
+func unpackOptions(rd []byte) ([]EDNSOption, error) {
+	var out []EDNSOption
+	for len(rd) > 0 {
+		if len(rd) < 4 {
+			return nil, fmt.Errorf("%w: truncated EDNS option header", ErrUnpack)
+		}
+		code := binary.BigEndian.Uint16(rd)
+		olen := int(binary.BigEndian.Uint16(rd[2:]))
+		if 4+olen > len(rd) {
+			return nil, fmt.Errorf("%w: truncated EDNS option body", ErrUnpack)
+		}
+		body := rd[4 : 4+olen]
+		switch code {
+		case OptionCodeClientSubnet:
+			ecs, err := unpackClientSubnet(body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ecs)
+		default:
+			cp := make([]byte, olen)
+			copy(cp, body)
+			out = append(out, &RawOption{OptCode: code, Data: cp})
+		}
+		rd = rd[4+olen:]
+	}
+	return out, nil
+}
+
+// RawOption preserves unknown EDNS options byte-for-byte.
+type RawOption struct {
+	OptCode uint16
+	Data    []byte
+}
+
+// Code implements EDNSOption.
+func (r *RawOption) Code() uint16 { return r.OptCode }
+
+func (r *RawOption) packOption(buf []byte) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+// String hex-dumps the option.
+func (r *RawOption) String() string { return fmt.Sprintf("opt%d:%x", r.OptCode, r.Data) }
+
+// ClientSubnet is the EDNS Client Subnet option (RFC 7871).
+//
+// In a query, the LDNS sets Address to (a truncation of) the client's IP
+// and SourcePrefix to the number of significant bits it is revealing —
+// conventionally 24 for IPv4, since longer prefixes are discouraged for
+// privacy (paper §2.1). ScopePrefix MUST be 0 in queries.
+//
+// In a response, the authoritative server echoes Address and SourcePrefix
+// and sets ScopePrefix to the prefix length its answer is valid for. A
+// scope shorter than the source ("/y where y <= x") tells caches the answer
+// covers a superset of the client's block; scope 0 means the answer does
+// not depend on the client subnet at all.
+type ClientSubnet struct {
+	Family       uint16     // ECSFamilyIPv4 or ECSFamilyIPv6
+	SourcePrefix uint8      // significant bits of Address in the query
+	ScopePrefix  uint8      // bits the answer is valid for (response only)
+	Address      netip.Addr // client address, zeroed beyond SourcePrefix
+}
+
+// NewClientSubnet builds a query-side ECS option for the given client
+// address and source prefix length, masking the address down to the prefix
+// as RFC 7871 §6 requires ("MUST be set to 0" beyond SOURCE PREFIX-LENGTH).
+func NewClientSubnet(addr netip.Addr, sourcePrefix uint8) (*ClientSubnet, error) {
+	family := ECSFamilyIPv4
+	maxBits := uint8(32)
+	if addr.Is6() && !addr.Is4In6() {
+		family = ECSFamilyIPv6
+		maxBits = 128
+	} else {
+		addr = addr.Unmap()
+	}
+	if sourcePrefix > maxBits {
+		return nil, fmt.Errorf("%w: ECS source prefix /%d exceeds address width", ErrPack, sourcePrefix)
+	}
+	p, err := addr.Prefix(int(sourcePrefix))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPack, err)
+	}
+	return &ClientSubnet{
+		Family:       family,
+		SourcePrefix: sourcePrefix,
+		Address:      p.Addr(),
+	}, nil
+}
+
+// Code implements EDNSOption.
+func (*ClientSubnet) Code() uint16 { return OptionCodeClientSubnet }
+
+// Prefix returns the option's address block as a netip.Prefix using the
+// source prefix length.
+func (c *ClientSubnet) Prefix() netip.Prefix {
+	p, err := c.Address.Prefix(int(c.SourcePrefix))
+	if err != nil {
+		return netip.Prefix{}
+	}
+	return p
+}
+
+// ScopedPrefix returns the address block the response's answer is valid
+// for, using the scope prefix length (falling back to the source prefix
+// when scope is 0, per RFC 7871 §7.3.1 caching rules where scope 0 means
+// "valid for all addresses").
+func (c *ClientSubnet) ScopedPrefix() netip.Prefix {
+	bits := int(c.ScopePrefix)
+	p, err := c.Address.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}
+	}
+	return p
+}
+
+// String renders like "ecs 1.2.3.0/24/0".
+func (c *ClientSubnet) String() string {
+	return fmt.Sprintf("ecs %s/%d/%d", c.Address, c.SourcePrefix, c.ScopePrefix)
+}
+
+func (c *ClientSubnet) packOption(buf []byte) ([]byte, error) {
+	var addrBytes []byte
+	switch c.Family {
+	case ECSFamilyIPv4:
+		if !c.Address.Is4() && !c.Address.Is4In6() {
+			return nil, fmt.Errorf("%w: ECS family IPv4 with address %v", ErrPack, c.Address)
+		}
+		b := c.Address.Unmap().As4()
+		addrBytes = b[:]
+		if c.SourcePrefix > 32 {
+			return nil, fmt.Errorf("%w: ECS IPv4 source prefix /%d", ErrPack, c.SourcePrefix)
+		}
+	case ECSFamilyIPv6:
+		if !c.Address.Is6() {
+			return nil, fmt.Errorf("%w: ECS family IPv6 with address %v", ErrPack, c.Address)
+		}
+		b := c.Address.As16()
+		addrBytes = b[:]
+		if c.SourcePrefix > 128 {
+			return nil, fmt.Errorf("%w: ECS IPv6 source prefix /%d", ErrPack, c.SourcePrefix)
+		}
+	default:
+		return nil, fmt.Errorf("%w: ECS family %d", ErrPack, c.Family)
+	}
+	buf = appendUint16(buf, c.Family)
+	buf = append(buf, c.SourcePrefix, c.ScopePrefix)
+	// RFC 7871 §6: ADDRESS is truncated to the minimum bytes covering
+	// SOURCE PREFIX-LENGTH bits.
+	nbytes := (int(c.SourcePrefix) + 7) / 8
+	return append(buf, addrBytes[:nbytes]...), nil
+}
+
+func unpackClientSubnet(body []byte) (*ClientSubnet, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: ECS option shorter than 4 octets", ErrUnpack)
+	}
+	c := &ClientSubnet{
+		Family:       binary.BigEndian.Uint16(body),
+		SourcePrefix: body[2],
+		ScopePrefix:  body[3],
+	}
+	addrLen := (int(c.SourcePrefix) + 7) / 8
+	if len(body) != 4+addrLen {
+		return nil, fmt.Errorf("%w: ECS address length %d does not match source prefix /%d",
+			ErrUnpack, len(body)-4, c.SourcePrefix)
+	}
+	switch c.Family {
+	case ECSFamilyIPv4:
+		if c.SourcePrefix > 32 {
+			return nil, fmt.Errorf("%w: ECS IPv4 source prefix /%d", ErrUnpack, c.SourcePrefix)
+		}
+		var b [4]byte
+		copy(b[:], body[4:])
+		c.Address = netip.AddrFrom4(b)
+	case ECSFamilyIPv6:
+		if c.SourcePrefix > 128 {
+			return nil, fmt.Errorf("%w: ECS IPv6 source prefix /%d", ErrUnpack, c.SourcePrefix)
+		}
+		var b [16]byte
+		copy(b[:], body[4:])
+		c.Address = netip.AddrFrom16(b)
+	default:
+		return nil, fmt.Errorf("%w: ECS family %d", ErrUnpack, c.Family)
+	}
+	return c, nil
+}

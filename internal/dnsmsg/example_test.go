@@ -1,0 +1,37 @@
+package dnsmsg_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"eum/internal/dnsmsg"
+)
+
+// Building an ECS query and reading the option back from the wire — the
+// §2.1 mechanism in four lines.
+func Example() {
+	q := dnsmsg.NewQuery(1, "www.cdn.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(netip.MustParseAddr("203.0.113.77"), 24)
+
+	wire, _ := q.Pack()
+	parsed, _ := dnsmsg.Unpack(wire)
+	ecs := parsed.ClientSubnet()
+	fmt.Println(parsed.Questions[0], "|", ecs)
+	// Output: www.cdn.example.net IN A | ecs 203.0.113.0/24/0
+}
+
+// A response carries the answer's validity scope back to the resolver
+// (RFC 7871): here the server answers for the whole /20 containing the
+// client's /24.
+func ExampleClientSubnet_scope() {
+	q := dnsmsg.NewQuery(2, "img.cdn.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(netip.MustParseAddr("203.0.113.77"), 24)
+
+	resp := q.Reply()
+	in := q.ClientSubnet()
+	resp.Options = append(resp.Options, &dnsmsg.ClientSubnet{
+		Family: in.Family, SourcePrefix: in.SourcePrefix, ScopePrefix: 20, Address: in.Address,
+	})
+	fmt.Println(resp.ClientSubnet().ScopedPrefix())
+	// Output: 203.0.112.0/20
+}

@@ -1,0 +1,85 @@
+package dnsmsg
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnpack exercises the wire parser with arbitrary bytes: it must never
+// panic, and anything it accepts must survive a re-pack/re-parse cycle
+// with stable section counts (parse-pack-parse fixpoint).
+func FuzzUnpack(f *testing.F) {
+	// Seed corpus: real packed messages of every flavour.
+	q := NewQuery(0x1234, "seed.example.net", TypeA)
+	_ = q.SetClientSubnet(netip.MustParseAddr("203.0.113.9"), 24)
+	if wire, err := q.Pack(); err == nil {
+		f.Add(wire)
+	}
+	r := q.Reply()
+	r.Authoritative = true
+	r.Answers = append(r.Answers,
+		RR{Name: "seed.example.net", Class: ClassINET, TTL: 20,
+			Data: &A{Addr: netip.MustParseAddr("192.0.2.1")}},
+		RR{Name: "seed.example.net", Class: ClassINET, TTL: 20,
+			Data: &CNAME{Target: "other.example.net"}},
+	)
+	r.Authorities = append(r.Authorities, RR{Name: "example.net", Class: ClassINET, TTL: 300,
+		Data: &SOA{MName: "ns.example.net", RName: "h.example.net", Minimum: 30}})
+	if wire, err := r.Pack(); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xC0, 0x00})
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		m, err := Unpack(wire)
+		if err != nil {
+			return
+		}
+		repacked, err := m.Pack()
+		if err != nil {
+			// Some parseable messages cannot repack (e.g. names that
+			// were legal only via compression quirks); not a bug.
+			return
+		}
+		m2, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("repacked message failed to parse: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) ||
+			len(m2.Answers) != len(m.Answers) ||
+			len(m2.Authorities) != len(m.Authorities) ||
+			len(m2.Additionals) != len(m.Additionals) {
+			t.Fatalf("section counts changed across repack: %v vs %v", m, m2)
+		}
+		if m2.ID != m.ID || m2.RCode != m.RCode || m2.Response != m.Response {
+			t.Fatalf("header changed across repack")
+		}
+	})
+}
+
+// FuzzNameRoundTrip checks the name codec in isolation.
+func FuzzNameRoundTrip(f *testing.F) {
+	f.Add("example.com")
+	f.Add("")
+	f.Add("a.b.c.d.e.f.g")
+	f.Add("UPPER.Case.MiXeD")
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Name(s)
+		wire, err := packName(nil, n, make(compressor))
+		if err != nil {
+			return // invalid names are rejected, fine
+		}
+		got, off, err := unpackName(wire, 0)
+		if err != nil {
+			t.Fatalf("packed name failed to unpack: %v", err)
+		}
+		if off != len(wire) {
+			t.Fatalf("offset %d != len %d", off, len(wire))
+		}
+		if got != n.Canonical() {
+			t.Fatalf("round trip %q -> %q", n.Canonical(), got)
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1),
+// with the flag bits broken out.
+type Header struct {
+	ID                 uint16
+	Response           bool   // QR
+	OpCode             OpCode // 4 bits
+	Authoritative      bool   // AA
+	Truncated          bool   // TC
+	RecursionDesired   bool   // RD
+	RecursionAvailable bool   // RA
+	RCode              RCode  // 4 bits here; extended by EDNS0
+}
+
+// Message is a complete DNS message. EDNS0 state (UDP size, extended
+// RCode) is carried in the explicit fields and materialised as an OPT
+// pseudo-RR in the additional section during packing; the reverse happens
+// on unpack, so Additionals never contains the OPT itself.
+type Message struct {
+	Header
+	Questions   []Question
+	Answers     []RR
+	Authorities []RR
+	Additionals []RR
+
+	// EDNS reports whether the message carries an OPT record.
+	EDNS bool
+	// UDPSize is the advertised EDNS0 UDP payload size (query) or the
+	// responder's size (response). Zero means DefaultUDPSize when EDNS
+	// is set.
+	UDPSize uint16
+	// Options are the EDNS0 options carried in the OPT record, e.g. the
+	// ClientSubnet option.
+	Options []EDNSOption
+}
+
+// NewQuery builds a standard recursive query for (name, type) with a fresh
+// EDNS0 OPT record.
+func NewQuery(id uint16, name Name, typ Type) *Message {
+	return &Message{
+		Header: Header{
+			ID:               id,
+			OpCode:           OpCodeQuery,
+			RecursionDesired: true,
+		},
+		Questions: []Question{{Name: name.Canonical(), Type: typ, Class: ClassINET}},
+		EDNS:      true,
+		UDPSize:   DefaultUDPSize,
+	}
+}
+
+// Reply builds a response skeleton for q: same ID, same question, QR set,
+// and EDNS mirrored if the query used it.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.ID,
+			Response:         true,
+			OpCode:           m.OpCode,
+			RecursionDesired: m.RecursionDesired,
+		},
+		EDNS: m.EDNS,
+	}
+	if m.EDNS {
+		r.UDPSize = DefaultUDPSize
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// ClientSubnet returns the first ECS option in the message, or nil.
+func (m *Message) ClientSubnet() *ClientSubnet {
+	for _, o := range m.Options {
+		if ecs, ok := o.(*ClientSubnet); ok {
+			return ecs
+		}
+	}
+	return nil
+}
+
+// SetClientSubnet attaches a query-side ECS option for addr/sourcePrefix,
+// replacing any existing ECS option and enabling EDNS.
+func (m *Message) SetClientSubnet(addr netip.Addr, sourcePrefix uint8) error {
+	ecs, err := NewClientSubnet(addr, sourcePrefix)
+	if err != nil {
+		return err
+	}
+	m.EDNS = true
+	if m.UDPSize == 0 {
+		m.UDPSize = DefaultUDPSize
+	}
+	out := m.Options[:0]
+	for _, o := range m.Options {
+		if o.Code() != OptionCodeClientSubnet {
+			out = append(out, o)
+		}
+	}
+	m.Options = append(out, ecs)
+	return nil
+}
+
+// Pack encodes the message to wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	buf := make([]byte, 0, 512)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.OpCode&0xF) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode & 0xF)
+
+	additionals := len(m.Additionals)
+	if m.EDNS {
+		additionals++
+	}
+	for _, n := range []int{len(m.Questions), len(m.Answers), len(m.Authorities), additionals} {
+		if n > 0xFFFF {
+			return nil, fmt.Errorf("%w: section count %d overflows", ErrPack, n)
+		}
+	}
+
+	buf = appendUint16(buf, m.ID)
+	buf = appendUint16(buf, flags)
+	buf = appendUint16(buf, uint16(len(m.Questions)))
+	buf = appendUint16(buf, uint16(len(m.Answers)))
+	buf = appendUint16(buf, uint16(len(m.Authorities)))
+	buf = appendUint16(buf, uint16(additionals))
+
+	cmp := make(compressor)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = q.pack(buf, cmp); err != nil {
+			return nil, err
+		}
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if buf, err = rr.pack(buf, cmp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.EDNS {
+		size := m.UDPSize
+		if size == 0 {
+			size = DefaultUDPSize
+		}
+		extRCode := uint32(m.RCode>>4) & 0xFF
+		opt := RR{
+			Name:  "", // root
+			Class: Class(size),
+			TTL:   extRCode << 24,
+			Data:  &OPT{Options: m.Options},
+		}
+		if buf, err = opt.pack(buf, cmp); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Unpack decodes a wire-format message.
+func Unpack(wire []byte) (*Message, error) {
+	if len(wire) < 12 {
+		return nil, ErrBufferTooSmall
+	}
+	m := &Message{}
+	m.ID = binary.BigEndian.Uint16(wire)
+	flags := binary.BigEndian.Uint16(wire[2:])
+	m.Response = flags&(1<<15) != 0
+	m.OpCode = OpCode(flags >> 11 & 0xF)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xF)
+
+	qd := int(binary.BigEndian.Uint16(wire[4:]))
+	an := int(binary.BigEndian.Uint16(wire[6:]))
+	ns := int(binary.BigEndian.Uint16(wire[8:]))
+	ar := int(binary.BigEndian.Uint16(wire[10:]))
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q, off, err = unpackQuestion(wire, off); err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]RR
+	}{{an, &m.Answers}, {ns, &m.Authorities}, {ar, &m.Additionals}} {
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			if rr, off, err = unpackRR(wire, off); err != nil {
+				return nil, err
+			}
+			if opt, ok := rr.Data.(*OPT); ok {
+				if m.EDNS {
+					return nil, fmt.Errorf("%w: multiple OPT records", ErrUnpack)
+				}
+				m.EDNS = true
+				m.UDPSize = uint16(rr.Class)
+				m.Options = opt.Options
+				m.RCode |= RCode(rr.TTL>>24&0xFF) << 4
+				continue
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+// String renders the message in a dig-like multi-section format.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id %d %s", m.ID, m.RCode)
+	if m.Response {
+		sb.WriteString(" qr")
+	}
+	if m.Authoritative {
+		sb.WriteString(" aa")
+	}
+	if m.RecursionDesired {
+		sb.WriteString(" rd")
+	}
+	if m.RecursionAvailable {
+		sb.WriteString(" ra")
+	}
+	if m.EDNS {
+		fmt.Fprintf(&sb, " edns(udp=%d", m.UDPSize)
+		for _, o := range m.Options {
+			fmt.Fprintf(&sb, " %v", o)
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString("\n")
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";; question: %s\n", q)
+	}
+	for _, rr := range m.Answers {
+		fmt.Fprintf(&sb, "%s\n", rr)
+	}
+	for _, rr := range m.Authorities {
+		fmt.Fprintf(&sb, ";; authority: %s\n", rr)
+	}
+	for _, rr := range m.Additionals {
+		fmt.Fprintf(&sb, ";; additional: %s\n", rr)
+	}
+	return sb.String()
+}

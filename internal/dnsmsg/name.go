@@ -1,0 +1,136 @@
+package dnsmsg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Name is a fully-qualified domain name in presentation form. Names are
+// stored without a trailing dot; the root zone is the empty string.
+// Comparison and compression are case-insensitive per RFC 1035 §2.3.3.
+type Name string
+
+// Canonical returns the name lower-cased with any trailing dot removed,
+// the form used as map keys throughout the mapping system.
+func (n Name) Canonical() Name {
+	s := strings.TrimSuffix(string(n), ".")
+	return Name(strings.ToLower(s))
+}
+
+// Labels splits the name into its labels; the root name has no labels.
+func (n Name) Labels() []string {
+	s := string(n.Canonical())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ".")
+}
+
+// IsSubdomainOf reports whether n is equal to or a subdomain of parent.
+func (n Name) IsSubdomainOf(parent Name) bool {
+	ns, ps := string(n.Canonical()), string(parent.Canonical())
+	if ps == "" {
+		return true
+	}
+	return ns == ps || strings.HasSuffix(ns, "."+ps)
+}
+
+// validate checks RFC 1035 length limits: each label <= 63 octets and the
+// whole encoded name <= 255 octets.
+func (n Name) validate() error {
+	labels := n.Labels()
+	encoded := 1 // terminating root
+	for _, l := range labels {
+		if len(l) == 0 {
+			return fmt.Errorf("%w: empty label in %q", ErrPack, string(n))
+		}
+		if len(l) > 63 {
+			return ErrLabelTooLong
+		}
+		encoded += 1 + len(l)
+	}
+	if encoded > 255 {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// compressor tracks names already emitted during packing so later
+// occurrences can be replaced by 2-byte compression pointers (RFC 1035
+// §4.1.4). Pointers may only target offsets < 0x4000.
+type compressor map[string]int
+
+// packName appends the wire encoding of n to buf, compressing against
+// previously packed names, and returns the extended buffer.
+func packName(buf []byte, n Name, cmp compressor) ([]byte, error) {
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	labels := n.Labels()
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := cmp[suffix]; ok {
+			return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+		}
+		if off := len(buf); off < 0x4000 && cmp != nil {
+			cmp[suffix] = off
+		}
+		l := labels[i]
+		buf = append(buf, byte(len(l)))
+		buf = append(buf, l...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off in msg.
+// It returns the name and the offset of the first byte after the name's
+// encoding in the original (non-pointer-following) stream.
+func unpackName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	// next is the offset to return: set the first time we follow a pointer.
+	next := -1
+	ptrHops := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrBufferTooSmall
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if next == -1 {
+				next = off + 1
+			}
+			return Name(sb.String()), next, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrBufferTooSmall
+			}
+			ptr := int(b&0x3F)<<8 | int(msg[off+1])
+			if next == -1 {
+				next = off + 2
+			}
+			ptrHops++
+			// A name has at most 127 labels; any pointer chain longer than
+			// that must contain a loop.
+			if ptrHops > 127 || ptr >= off {
+				return "", 0, ErrCompressionLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type 0x%02x", ErrUnpack, b&0xC0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrBufferTooSmall
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			if sb.Len() > 255 {
+				return "", 0, fmt.Errorf("%w: name too long", ErrUnpack)
+			}
+			off += 1 + l
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package dnsmsg
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME", TypeSOA: "SOA",
+		TypePTR: "PTR", TypeTXT: "TXT", TypeAAAA: "AAAA", TypeOPT: "OPT",
+		TypeANY: "ANY", Type(99): "TYPE99",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassINET.String() != "IN" {
+		t.Error("IN string wrong")
+	}
+	if Class(3).String() != "CLASS3" {
+		t.Error("unknown class string wrong")
+	}
+}
+
+func TestRCodeStrings(t *testing.T) {
+	cases := map[RCode]string{
+		RCodeSuccess: "NOERROR", RCodeFormatError: "FORMERR",
+		RCodeServerFailure: "SERVFAIL", RCodeNameError: "NXDOMAIN",
+		RCodeNotImplemented: "NOTIMP", RCodeRefused: "REFUSED",
+		RCodeBadVers: "BADVERS", RCode(200): "RCODE200",
+	}
+	for rc, want := range cases {
+		if got := rc.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", rc, got, want)
+		}
+	}
+}
+
+func TestRRString(t *testing.T) {
+	rr := RR{Name: "X.Example.NET", Class: ClassINET, TTL: 30,
+		Data: &A{Addr: netip.MustParseAddr("192.0.2.1")}}
+	s := rr.String()
+	for _, want := range []string{"x.example.net", "30", "IN", "A", "192.0.2.1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("RR string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRDataStrings(t *testing.T) {
+	cases := []struct {
+		data RData
+		want string
+	}{
+		{&A{Addr: netip.MustParseAddr("192.0.2.1")}, "192.0.2.1"},
+		{&AAAA{Addr: netip.MustParseAddr("2001:db8::1")}, "2001:db8::1"},
+		{&CNAME{Target: "T.Example.COM"}, "t.example.com"},
+		{&NS{Host: "NS1.Example.com"}, "ns1.example.com"},
+		{&PTR{Target: "p.example.com"}, "p.example.com"},
+		{&TXT{Strings: []string{"a", "b"}}, `"a" "b"`},
+		{&Unknown{Typ: Type(99), Raw: []byte{0xAB}}, "\\# 1 ab"},
+	}
+	for _, c := range cases {
+		got := c.data.(interface{ String() string }).String()
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%T.String() = %q, want contains %q", c.data, got, c.want)
+		}
+	}
+}
+
+func TestQuestionString(t *testing.T) {
+	q := Question{Name: "Foo.NET", Type: TypeAAAA, Class: ClassINET}
+	if got := q.String(); got != "foo.net IN AAAA" {
+		t.Errorf("Question.String() = %q", got)
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	base := func() *Message {
+		m := &Message{Header: Header{ID: 1, Response: true}}
+		m.Questions = []Question{{Name: "x.net", Type: TypeA, Class: ClassINET}}
+		return m
+	}
+	cases := []struct {
+		name string
+		rr   RR
+	}{
+		{"nil-data", RR{Name: "x.net", Class: ClassINET}},
+		{"a-with-v6", RR{Name: "x.net", Class: ClassINET,
+			Data: &A{Addr: netip.MustParseAddr("2001:db8::1")}}},
+		{"aaaa-with-v4", RR{Name: "x.net", Class: ClassINET,
+			Data: &AAAA{Addr: netip.MustParseAddr("192.0.2.1")}}},
+		{"txt-empty", RR{Name: "x.net", Class: ClassINET, Data: &TXT{}}},
+		{"txt-overlong-string", RR{Name: "x.net", Class: ClassINET,
+			Data: &TXT{Strings: []string{strings.Repeat("a", 256)}}}},
+		{"bad-owner", RR{Name: Name(strings.Repeat("a", 64) + ".net"), Class: ClassINET,
+			Data: &A{Addr: netip.MustParseAddr("192.0.2.1")}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := base()
+			m.Answers = []RR{c.rr}
+			if _, err := m.Pack(); !errors.Is(err, ErrPack) {
+				t.Errorf("err = %v, want ErrPack", err)
+			}
+		})
+	}
+}
+
+func TestECSPackErrors(t *testing.T) {
+	cases := []*ClientSubnet{
+		{Family: 9, SourcePrefix: 8, Address: netip.MustParseAddr("10.0.0.0")},
+		{Family: ECSFamilyIPv4, SourcePrefix: 40, Address: netip.MustParseAddr("10.0.0.0")},
+		{Family: ECSFamilyIPv4, SourcePrefix: 8, Address: netip.MustParseAddr("2001:db8::")},
+		{Family: ECSFamilyIPv6, SourcePrefix: 8, Address: netip.MustParseAddr("10.0.0.0")},
+	}
+	for i, ecs := range cases {
+		if _, err := ecs.packOption(nil); err == nil {
+			t.Errorf("case %d: bad ECS packed", i)
+		}
+	}
+}
+
+func TestECSStringAndPrefixes(t *testing.T) {
+	ecs, err := NewClientSubnet(netip.MustParseAddr("203.0.113.99"), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecs.ScopePrefix = 20
+	if got := ecs.String(); got != "ecs 203.0.113.0/24/20" {
+		t.Errorf("String = %q", got)
+	}
+	if ecs.Prefix().Bits() != 24 || ecs.ScopedPrefix().Bits() != 20 {
+		t.Error("prefix bits wrong")
+	}
+}
+
+func TestRawOptionRoundTrip(t *testing.T) {
+	m := NewQuery(8, "x.net", TypeA)
+	m.Options = append(m.Options, &RawOption{OptCode: 10, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}) // COOKIE-ish
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != 1 {
+		t.Fatalf("options = %d", len(got.Options))
+	}
+	raw := got.Options[0].(*RawOption)
+	if raw.OptCode != 10 || len(raw.Data) != 8 {
+		t.Errorf("raw option = %+v", raw)
+	}
+	if !strings.Contains(raw.String(), "opt10") {
+		t.Errorf("raw option string = %q", raw.String())
+	}
+}
+
+func TestSOAString(t *testing.T) {
+	soa := &SOA{MName: "NS1.x.NET", RName: "h.x.net", Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5}
+	got := soa.String()
+	if !strings.Contains(got, "ns1.x.net") || !strings.Contains(got, "5") {
+		t.Errorf("SOA string = %q", got)
+	}
+}
+
+func TestOPTString(t *testing.T) {
+	o := &OPT{Options: []EDNSOption{&RawOption{OptCode: 1, Data: []byte{0xFF}}}}
+	if !strings.Contains(o.String(), "OPT") {
+		t.Errorf("OPT string = %q", o.String())
+	}
+}
+
+func TestPTRRoundTrip(t *testing.T) {
+	m := &Message{Header: Header{ID: 2, Response: true}}
+	m.Answers = []RR{{Name: "1.2.0.192.in-addr.arpa", Class: ClassINET, TTL: 60,
+		Data: &PTR{Target: "host.example.net"}}}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Data.(*PTR).Target != "host.example.net" {
+		t.Error("PTR round trip failed")
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	m := &Message{Header: Header{ID: 3, Response: true}}
+	m.Answers = []RR{{Name: "v6.example.net", Class: ClassINET, TTL: 60,
+		Data: &AAAA{Addr: netip.MustParseAddr("2001:db8::42")}}}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Data.(*AAAA).Addr != netip.MustParseAddr("2001:db8::42") {
+		t.Error("AAAA round trip failed")
+	}
+}
+
+func TestTruncatedRDataLengths(t *testing.T) {
+	// Valid message, then corrupt the RDLENGTH of the A record so the
+	// declared RDATA length is wrong.
+	m := &Message{Header: Header{ID: 4, Response: true}}
+	m.Answers = []RR{{Name: "a.net", Class: ClassINET, TTL: 1,
+		Data: &A{Addr: netip.MustParseAddr("192.0.2.1")}}}
+	wire, _ := m.Pack()
+	// A record RDATA is the last 4 bytes; RDLENGTH the 2 before.
+	wire[len(wire)-5] = 3 // claim 3-byte A record
+	if _, err := Unpack(wire[:len(wire)-1]); err == nil {
+		t.Error("3-byte A record accepted")
+	}
+}
+
+func TestNameValidateEmptyLabel(t *testing.T) {
+	if _, err := packName(nil, "a..b", nil); !errors.Is(err, ErrPack) {
+		t.Errorf("empty label: err = %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package dnsserver implements a UDP authoritative DNS server host: a
+// serve loop over a net.PacketConn that parses queries with dnsmsg, hands
+// them to a Handler, and writes responses, with per-server metrics.
+//
+// It is the transport layer for the mapping system's authoritative name
+// servers (§2.2 component 3): handlers implement the mapping behaviour,
+// this package owns sockets, concurrency and message hygiene.
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"eum/internal/dnsmsg"
+)
+
+// Handler answers DNS queries. Implementations must be safe for concurrent
+// use. Returning nil drops the query (no response), which a handler may use
+// for malformed or abusive traffic.
+type Handler interface {
+	ServeDNS(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(remote netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+	return f(remote, q)
+}
+
+// Metrics counts server activity. All fields are updated atomically and
+// may be read at any time.
+type Metrics struct {
+	// Queries is the number of well-formed queries received.
+	Queries atomic.Uint64
+	// Responses is the number of responses sent.
+	Responses atomic.Uint64
+	// Malformed is the number of datagrams that failed to parse.
+	Malformed atomic.Uint64
+	// Dropped is the number of queries the handler chose not to answer.
+	Dropped atomic.Uint64
+}
+
+// Server is a UDP DNS server.
+type Server struct {
+	conn    net.PacketConn
+	handler Handler
+
+	// Metrics exposes live counters.
+	Metrics Metrics
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen binds a UDP socket on addr (e.g. "127.0.0.1:0") and returns a
+// server ready to Serve. The handler must not be nil.
+func Listen(addr string, h Handler) (*Server, error) {
+	if h == nil {
+		return nil, errors.New("dnsserver: nil handler")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	return &Server{conn: conn, handler: h}, nil
+}
+
+// Addr returns the bound address, for clients to dial.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Serve reads queries until the server is closed. Each query is handled on
+// its own goroutine, as the mapping decision may be slow relative to socket
+// reads. Serve returns nil after Close.
+func (s *Server) Serve() error {
+	buf := make([]byte, 65535)
+	for {
+		n, remote, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("dnsserver: read: %w", err)
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		raddr, ok := remoteAddrPort(remote)
+		if !ok {
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handlePacket(raddr, remote, pkt)
+		}()
+	}
+}
+
+func (s *Server) handlePacket(raddr netip.AddrPort, remote net.Addr, pkt []byte) {
+	query, err := dnsmsg.Unpack(pkt)
+	if err != nil || query.Response {
+		s.Metrics.Malformed.Add(1)
+		return
+	}
+	s.Metrics.Queries.Add(1)
+	resp := s.handler.ServeDNS(raddr, query)
+	if resp == nil {
+		s.Metrics.Dropped.Add(1)
+		return
+	}
+	// Respect the client's advertised UDP payload size (512 octets for
+	// non-EDNS queries, RFC 1035): oversized answers are truncated with
+	// TC=1 so the client retries over TCP.
+	maxSize := 512
+	if query.EDNS {
+		maxSize = int(query.UDPSize)
+		if maxSize < 512 {
+			maxSize = 512
+		}
+	}
+	wire, err := TruncateFor(resp, maxSize)
+	if err != nil {
+		// A handler bug; answer SERVFAIL so the client doesn't hang.
+		servfail := query.Reply()
+		servfail.RCode = dnsmsg.RCodeServerFailure
+		if wire, err = servfail.Pack(); err != nil {
+			s.Metrics.Dropped.Add(1)
+			return
+		}
+	}
+	if _, err := s.conn.WriteTo(wire, remote); err == nil {
+		s.Metrics.Responses.Add(1)
+	}
+}
+
+// Close stops the server and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func remoteAddrPort(a net.Addr) (netip.AddrPort, bool) {
+	if u, ok := a.(*net.UDPAddr); ok {
+		return u.AddrPort(), true
+	}
+	ap, err := netip.ParseAddrPort(a.String())
+	if err != nil {
+		return netip.AddrPort{}, false
+	}
+	return ap, true
+}

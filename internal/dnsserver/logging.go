@@ -1,0 +1,54 @@
+package dnsserver
+
+import (
+	"context"
+	"log/slog"
+	"net/netip"
+	"time"
+
+	"eum/internal/dnsmsg"
+)
+
+// WithLogging wraps a handler with structured per-query access logging:
+// one slog record per query with the question, requester, ECS option,
+// response code, answer count and handler latency. Production name servers
+// live and die by this telemetry — the paper's query-rate analyses (§5)
+// come from exactly these logs.
+func WithLogging(h Handler, logger *slog.Logger) Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return HandlerFunc(func(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message {
+		start := time.Now()
+		resp := h.ServeDNS(remote, query)
+		attrs := make([]slog.Attr, 0, 8)
+		attrs = append(attrs,
+			slog.String("remote", remote.String()),
+			slog.Duration("latency", time.Since(start)),
+		)
+		if len(query.Questions) > 0 {
+			q := query.Questions[0]
+			attrs = append(attrs,
+				slog.String("name", string(q.Name.Canonical())),
+				slog.String("type", q.Type.String()),
+			)
+		}
+		if ecs := query.ClientSubnet(); ecs != nil {
+			attrs = append(attrs, slog.String("ecs", ecs.Prefix().String()))
+		}
+		if resp == nil {
+			attrs = append(attrs, slog.Bool("dropped", true))
+			logger.LogAttrs(context.Background(), slog.LevelWarn, "query dropped", attrs...)
+			return nil
+		}
+		attrs = append(attrs,
+			slog.String("rcode", resp.RCode.String()),
+			slog.Int("answers", len(resp.Answers)),
+		)
+		if ecs := resp.ClientSubnet(); ecs != nil {
+			attrs = append(attrs, slog.Int("scope", int(ecs.ScopePrefix)))
+		}
+		logger.LogAttrs(context.Background(), slog.LevelInfo, "query", attrs...)
+		return resp
+	})
+}

@@ -1,0 +1,64 @@
+package dnsserver
+
+import (
+	"bytes"
+	"log/slog"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"eum/internal/dnsmsg"
+)
+
+func TestWithLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	h := WithLogging(&echoHandler{}, logger)
+
+	q := dnsmsg.NewQuery(5, "logged.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(netip.MustParseAddr("203.0.113.0"), 24)
+	resp := h.ServeDNS(netip.MustParseAddrPort("198.51.100.9:5353"), q)
+	if resp == nil {
+		t.Fatal("no response through logging wrapper")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"name":"logged.example.net"`,
+		`"type":"A"`,
+		`"ecs":"203.0.113.0/24"`,
+		`"rcode":"NOERROR"`,
+		`"remote":"198.51.100.9:5353"`,
+		`"answers":1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWithLoggingDropped(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	h := WithLogging(HandlerFunc(func(netip.AddrPort, *dnsmsg.Message) *dnsmsg.Message {
+		return nil
+	}), logger)
+	q := dnsmsg.NewQuery(6, "dropped.example.net", dnsmsg.TypeA)
+	if resp := h.ServeDNS(netip.MustParseAddrPort("10.0.0.1:53"), q); resp != nil {
+		t.Fatal("wrapper invented a response")
+	}
+	if !strings.Contains(buf.String(), `"dropped":true`) {
+		t.Errorf("drop not logged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "WARN") {
+		t.Errorf("drop not logged at WARN:\n%s", buf.String())
+	}
+}
+
+func TestWithLoggingNilLogger(t *testing.T) {
+	// nil logger falls back to slog.Default without panicking.
+	h := WithLogging(&echoHandler{}, nil)
+	q := dnsmsg.NewQuery(7, "x.example.net", dnsmsg.TypeA)
+	if resp := h.ServeDNS(netip.MustParseAddrPort("10.0.0.1:53"), q); resp == nil {
+		t.Fatal("no response")
+	}
+}

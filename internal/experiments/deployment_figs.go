@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"eum/internal/cdn"
+
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+// Fig25Point is one (N, policy) cell of Fig 25: traffic-weighted ping
+// latency statistics achieved with N deployment locations.
+type Fig25Point struct {
+	Deployments int
+	Policy      mapping.Policy
+	MeanMs      float64
+	P95Ms       float64
+	P99Ms       float64
+}
+
+// Fig25Config parameterises the deployment sweep.
+type Fig25Config struct {
+	// Ns is the deployment counts to sweep (paper: 40..2560 doubling).
+	Ns []int
+	// Runs is the number of random deployment orderings averaged
+	// (paper: 100).
+	Runs int
+	// PingTargets caps the measured client set (paper: 8K targets for the
+	// top-traffic blocks).
+	PingTargets int
+	// MaxBlocks samples the highest-demand blocks as the client
+	// population (0 = all).
+	MaxBlocks int
+}
+
+// DefaultFig25Config returns the paper's sweep at reduced run count.
+func DefaultFig25Config(scale Scale) Fig25Config {
+	cfg := Fig25Config{
+		Ns:          []int{40, 80, 160, 320, 640, 1280, 2560},
+		Runs:        10,
+		PingTargets: 2000,
+		MaxBlocks:   8000,
+	}
+	if scale == Small {
+		cfg.Ns = []int{40, 80, 160, 320}
+		cfg.Runs = 3
+		cfg.PingTargets = 600
+		cfg.MaxBlocks = 2000
+	}
+	return cfg
+}
+
+// Fig25DeploymentSweep reproduces Fig 25: the latency achieved by NS,
+// EU and CANS mapping as a function of the number of deployment
+// locations. For each run, deployments are randomly ordered and each N
+// simulates mapping with the first N (so each N extends the previous
+// subset, as in the paper). Reported values are averaged across runs.
+//
+// The three schemes follow §6's definitions:
+//
+//	NS:   deployment with least latency to the client's LDNS.
+//	EU:   deployment with least latency to the client's /24 block.
+//	CANS: deployment minimising the traffic-weighted mean latency to the
+//	      LDNS's client cluster.
+//
+// The reported metric is the ping latency from the chosen deployment to
+// the client block — an underestimate of true client RTT, as in the paper,
+// but meaningful in relative terms.
+func Fig25DeploymentSweep(lab *Lab, cfg Fig25Config) ([]Fig25Point, *Report) {
+	if len(cfg.Ns) == 0 {
+		cfg = DefaultFig25Config(Small)
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	blocks := topBlocks(lab.World, cfg.MaxBlocks)
+
+	type cell struct{ mean, p95, p99 float64 }
+	acc := map[string]*cell{}
+	key := func(n int, pol mapping.Policy) string { return fmt.Sprintf("%d/%d", n, pol) }
+
+	for run := 0; run < cfg.Runs; run++ {
+		seed := int64(run + 1)
+		for _, n := range cfg.Ns {
+			sub := lab.Platform.Subset(n, seed)
+			scorer := mapping.NewScorer(lab.World, sub, lab.Net, cfg.PingTargets)
+			for _, pol := range []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS} {
+				d := evalPolicy(lab, scorer, blocks, pol)
+				c := acc[key(n, pol)]
+				if c == nil {
+					c = &cell{}
+					acc[key(n, pol)] = c
+				}
+				c.mean += d.Mean()
+				c.p95 += d.Percentile(95)
+				c.p99 += d.Percentile(99)
+			}
+		}
+	}
+
+	var out []Fig25Point
+	rep := &Report{
+		ID:      "fig25",
+		Caption: "Ping latency vs number of deployment locations (NS / EU / CANS)",
+		Columns: []string{"deployments", "policy", "mean-ms", "p95-ms", "p99-ms"},
+	}
+	for _, n := range cfg.Ns {
+		for _, pol := range []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS} {
+			c := acc[key(n, pol)]
+			p := Fig25Point{
+				Deployments: n,
+				Policy:      pol,
+				MeanMs:      c.mean / float64(cfg.Runs),
+				P95Ms:       c.p95 / float64(cfg.Runs),
+				P99Ms:       c.p99 / float64(cfg.Runs),
+			}
+			out = append(out, p)
+			rep.Rows = append(rep.Rows, row(n, pol.String(), p.MeanMs, p.P95Ms, p.P99Ms))
+		}
+	}
+	return out, rep
+}
+
+// evalPolicy maps every block under the policy and returns the
+// demand-weighted distribution of ping latency from the chosen deployment
+// to the client. NS and CANS decisions are computed once per LDNS, since
+// every client of an LDNS shares its assignment.
+func evalPolicy(lab *Lab, scorer *mapping.Scorer, blocks []*world.ClientBlock, pol mapping.Policy) *stats.Dataset {
+	d := &stats.Dataset{}
+	ldnsChoice := map[uint64]netmodel.Endpoint{}
+	for _, b := range blocks {
+		var depEp netmodel.Endpoint
+		switch pol {
+		case mapping.EndUser:
+			dep, _ := scorer.Best(b.Endpoint())
+			if dep == nil {
+				continue
+			}
+			depEp = dep.Endpoint()
+		default: // NSBased and ClientAwareNS share per-LDNS decisions
+			ep, ok := ldnsChoice[b.LDNS.ID]
+			if !ok {
+				var dep *cdn.Deployment
+				if pol == mapping.ClientAwareNS {
+					eps := make([]netmodel.Endpoint, len(b.LDNS.Blocks))
+					weights := make([]float64, len(b.LDNS.Blocks))
+					for i, cb := range b.LDNS.Blocks {
+						eps[i] = cb.Endpoint()
+						weights[i] = cb.Demand
+					}
+					dep, _ = scorer.BestWeighted(eps, weights)
+				} else {
+					dep, _ = scorer.Best(b.LDNS.Endpoint())
+				}
+				if dep == nil {
+					continue
+				}
+				ep = dep.Endpoint()
+				ldnsChoice[b.LDNS.ID] = ep
+			}
+			depEp = ep
+		}
+		d.Add(lab.Net.PingMs(depEp, b.Endpoint()), b.Demand)
+	}
+	return d
+}
+
+// topBlocks returns up to n of the highest-demand blocks (all if n <= 0).
+func topBlocks(w *world.World, n int) []*world.ClientBlock {
+	blocks := append([]*world.ClientBlock{}, w.Blocks...)
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Demand > blocks[j].Demand })
+	if n <= 0 || n >= len(blocks) {
+		return blocks
+	}
+	return blocks[:n]
+}
+
+// AdoptionBand is one row of the §4.5 extrapolation: non-public-resolver
+// demand in a client-LDNS distance band and the RTT/download improvement
+// those clients would see if their ISP adopted ECS.
+type AdoptionBand struct {
+	// DistanceLo..DistanceHi is the client-LDNS distance band in miles.
+	DistanceLo, DistanceHi float64
+	// DemandShare is the band's share of non-public client demand.
+	DemandShare float64
+	// PredictedRTTGain is the expected fractional RTT reduction,
+	// extrapolated from public-resolver clients at similar distances.
+	PredictedRTTGain float64
+}
+
+// AdoptionExtrapolation reproduces the §4.5 analysis: how much of the
+// remaining (ISP-resolver) demand sits far from its LDNS, and what gains
+// ECS adoption would unlock. Gains are extrapolated by simulating NS vs EU
+// mapping for the ISP-resolver clients in each distance band.
+func AdoptionExtrapolation(lab *Lab) ([]AdoptionBand, *Report) {
+	scorer := mapping.NewScorer(lab.World, lab.Platform, lab.Net, 1500)
+	bands := []AdoptionBand{
+		{DistanceLo: 1000, DistanceHi: 1e9},
+		{DistanceLo: 500, DistanceHi: 1000},
+		{DistanceLo: 100, DistanceHi: 500},
+		{DistanceLo: 0, DistanceHi: 100},
+	}
+	var totalNonPublic float64
+	type agg struct{ ns, eu, demand float64 }
+	accs := make([]agg, len(bands))
+	for _, b := range lab.World.Blocks {
+		if b.LDNS.IsPublic() {
+			continue
+		}
+		totalNonPublic += b.Demand
+		dist := b.ClientLDNSDistance()
+		for i := range bands {
+			if dist < bands[i].DistanceLo || dist >= bands[i].DistanceHi {
+				continue
+			}
+			nsDep, _ := scorer.Best(b.LDNS.Endpoint())
+			euDep, _ := scorer.Best(b.Endpoint())
+			if nsDep == nil || euDep == nil {
+				break
+			}
+			accs[i].ns += b.Demand * lab.Net.BaseRTTMs(nsDep.Endpoint(), b.Endpoint())
+			accs[i].eu += b.Demand * lab.Net.BaseRTTMs(euDep.Endpoint(), b.Endpoint())
+			accs[i].demand += b.Demand
+			break
+		}
+	}
+	rep := &Report{
+		ID:      "sec4.5",
+		Caption: "ECS adoption extrapolation for ISP-resolver clients",
+		Columns: []string{"distance-band-mi", "pct-of-non-public-demand", "predicted-rtt-gain-pct"},
+	}
+	for i := range bands {
+		if accs[i].demand > 0 && totalNonPublic > 0 {
+			bands[i].DemandShare = accs[i].demand / totalNonPublic
+			bands[i].PredictedRTTGain = 1 - accs[i].eu/accs[i].ns
+		}
+		hi := fmt.Sprintf("%.0f", bands[i].DistanceHi)
+		if bands[i].DistanceHi >= 1e9 {
+			hi = "inf"
+		}
+		rep.Rows = append(rep.Rows, row(
+			fmt.Sprintf("%.0f-%s", bands[i].DistanceLo, hi),
+			100*bands[i].DemandShare, 100*bands[i].PredictedRTTGain))
+	}
+	return bands, rep
+}

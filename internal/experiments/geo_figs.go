@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"eum/internal/geo"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+// distanceDataset builds demand-weighted client-LDNS distance data,
+// optionally restricted to public-resolver clients.
+func distanceDataset(w *world.World, publicOnly bool) *stats.Dataset {
+	d := &stats.Dataset{}
+	for _, b := range w.Blocks {
+		if publicOnly && !b.LDNS.IsPublic() {
+			continue
+		}
+		d.Add(b.ClientLDNSDistance(), b.Demand)
+	}
+	return d
+}
+
+// Fig05Result is the global client-LDNS distance histogram.
+type Fig05Result struct {
+	Bins   []stats.HistogramBin
+	Median float64
+	Mean   float64
+}
+
+// Fig05ClientLDNSHistogram reproduces Fig 5: the demand-weighted histogram
+// of client-LDNS distance across the global Internet, on a log-10 axis
+// from 10 to 10000 miles.
+func Fig05ClientLDNSHistogram(lab *Lab) (*Fig05Result, *Report) {
+	d := distanceDataset(lab.World, false)
+	res := &Fig05Result{
+		Bins:   d.LogHistogram(10, 10000, 4),
+		Median: d.Median(),
+		Mean:   d.Mean(),
+	}
+	rep := &Report{
+		ID:      "fig05",
+		Caption: "Histogram of client-LDNS distance (all clients, % of demand)",
+		Columns: []string{"miles-lo", "miles-hi", "pct-of-demand"},
+	}
+	for _, b := range res.Bins {
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("%.0f", b.Lo), fmt.Sprintf("%.0f", b.Hi), 100*b.Fraction))
+	}
+	rep.Rows = append(rep.Rows, row("median", "", res.Median))
+	return res, rep
+}
+
+// Fig07PublicResolverHistogram reproduces Fig 7: the same histogram for
+// clients who use public resolvers.
+func Fig07PublicResolverHistogram(lab *Lab) (*Fig05Result, *Report) {
+	d := distanceDataset(lab.World, true)
+	res := &Fig05Result{
+		Bins:   d.LogHistogram(10, 10000, 4),
+		Median: d.Median(),
+		Mean:   d.Mean(),
+	}
+	rep := &Report{
+		ID:      "fig07",
+		Caption: "Histogram of client-LDNS distance (public resolver clients)",
+		Columns: []string{"miles-lo", "miles-hi", "pct-of-demand"},
+	}
+	for _, b := range res.Bins {
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("%.0f", b.Lo), fmt.Sprintf("%.0f", b.Hi), 100*b.Fraction))
+	}
+	rep.Rows = append(rep.Rows, row("median", "", res.Median))
+	return res, rep
+}
+
+// CountryBox is one country's box-plot row.
+type CountryBox struct {
+	Country string
+	Box     stats.Box
+	Demand  float64
+}
+
+// countryBoxes computes per-country distance box stats.
+func countryBoxes(w *world.World, publicOnly bool) []CountryBox {
+	var out []CountryBox
+	for _, c := range w.Countries {
+		var d stats.Dataset
+		var demand float64
+		for _, b := range c.Blocks {
+			if publicOnly && !b.LDNS.IsPublic() {
+				continue
+			}
+			d.Add(b.ClientLDNSDistance(), b.Demand)
+			demand += b.Demand
+		}
+		if d.Len() == 0 {
+			continue
+		}
+		out = append(out, CountryBox{Country: c.Code(), Box: d.BoxStats(), Demand: demand})
+	}
+	// Descending by median, as the paper's figures are ordered.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Box.P50 > out[j-1].Box.P50; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Fig06DistanceByCountry reproduces Fig 6: client-LDNS distance box plots
+// (5/25/50/75/95th percentiles) for the top countries by demand.
+func Fig06DistanceByCountry(lab *Lab) ([]CountryBox, *Report) {
+	boxes := countryBoxes(lab.World, false)
+	rep := &Report{
+		ID:      "fig06",
+		Caption: "Client-LDNS distance by country (miles, p5/p25/p50/p75/p95)",
+		Columns: []string{"country", "p5", "p25", "median", "p75", "p95"},
+	}
+	for _, b := range boxes {
+		rep.Rows = append(rep.Rows, row(b.Country, b.Box.P5, b.Box.P25, b.Box.P50, b.Box.P75, b.Box.P95))
+	}
+	return boxes, rep
+}
+
+// Fig08PublicByCountry reproduces Fig 8: the same box plots restricted to
+// clients of public resolvers.
+func Fig08PublicByCountry(lab *Lab) ([]CountryBox, *Report) {
+	boxes := countryBoxes(lab.World, true)
+	rep := &Report{
+		ID:      "fig08",
+		Caption: "Client-LDNS distance for public resolver clients, by country",
+		Columns: []string{"country", "p5", "p25", "median", "p75", "p95"},
+	}
+	for _, b := range boxes {
+		rep.Rows = append(rep.Rows, row(b.Country, b.Box.P5, b.Box.P25, b.Box.P50, b.Box.P75, b.Box.P95))
+	}
+	return boxes, rep
+}
+
+// Fig09PublicAdoption reproduces Fig 9: the percent of client demand
+// originating from public resolvers, by country.
+func Fig09PublicAdoption(lab *Lab) (map[string]float64, *Report) {
+	adoption := map[string]float64{}
+	for _, c := range lab.World.Countries {
+		var pub, total float64
+		for _, b := range c.Blocks {
+			total += b.Demand
+			if b.LDNS.IsPublic() {
+				pub += b.Demand
+			}
+		}
+		if total > 0 {
+			adoption[c.Code()] = pub / total
+		}
+	}
+	rep := &Report{
+		ID:      "fig09",
+		Caption: "Percent of client demand from public resolvers, by country",
+		Columns: []string{"country", "pct-public"},
+	}
+	for _, cc := range sortedCountries(adoption) {
+		rep.Rows = append(rep.Rows, row(cc, 100*adoption[cc]))
+	}
+	var worldwide, total float64
+	for _, b := range lab.World.Blocks {
+		total += b.Demand
+		if b.LDNS.IsPublic() {
+			worldwide += b.Demand
+		}
+	}
+	rep.Rows = append(rep.Rows, row("WORLD", 100*worldwide/total))
+	return adoption, rep
+}
+
+// ASSizeBucket is one point of Fig 10: ASes whose demand share falls in
+// [2^-Exp2Lo, 2^-Exp2Hi) and the median client-LDNS distance of their
+// clients.
+type ASSizeBucket struct {
+	// ShareLo, ShareHi bound the AS demand share (fraction of total).
+	ShareLo, ShareHi float64
+	MedianDistance   float64
+	NumASes          int
+}
+
+// Fig10DistanceByASSize reproduces Fig 10: median client-LDNS distance as
+// a function of AS size (the AS's share of global demand), over buckets
+// 2^-10 .. 2^-1 as in the paper.
+func Fig10DistanceByASSize(lab *Lab) ([]ASSizeBucket, *Report) {
+	var out []ASSizeBucket
+	rep := &Report{
+		ID:      "fig10",
+		Caption: "Median client-LDNS distance vs AS size (share of demand)",
+		Columns: []string{"share-lo", "share-hi", "median-miles", "ases"},
+	}
+	for e := 10; e >= 1; e-- {
+		lo := math.Pow(2, -float64(e+1))
+		hi := math.Pow(2, -float64(e))
+		var d stats.Dataset
+		n := 0
+		for _, as := range lab.World.ASes {
+			if as.Demand < lo || as.Demand >= hi {
+				continue
+			}
+			n++
+			for _, b := range as.Blocks {
+				d.Add(b.ClientLDNSDistance(), b.Demand)
+			}
+		}
+		if d.Len() == 0 {
+			continue
+		}
+		b := ASSizeBucket{ShareLo: lo, ShareHi: hi, MedianDistance: d.Median(), NumASes: n}
+		out = append(out, b)
+		rep.Rows = append(rep.Rows, row(
+			fmt.Sprintf("2^-%d", e+1), fmt.Sprintf("2^-%d", e), b.MedianDistance, n))
+	}
+	return out, rep
+}
+
+// Fig11Result holds the four CDFs of Fig 11.
+type Fig11Result struct {
+	RadiusAll     []stats.CDFPoint
+	MeanDistAll   []stats.CDFPoint
+	RadiusPub     []stats.CDFPoint
+	MeanDistPub   []stats.CDFPoint
+	PubRadiusP1   float64 // 1st percentile of public cluster radius
+	PubRadiusP99  float64
+	PubMeanExceed float64 // fraction of public demand where mean dist > radius
+}
+
+// Fig11ClusterRadius reproduces Fig 11: CDFs of client-cluster radius and
+// mean client-LDNS distance, for all LDNSes and for public resolvers,
+// weighted by LDNS demand.
+func Fig11ClusterRadius(lab *Lab) (*Fig11Result, *Report) {
+	var radAll, distAll, radPub, distPub stats.Dataset
+	var pubExceed, pubTotal float64
+	for _, l := range lab.World.LDNSes {
+		if len(l.Blocks) == 0 {
+			continue
+		}
+		pts := make([]geo.Weighted, 0, len(l.Blocks))
+		for _, b := range l.Blocks {
+			pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
+		}
+		radius := geo.Radius(pts)
+		meanDist := geo.MeanDistanceTo(pts, l.Loc)
+		radAll.Add(radius, l.Demand)
+		distAll.Add(meanDist, l.Demand)
+		if l.IsPublic() {
+			radPub.Add(radius, l.Demand)
+			distPub.Add(meanDist, l.Demand)
+			pubTotal += l.Demand
+			if meanDist > radius {
+				pubExceed += l.Demand
+			}
+		}
+	}
+	res := &Fig11Result{
+		RadiusAll:    radAll.CDF(60),
+		MeanDistAll:  distAll.CDF(60),
+		RadiusPub:    radPub.CDF(60),
+		MeanDistPub:  distPub.CDF(60),
+		PubRadiusP1:  radPub.Percentile(1),
+		PubRadiusP99: radPub.Percentile(99),
+	}
+	if pubTotal > 0 {
+		res.PubMeanExceed = pubExceed / pubTotal
+	}
+	rep := &Report{
+		ID:      "fig11",
+		Caption: "Cluster radius and mean client-LDNS distance (miles, demand-weighted)",
+		Columns: []string{"series", "p25", "p50", "p75", "p95"},
+	}
+	for _, s := range []struct {
+		name string
+		d    *stats.Dataset
+	}{
+		{"radius (all LDNS)", &radAll},
+		{"mean client-LDNS dist (all LDNS)", &distAll},
+		{"radius (public)", &radPub},
+		{"mean client-LDNS dist (public)", &distPub},
+	} {
+		rep.Rows = append(rep.Rows, row(s.name,
+			s.d.Percentile(25), s.d.Percentile(50), s.d.Percentile(75), s.d.Percentile(95)))
+	}
+	rep.Rows = append(rep.Rows, row("public demand with mean dist > radius (%)",
+		100*res.PubMeanExceed, "", "", ""))
+	return res, rep
+}

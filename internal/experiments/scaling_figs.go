@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eum/internal/demand"
+	"eum/internal/geo"
+	"eum/internal/mapping"
+	"eum/internal/simulation"
+	"eum/internal/stats"
+)
+
+// Fig02QueryVolume reproduces Fig 2: client requests served versus DNS
+// queries resolved by the mapping system, as daily rates over a 12-day
+// window (the paper shows Jan 07-19). No roll-out happens in this window;
+// the figure's point is the ~20:1 ratio between the two rates.
+func Fig02QueryVolume(lab *Lab, scale Scale) ([]simulation.QueryRatePoint, *Report, error) {
+	cfg := simulation.DefaultQueryRateConfig()
+	cfg.Days = 12
+	cfg.RolloutStartDay, cfg.RolloutEndDay = 10000, 10001 // never
+	if scale == Small {
+		cfg.EventsPerWindow = 120000
+	}
+	pts, err := simulation.RunQueryRate(lab.World, cfg,
+		&simulation.FixedUpstream{TTL: cfg.TTL, Scope: 24})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "fig02",
+		Caption: "Client requests vs DNS queries resolved (per second, simulated units)",
+		Columns: []string{"day", "client-req-ps", "dns-queries-ps", "ratio"},
+	}
+	for _, p := range pts {
+		rep.Rows = append(rep.Rows, row(p.Day, p.ClientQPS, p.AuthQPS, p.ClientQPS/p.AuthQPS))
+	}
+	return pts, rep, nil
+}
+
+// Fig21Result holds the Fig 21 coverage curves and the paper's headline
+// coverage counts.
+type Fig21Result struct {
+	BlockCurve []demand.CoveragePoint
+	LDNSCurve  []demand.CoveragePoint
+	// Blocks50/95 and LDNS50/95 are the unit counts covering 50%/95% of
+	// demand.
+	Blocks50, Blocks95 int
+	LDNS50, LDNS95     int
+}
+
+// Fig21MappingUnitCoverage reproduces Fig 21: how many /24 client blocks
+// versus LDNSes account for a given percent of total demand — the scale
+// gap end-user mapping must absorb (§5.1).
+func Fig21MappingUnitCoverage(lab *Lab) (*Fig21Result, *Report) {
+	blocks := demand.BlockDemands(lab.World)
+	ldns := demand.LDNSDemands(lab.World)
+	res := &Fig21Result{
+		BlockCurve: demand.CoverageCurve(blocks),
+		LDNSCurve:  demand.CoverageCurve(ldns),
+		Blocks50:   demand.UnitsForCoverage(blocks, 0.50),
+		Blocks95:   demand.UnitsForCoverage(blocks, 0.95),
+		LDNS50:     demand.UnitsForCoverage(ldns, 0.50),
+		LDNS95:     demand.UnitsForCoverage(ldns, 0.95),
+	}
+	rep := &Report{
+		ID:      "fig21",
+		Caption: "Units needed to cover demand: /24 blocks vs LDNSes",
+		Columns: []string{"coverage", "blocks", "ldnses", "ratio"},
+	}
+	rep.Rows = append(rep.Rows,
+		row("50%", res.Blocks50, res.LDNS50, float64(res.Blocks50)/float64(res.LDNS50)),
+		row("95%", res.Blocks95, res.LDNS95, float64(res.Blocks95)/float64(res.LDNS95)),
+	)
+	return res, rep
+}
+
+// Fig22Row is one prefix length's trade-off point: unit count versus
+// cluster compactness.
+type Fig22Row struct {
+	PrefixBits int
+	// Units is the number of /x clusters with non-zero demand (Fig 22b).
+	Units int
+	// RadiusP50 is the demand-weighted median cluster radius (Fig 22a).
+	RadiusP50 float64
+	// Within100mi is the fraction of demand in clusters of radius
+	// <= 100 miles.
+	Within100mi float64
+}
+
+// Fig22PrefixTradeoff reproduces Fig 22: coarser /x client blocks shrink
+// the number of mapping units but grow the cluster radius, costing
+// accuracy. It also reports the BGP-CIDR aggregation point of §5.1.
+func Fig22PrefixTradeoff(lab *Lab) ([]Fig22Row, *Report) {
+	var out []Fig22Row
+	rep := &Report{
+		ID:      "fig22",
+		Caption: "Mapping-unit trade-off per /x prefix length",
+		Columns: []string{"prefix", "units", "median-radius-mi", "pct-demand-radius<=100mi"},
+	}
+	for _, bits := range []int{8, 10, 12, 14, 16, 18, 20, 22, 24} {
+		u := mapping.PrefixUnits{X: uint8(bits)}
+		clusters := mapping.UnitClusters(lab.World, u)
+		var radii stats.Dataset
+		for _, blocks := range clusters {
+			var pts []geo.Weighted
+			var w float64
+			for _, b := range blocks {
+				pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
+				w += b.Demand
+			}
+			radii.Add(geo.Radius(pts), w)
+		}
+		r := Fig22Row{
+			PrefixBits:  bits,
+			Units:       len(clusters),
+			RadiusP50:   radii.Median(),
+			Within100mi: radii.FractionAtOrBelow(100),
+		}
+		out = append(out, r)
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("/%d", bits), r.Units, r.RadiusP50, 100*r.Within100mi))
+	}
+	// BGP-CIDR aggregation of /24s (the §5.1 heuristic).
+	cidrUnits := mapping.NewCIDRUnits(mapping.PrefixUnits{X: 24}, lab.World.BGPCIDRs())
+	rep.Rows = append(rep.Rows, row("cidr(24)", mapping.CountUnits(lab.World, cidrUnits), "", ""))
+	return out, rep
+}
+
+// Fig23QueryRateIncrease reproduces Fig 23: total DNS queries per second
+// at the authoritative name servers across the roll-out, with the public
+// resolver component broken out.
+func Fig23QueryRateIncrease(lab *Lab, scale Scale) ([]simulation.QueryRatePoint, *Report, error) {
+	cfg := simulation.DefaultQueryRateConfig()
+	if scale == Small {
+		cfg.Days = 30
+		cfg.RolloutStartDay, cfg.RolloutEndDay = 12, 18
+		cfg.EventsPerWindow = 60000
+	}
+	pts, err := simulation.RunQueryRate(lab.World, cfg,
+		&simulation.FixedUpstream{TTL: cfg.TTL, Scope: 24})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "fig23",
+		Caption: "Authoritative DNS queries per second across the roll-out",
+		Columns: []string{"day", "total-qps", "public-qps"},
+	}
+	for i, p := range pts {
+		if i%max(1, len(pts)/30) == 0 || i == len(pts)-1 {
+			rep.Rows = append(rep.Rows, row(p.Day, p.AuthQPS, p.PublicAuthQPS))
+		}
+	}
+	pre, post := pts[cfg.RolloutStartDay/2], pts[len(pts)-1]
+	rep.Rows = append(rep.Rows, row("factor", post.AuthQPS/pre.AuthQPS, post.PublicAuthQPS/pre.PublicAuthQPS))
+	return pts, rep, nil
+}
+
+// Fig24PopularityFactor reproduces Fig 24: factor increase in query rate
+// by pre-roll-out (domain, LDNS) popularity.
+func Fig24PopularityFactor(lab *Lab, scale Scale) ([]simulation.PopularityBucket, *Report, error) {
+	cfg := simulation.DefaultQueryRateConfig()
+	if scale == Small {
+		cfg.EventsPerWindow = 60000
+	}
+	buckets, err := simulation.RunPopularity(lab.World, cfg,
+		&simulation.FixedUpstream{TTL: cfg.TTL, Scope: 24})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "fig24",
+		Caption: "Query-rate factor increase vs (domain, LDNS) popularity (queries/TTL)",
+		Columns: []string{"popularity", "factor", "pairs", "pct-of-pre-queries"},
+	}
+	for _, b := range buckets {
+		rep.Rows = append(rep.Rows, row(
+			fmt.Sprintf("%.1f-%.1f", b.PopularityLo, b.PopularityHi),
+			b.FactorIncrease, b.Pairs, 100*b.PreQueryShare))
+	}
+	return buckets, rep, nil
+}
+
+// RolloutFigures bundles Figs 12-20: the roll-out simulation's timelines
+// and before/after distributions for all four §4.1 metrics.
+type RolloutFigures struct {
+	Result *simulation.RolloutResult
+}
+
+// RunRolloutFigures runs the roll-out simulation once; the individual
+// figure accessors below slice it.
+func RunRolloutFigures(lab *Lab, scale Scale) (*RolloutFigures, error) {
+	cfg := simulation.DefaultRolloutConfig()
+	if scale == Small {
+		cfg.Start = time.Date(2014, 2, 20, 0, 0, 0, 0, time.UTC)
+		cfg.End = time.Date(2014, 5, 20, 0, 0, 0, 0, time.UTC)
+		cfg.DailyMeasurements = 120
+	}
+	res, err := simulation.RunRollout(lab.World, lab.Platform, lab.Net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RolloutFigures{Result: res}, nil
+}
+
+// metricReport builds the paired timeline (odd figures 13,15,17,19) and
+// before/after CDF summary (even figures 14,16,18,20) for one metric.
+func (rf *RolloutFigures) metricReport(id, name, unit string, g *simulation.GroupSeries) *Report {
+	rep := &Report{
+		ID:      id,
+		Caption: fmt.Sprintf("%s (%s): daily means and before/after percentiles", name, unit),
+		Columns: []string{"series", "mean", "p25", "p50", "p75", "p95"},
+	}
+	for _, grp := range []struct {
+		label string
+		high  bool
+	}{{"high", true}, {"low", false}} {
+		before, after := simulation.BeforeAfter(g, grp.high, rf.Result)
+		for _, phase := range []struct {
+			label string
+			d     *stats.Dataset
+		}{{"before", before}, {"after", after}} {
+			rep.Rows = append(rep.Rows, row(
+				fmt.Sprintf("%s-exp %s", grp.label, phase.label),
+				phase.d.Mean(), phase.d.Percentile(25), phase.d.Percentile(50),
+				phase.d.Percentile(75), phase.d.Percentile(95)))
+		}
+	}
+	return rep
+}
+
+// Fig13MappingDistance returns the Fig 13/14 report (mapping distance).
+func (rf *RolloutFigures) Fig13MappingDistance() *Report {
+	return rf.metricReport("fig13-14", "Mapping distance", "miles", &rf.Result.MappingDistance)
+}
+
+// Fig15RTT returns the Fig 15/16 report (round-trip time).
+func (rf *RolloutFigures) Fig15RTT() *Report {
+	return rf.metricReport("fig15-16", "RTT", "ms", &rf.Result.RTT)
+}
+
+// Fig17TTFB returns the Fig 17/18 report (time to first byte).
+func (rf *RolloutFigures) Fig17TTFB() *Report {
+	return rf.metricReport("fig17-18", "TTFB", "ms", &rf.Result.TTFB)
+}
+
+// Fig19Download returns the Fig 19/20 report (content download time).
+func (rf *RolloutFigures) Fig19Download() *Report {
+	return rf.metricReport("fig19-20", "Content download time", "ms", &rf.Result.Download)
+}
+
+// Fig12RUMVolume returns the Fig 12 report: RUM measurements per month by
+// expectation group.
+func (rf *RolloutFigures) Fig12RUMVolume() *Report {
+	rep := &Report{
+		ID:      "fig12",
+		Caption: "RUM measurements per month (weighted volume, high/low expectation)",
+		Columns: []string{"month", "high", "low"},
+	}
+	high := rf.Result.RTT.High.MonthlyMeans()
+	low := rf.Result.RTT.Low.MonthlyMeans()
+	lowByMonth := map[string]float64{}
+	for _, p := range low {
+		lowByMonth[p.Start.Format("2006-01")] = p.Weight
+	}
+	for _, p := range high {
+		m := p.Start.Format("2006-01")
+		rep.Rows = append(rep.Rows, row(m, p.Weight, lowByMonth[m]))
+	}
+	return rep
+}

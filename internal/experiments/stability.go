@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"eum/internal/mapping"
+	"eum/internal/stats"
+)
+
+// StabilityRow summarises the network-path properties of one policy's
+// assignments across the public-resolver client population.
+type StabilityRow struct {
+	Policy mapping.Policy
+	// MeanASCrossings is the demand-weighted mean number of AS
+	// boundaries between client and assigned server.
+	MeanASCrossings float64
+	// MeanLossPct is the demand-weighted mean path loss rate (%).
+	MeanLossPct float64
+	// MeanRTTMs is the demand-weighted mean client-server RTT.
+	MeanRTTMs float64
+}
+
+// PathStability quantifies the paper's §4.4 observation: "the decrease in
+// mapping distance and RTT due to end-user mapping often means that the
+// client-server path crosses fewer AS boundaries, peering points and
+// transnational cable links, hence reducing the likelihood of congestion
+// and failure." It assigns every public-resolver client under NS and EU
+// mapping and compares the assigned paths' AS crossings and loss.
+func PathStability(lab *Lab) ([]StabilityRow, *Report) {
+	scorer := mapping.NewScorer(lab.World, lab.Platform, lab.Net, 1000)
+	var out []StabilityRow
+	rep := &Report{
+		ID:      "sec4.4",
+		Caption: "Path stability: AS crossings and loss under NS vs EU mapping",
+		Columns: []string{"policy", "mean-as-crossings", "mean-loss-pct", "mean-rtt-ms"},
+	}
+	for _, pol := range []mapping.Policy{mapping.NSBased, mapping.EndUser} {
+		var crossings, loss, rtt stats.Dataset
+		for _, b := range lab.World.Blocks {
+			if !b.LDNS.IsPublic() {
+				continue
+			}
+			var target = b.Endpoint()
+			if pol == mapping.NSBased {
+				target = b.LDNS.Endpoint()
+			}
+			dep, _ := scorer.Best(target)
+			if dep == nil {
+				continue
+			}
+			client := b.Endpoint()
+			crossings.Add(float64(lab.Net.ASCrossings(client, dep.Endpoint())), b.Demand)
+			loss.Add(100*lab.Net.Loss(client, dep.Endpoint()), b.Demand)
+			rtt.Add(lab.Net.BaseRTTMs(client, dep.Endpoint()), b.Demand)
+		}
+		r := StabilityRow{
+			Policy:          pol,
+			MeanASCrossings: crossings.Mean(),
+			MeanLossPct:     loss.Mean(),
+			MeanRTTMs:       rtt.Mean(),
+		}
+		out = append(out, r)
+		rep.Rows = append(rep.Rows, row(pol.String(), r.MeanASCrossings, r.MeanLossPct, r.MeanRTTMs))
+	}
+	return out, rep
+}

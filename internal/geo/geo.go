@@ -1,0 +1,163 @@
+// Package geo provides geographic primitives used throughout the mapping
+// system: points on the globe, great-circle distances, centroids, and
+// weighted cluster radii.
+//
+// The paper measures all client-LDNS and client-server proximity as the
+// great circle distance in miles between geolocated endpoints, and defines a
+// client cluster's radius as the demand-weighted mean distance of its
+// members to the demand-weighted centroid. This package implements exactly
+// those definitions.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMiles is the mean Earth radius in miles, the constant used to
+// convert central angles to great-circle distances.
+const EarthRadiusMiles = 3958.8
+
+// Point is a location on the Earth's surface in decimal degrees.
+// The zero value is the (0°N, 0°E) "null island" point, which is a valid
+// location; use IsValid to detect out-of-range coordinates.
+type Point struct {
+	Lat float64 // latitude in degrees, north positive, in [-90, 90]
+	Lon float64 // longitude in degrees, east positive, in [-180, 180]
+}
+
+// IsValid reports whether p has in-range latitude and longitude.
+func (p Point) IsValid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String renders the point as "lat,lon" with 4 decimal places
+// (roughly 10 m of precision, far finer than city granularity).
+func (p Point) String() string {
+	return fmt.Sprintf("%.4f,%.4f", p.Lat, p.Lon)
+}
+
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Distance returns the great-circle distance in miles between p and q,
+// computed with the haversine formula, which is numerically stable for
+// nearby points (unlike the spherical law of cosines).
+func Distance(p, q Point) float64 {
+	lat1, lat2 := radians(p.Lat), radians(q.Lat)
+	dLat := lat2 - lat1
+	dLon := radians(q.Lon - p.Lon)
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	a := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	// Clamp to [0,1] to guard against floating-point drift for antipodes.
+	if a > 1 {
+		a = 1
+	}
+	return 2 * EarthRadiusMiles * math.Asin(math.Sqrt(a))
+}
+
+// Weighted pairs a point with a nonnegative weight, typically the client
+// demand originating at that point.
+type Weighted struct {
+	Point  Point
+	Weight float64
+}
+
+// Centroid returns the demand-weighted centroid of the given points.
+// Points are converted to 3-D unit vectors, averaged, and projected back to
+// the sphere, so clusters that straddle the antimeridian are handled
+// correctly. The second return value is false when the total weight is zero
+// (including an empty input) or when the weighted vectors cancel exactly.
+func Centroid(points []Weighted) (Point, bool) {
+	var x, y, z, total float64
+	for _, wp := range points {
+		if wp.Weight <= 0 {
+			continue
+		}
+		lat, lon := radians(wp.Point.Lat), radians(wp.Point.Lon)
+		cl := math.Cos(lat)
+		x += wp.Weight * cl * math.Cos(lon)
+		y += wp.Weight * cl * math.Sin(lon)
+		z += wp.Weight * math.Sin(lat)
+		total += wp.Weight
+	}
+	if total == 0 {
+		return Point{}, false
+	}
+	x, y, z = x/total, y/total, z/total
+	norm := math.Sqrt(x*x + y*y + z*z)
+	if norm < 1e-12 {
+		// Perfectly antipodal mass distribution: centroid undefined.
+		return Point{}, false
+	}
+	return Point{
+		Lat: math.Atan2(z, math.Hypot(x, y)) * 180 / math.Pi,
+		Lon: math.Atan2(y, x) * 180 / math.Pi,
+	}, true
+}
+
+// Radius returns the demand-weighted mean distance in miles from each point
+// to the cluster centroid — the paper's definition of a client cluster's
+// radius. It returns 0 for empty or zero-weight inputs.
+func Radius(points []Weighted) float64 {
+	c, ok := Centroid(points)
+	if !ok {
+		return 0
+	}
+	return MeanDistanceTo(points, c)
+}
+
+// MeanDistanceTo returns the demand-weighted mean great-circle distance in
+// miles from the points to ref. It returns 0 when the total weight is zero.
+func MeanDistanceTo(points []Weighted, ref Point) float64 {
+	var sum, total float64
+	for _, wp := range points {
+		if wp.Weight <= 0 {
+			continue
+		}
+		sum += wp.Weight * Distance(wp.Point, ref)
+		total += wp.Weight
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}
+
+// Midpoint returns the point halfway along the great circle from p to q.
+func Midpoint(p, q Point) Point {
+	c, ok := Centroid([]Weighted{{p, 1}, {q, 1}})
+	if !ok {
+		return p
+	}
+	return c
+}
+
+// Offset returns the point reached by travelling dist miles from p on the
+// initial bearing (degrees clockwise from north). It is used by the world
+// generator to scatter clients around city centres.
+func Offset(p Point, bearingDeg, dist float64) Point {
+	ang := dist / EarthRadiusMiles
+	brg := radians(bearingDeg)
+	lat1, lon1 := radians(p.Lat), radians(p.Lon)
+	sinLat2 := math.Sin(lat1)*math.Cos(ang) + math.Cos(lat1)*math.Sin(ang)*math.Cos(brg)
+	lat2 := math.Asin(clamp(sinLat2, -1, 1))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brg)*math.Sin(ang)*math.Cos(lat1),
+		math.Cos(ang)-math.Sin(lat1)*sinLat2,
+	)
+	// Normalise longitude to [-180, 180).
+	lonDeg := math.Mod(lon2*180/math.Pi+540, 360) - 180
+	return Point{Lat: lat2 * 180 / math.Pi, Lon: lonDeg}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,119 @@
+// Package geodb is the reproduction's Edgescape: a geolocation database
+// mapping IP prefixes to geographic location, autonomous system and
+// country (§2.2: "geographic information ... is deduced for IPs around the
+// world using various data sources and geolocation methods").
+//
+// Real geolocation is imperfect, so the builder can inject deterministic
+// error — a fraction of prefixes mislocated by a configurable distance and
+// a fraction unknown — letting experiments measure how robust the paper's
+// distance analyses are to geolocation inaccuracy.
+package geodb
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"eum/internal/geo"
+	"eum/internal/world"
+)
+
+// Entry is one database record.
+type Entry struct {
+	Loc     geo.Point
+	ASN     uint32
+	Country string
+}
+
+// Options tunes database construction.
+type Options struct {
+	// Seed drives deterministic error injection.
+	Seed int64
+	// MislocateFraction of prefixes are displaced by ErrorMiles in a
+	// random direction.
+	MislocateFraction float64
+	// ErrorMiles is the displacement magnitude for mislocated prefixes.
+	ErrorMiles float64
+	// UnknownFraction of prefixes are omitted from the database.
+	UnknownFraction float64
+}
+
+// DB answers prefix-to-location queries.
+type DB struct {
+	entries map[netip.Prefix]Entry
+	// mislocated counts injected errors, for reporting.
+	mislocated int
+	omitted    int
+}
+
+// Build constructs a database from the world: one record per client block
+// (at its /24 or /48 prefix) and one per LDNS address (/32 or /128).
+func Build(w *world.World, opts Options) *DB {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	db := &DB{entries: make(map[netip.Prefix]Entry, len(w.Blocks)+len(w.LDNSes))}
+
+	add := func(p netip.Prefix, e Entry) {
+		if opts.UnknownFraction > 0 && rng.Float64() < opts.UnknownFraction {
+			db.omitted++
+			return
+		}
+		if opts.MislocateFraction > 0 && rng.Float64() < opts.MislocateFraction {
+			e.Loc = geo.Offset(e.Loc, rng.Float64()*360, opts.ErrorMiles)
+			db.mislocated++
+		}
+		db.entries[p] = e
+	}
+	for _, b := range w.Blocks {
+		add(b.Prefix, Entry{Loc: b.Loc, ASN: b.AS.ASN, Country: b.Country.Code()})
+	}
+	for _, l := range w.LDNSes {
+		bits := 32
+		if l.Addr.Is6() {
+			bits = 128
+		}
+		p, err := l.Addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		add(p, Entry{Loc: l.Loc, ASN: l.ASN})
+	}
+	return db
+}
+
+// Locate returns the entry for the longest matching prefix covering addr.
+func (db *DB) Locate(addr netip.Addr) (Entry, bool) {
+	addr = addr.Unmap()
+	maxBits := 32
+	if addr.Is6() {
+		maxBits = 128
+	}
+	for bits := maxBits; bits >= 8; bits-- {
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return Entry{}, false
+		}
+		if e, ok := db.entries[p]; ok {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Size returns the number of stored records.
+func (db *DB) Size() int { return len(db.entries) }
+
+// Mislocated returns the number of error-injected records.
+func (db *DB) Mislocated() int { return db.mislocated }
+
+// Omitted returns the number of records dropped as unknown.
+func (db *DB) Omitted() int { return db.omitted }
+
+// Distance geolocates both addresses and returns their great-circle
+// distance in miles; ok is false when either address is unknown.
+func (db *DB) Distance(a, b netip.Addr) (miles float64, ok bool) {
+	ea, ok1 := db.Locate(a)
+	eb, ok2 := db.Locate(b)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return geo.Distance(ea.Loc, eb.Loc), true
+}

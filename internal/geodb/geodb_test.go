@@ -1,0 +1,146 @@
+package geodb
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"eum/internal/geo"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+var testW = world.MustGenerate(world.Config{Seed: 95, NumBlocks: 1500, IPv6Fraction: 0.2})
+
+func TestBuildPerfect(t *testing.T) {
+	db := Build(testW, Options{Seed: 1})
+	if db.Mislocated() != 0 || db.Omitted() != 0 {
+		t.Fatalf("error-free build injected errors: %d/%d", db.Mislocated(), db.Omitted())
+	}
+	if db.Size() == 0 {
+		t.Fatal("empty database")
+	}
+	// Every block geolocates exactly.
+	for _, b := range testW.Blocks[:200] {
+		e, ok := db.Locate(b.Prefix.Addr().Next())
+		if !ok {
+			t.Fatalf("block %v unknown", b.Prefix)
+		}
+		if e.Loc != b.Loc || e.ASN != b.AS.ASN || e.Country != b.Country.Code() {
+			t.Fatalf("block %v entry mismatch: %+v", b.Prefix, e)
+		}
+	}
+	// LDNS addresses geolocate too.
+	for _, l := range testW.LDNSes[:20] {
+		e, ok := db.Locate(l.Addr)
+		if !ok || e.Loc != l.Loc {
+			t.Fatalf("LDNS %v entry = %+v, %v", l.Addr, e, ok)
+		}
+	}
+}
+
+func TestLocateUnknown(t *testing.T) {
+	db := Build(testW, Options{Seed: 1})
+	if _, ok := db.Locate(netip.MustParseAddr("203.0.113.7")); ok {
+		t.Error("unknown address located")
+	}
+}
+
+func TestErrorInjectionRates(t *testing.T) {
+	db := Build(testW, Options{Seed: 2, MislocateFraction: 0.2, ErrorMiles: 500, UnknownFraction: 0.1})
+	total := len(testW.Blocks) + len(testW.LDNSes)
+	misRate := float64(db.Mislocated()) / float64(total)
+	omitRate := float64(db.Omitted()) / float64(total)
+	if misRate < 0.14 || misRate > 0.26 {
+		t.Errorf("mislocate rate = %.3f, want ~0.2", misRate)
+	}
+	if omitRate < 0.06 || omitRate > 0.14 {
+		t.Errorf("omit rate = %.3f, want ~0.1", omitRate)
+	}
+}
+
+func TestErrorDisplacementMagnitude(t *testing.T) {
+	db := Build(testW, Options{Seed: 3, MislocateFraction: 1, ErrorMiles: 500})
+	for _, b := range testW.Blocks[:100] {
+		e, ok := db.Locate(b.Prefix.Addr())
+		if !ok {
+			t.Fatal("block missing")
+		}
+		d := geo.Distance(e.Loc, b.Loc)
+		if math.Abs(d-500) > 2 {
+			t.Fatalf("displacement = %.1f, want 500", d)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	db1 := Build(testW, Options{Seed: 4, MislocateFraction: 0.3, ErrorMiles: 200})
+	db2 := Build(testW, Options{Seed: 4, MislocateFraction: 0.3, ErrorMiles: 200})
+	for _, b := range testW.Blocks[:100] {
+		e1, _ := db1.Locate(b.Prefix.Addr())
+		e2, _ := db2.Locate(b.Prefix.Addr())
+		if e1.Loc != e2.Loc {
+			t.Fatal("same seed produced different errors")
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	db := Build(testW, Options{Seed: 5})
+	b := testW.Blocks[0]
+	d, ok := db.Distance(b.Prefix.Addr(), b.LDNS.Addr)
+	if !ok {
+		t.Fatal("distance unknown")
+	}
+	if math.Abs(d-b.ClientLDNSDistance()) > 0.01 {
+		t.Errorf("distance = %.1f, truth %.1f", d, b.ClientLDNSDistance())
+	}
+	if _, ok := db.Distance(b.Prefix.Addr(), netip.MustParseAddr("203.0.113.1")); ok {
+		t.Error("distance with unknown endpoint succeeded")
+	}
+}
+
+// TestAnalysisRobustToGeoError reruns the §3 distance analysis through
+// error-injected databases: the demand-weighted median distance should
+// degrade gracefully, not collapse, under realistic geolocation error.
+func TestAnalysisRobustToGeoError(t *testing.T) {
+	medians := map[float64]float64{}
+	for _, errFrac := range []float64{0, 0.1, 0.3} {
+		db := Build(testW, Options{Seed: 6, MislocateFraction: errFrac, ErrorMiles: 100})
+		var d stats.Dataset
+		for _, b := range testW.Blocks {
+			if dist, ok := db.Distance(b.Prefix.Addr(), b.LDNS.Addr); ok {
+				d.Add(dist, b.Demand)
+			}
+		}
+		medians[errFrac] = d.Median()
+	}
+	truth := medians[0]
+	if truth <= 0 {
+		t.Fatal("degenerate truth median")
+	}
+	// 10% of prefixes off by 100 miles moves the median far less than
+	// the error magnitude itself.
+	if math.Abs(medians[0.1]-truth) > 60 {
+		t.Errorf("median moved %.1f mi under 10%% error", math.Abs(medians[0.1]-truth))
+	}
+	// Even 30% error keeps the analysis in the right regime.
+	if medians[0.3] > truth+120 || medians[0.3] < truth/3 {
+		t.Errorf("median %.1f under 30%% error, truth %.1f", medians[0.3], truth)
+	}
+}
+
+func TestIPv6Locate(t *testing.T) {
+	db := Build(testW, Options{Seed: 7})
+	for _, b := range testW.Blocks {
+		if !b.Prefix.Addr().Is6() {
+			continue
+		}
+		host := b.Prefix.Addr().Next()
+		e, ok := db.Locate(host)
+		if !ok || e.Loc != b.Loc {
+			t.Fatalf("v6 block %v: %+v, %v", b.Prefix, e, ok)
+		}
+		break
+	}
+}

@@ -1,0 +1,190 @@
+package mapping
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"eum/internal/cdn"
+)
+
+// LoadBalancer performs the two hierarchical assignment steps of §2.2:
+// global load balancing picks a server cluster for each mapping unit
+// (best score first, spilling to the next-best cluster when a cluster is
+// at capacity or down), and local load balancing picks servers within the
+// cluster using consistent hashing on the content domain, so requests for
+// the same domain concentrate on few servers and cache hit rates stay high
+// (the "likely to contain the requested content" consideration).
+type LoadBalancer struct {
+	// ServersPerAnswer is how many server IPs each DNS answer carries;
+	// the paper returns "two or more" as a precaution against transient
+	// failures. Default 2.
+	ServersPerAnswer int
+	// VirtualNodes is the number of ring positions per server. Default 32.
+	VirtualNodes int
+	// LoadPenalty, when positive, makes the global choice load-aware
+	// before hard saturation: candidates are re-ranked among the best few
+	// by score x (1 + LoadPenalty x utilisation^2), shifting traffic off
+	// busy clusters early at a small latency cost. Zero keeps the pure
+	// best-score-first behaviour with hard capacity spill.
+	LoadPenalty float64
+
+	mu    sync.Mutex
+	rings map[uint64]*ring // deployment ID -> server ring
+}
+
+// NewLoadBalancer returns a load balancer with default settings.
+func NewLoadBalancer() *LoadBalancer {
+	return &LoadBalancer{ServersPerAnswer: 2, VirtualNodes: 32, rings: map[uint64]*ring{}}
+}
+
+// PickDeployment walks candidates (ordered best-first) and returns the
+// first live deployment that can absorb demand more load. Deployments at
+// or over capacity are skipped unless every candidate is saturated, in
+// which case the best live candidate is returned (serving degraded beats
+// not serving).
+func (lb *LoadBalancer) PickDeployment(candidates []Ranked, demand float64) (*cdn.Deployment, error) {
+	if lb.LoadPenalty > 0 {
+		if d := lb.pickLoadAware(candidates, demand); d != nil {
+			return d, nil
+		}
+	}
+	var firstLive *cdn.Deployment
+	for _, c := range candidates {
+		d := c.Deployment
+		if !d.Alive() {
+			continue
+		}
+		if firstLive == nil {
+			firstLive = d
+		}
+		if d.Load()+demand <= d.Capacity() {
+			return d, nil
+		}
+	}
+	if firstLive != nil {
+		return firstLive, nil
+	}
+	return nil, fmt.Errorf("mapping: no live deployment among %d candidates", len(candidates))
+}
+
+// loadAwareWindow is how many top candidates the load-aware picker
+// re-ranks; beyond it, scores are already too poor to be worth the trade.
+const loadAwareWindow = 8
+
+// pickLoadAware re-ranks the best few live, unsaturated candidates by
+// load-penalised score. Returns nil when none qualify (caller falls back
+// to the hard-spill path).
+func (lb *LoadBalancer) pickLoadAware(candidates []Ranked, demand float64) *cdn.Deployment {
+	var best *cdn.Deployment
+	bestEff := 0.0
+	seen := 0
+	for _, c := range candidates {
+		d := c.Deployment
+		if !d.Alive() {
+			continue
+		}
+		if seen++; seen > loadAwareWindow {
+			break
+		}
+		cap := d.Capacity()
+		if cap <= 0 || d.Load()+demand > cap {
+			continue
+		}
+		util := d.Load() / cap
+		eff := c.Score * (1 + lb.LoadPenalty*util*util)
+		if best == nil || eff < bestEff {
+			best, bestEff = d, eff
+		}
+	}
+	return best
+}
+
+// PickServers chooses up to ServersPerAnswer live servers in d for the
+// given content domain using consistent hashing, and records demand load
+// on the first (primary) server.
+func (lb *LoadBalancer) PickServers(d *cdn.Deployment, domain string, demand float64) ([]*cdn.Server, error) {
+	r := lb.ringFor(d)
+	servers := r.pick(hashString(domain), lb.ServersPerAnswer)
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("mapping: deployment %s has no live servers", d.Name)
+	}
+	if demand > 0 {
+		servers[0].AddLoad(demand)
+	}
+	return servers, nil
+}
+
+func (lb *LoadBalancer) ringFor(d *cdn.Deployment) *ring {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if r, ok := lb.rings[d.ID]; ok {
+		return r
+	}
+	r := newRing(d, lb.VirtualNodes)
+	lb.rings[d.ID] = r
+	return r
+}
+
+// InvalidateRing drops the cached ring for a deployment (e.g. after server
+// membership changes). Liveness changes alone do not require invalidation:
+// dead servers are skipped at pick time.
+func (lb *LoadBalancer) InvalidateRing(d *cdn.Deployment) {
+	lb.mu.Lock()
+	delete(lb.rings, d.ID)
+	lb.mu.Unlock()
+}
+
+// ring is a consistent-hash ring over a deployment's servers.
+type ring struct {
+	points  []uint64
+	servers []*cdn.Server // parallel to points
+}
+
+func newRing(d *cdn.Deployment, vnodes int) *ring {
+	r := &ring{}
+	for _, s := range d.Servers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, hashString(fmt.Sprintf("%d/%d", s.ID, v)))
+			r.servers = append(r.servers, s)
+		}
+	}
+	idx := make([]int, len(r.points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return r.points[idx[i]] < r.points[idx[j]] })
+	points := make([]uint64, len(idx))
+	servers := make([]*cdn.Server, len(idx))
+	for i, j := range idx {
+		points[i], servers[i] = r.points[j], r.servers[j]
+	}
+	r.points, r.servers = points, servers
+	return r
+}
+
+// pick returns up to n distinct live servers clockwise from key.
+func (r *ring) pick(key uint64, n int) []*cdn.Server {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= key })
+	var out []*cdn.Server
+	seen := map[uint64]bool{}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		s := r.servers[(start+i)%len(r.points)]
+		if seen[s.ID] || !s.Alive() {
+			continue
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,351 @@
+package mapping
+
+import (
+	"fmt"
+	"testing"
+
+	"eum/internal/cdn"
+	"eum/internal/netmodel"
+)
+
+// testDeployment builds a standalone deployment with n unit-capacity
+// servers for load-balancer unit tests.
+func testDeployment(id uint64, n int) *cdn.Deployment {
+	p := cdn.MustGenerateUniverse(testW, cdn.Config{Seed: int64(id), NumDeployments: 1, ServersPerDeployment: n})
+	d := p.Deployments[0]
+	// Trim/pad to exactly n live servers for predictable tests.
+	for len(d.Servers) > n {
+		d.Servers = d.Servers[:len(d.Servers)-1]
+	}
+	return d
+}
+
+func TestPickDeploymentSkipsDead(t *testing.T) {
+	lb := NewLoadBalancer()
+	d1 := testDeployment(1, 4)
+	d2 := testDeployment(2, 4)
+	for _, s := range d1.Servers {
+		s.SetAlive(false)
+	}
+	got, err := lb.PickDeployment([]Ranked{{Deployment: d1}, {Deployment: d2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d2 {
+		t.Error("dead deployment chosen")
+	}
+}
+
+func TestPickDeploymentSpillsOnCapacity(t *testing.T) {
+	lb := NewLoadBalancer()
+	d1 := testDeployment(3, 2)
+	d2 := testDeployment(4, 2)
+	for _, s := range d1.Servers {
+		s.AddLoad(s.Capacity())
+	}
+	got, err := lb.PickDeployment([]Ranked{{Deployment: d1}, {Deployment: d2}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d2 {
+		t.Error("saturated deployment chosen over available one")
+	}
+}
+
+func TestPickDeploymentDegradedWhenAllSaturated(t *testing.T) {
+	lb := NewLoadBalancer()
+	d1 := testDeployment(5, 2)
+	d2 := testDeployment(6, 2)
+	for _, d := range []*cdn.Deployment{d1, d2} {
+		for _, s := range d.Servers {
+			s.AddLoad(s.Capacity() * 3)
+		}
+	}
+	got, err := lb.PickDeployment([]Ranked{{Deployment: d1}, {Deployment: d2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d1 {
+		t.Error("degraded mode should return the best live candidate")
+	}
+}
+
+func TestPickDeploymentAllDead(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(7, 2)
+	for _, s := range d.Servers {
+		s.SetAlive(false)
+	}
+	if _, err := lb.PickDeployment([]Ranked{{Deployment: d}}, 0); err == nil {
+		t.Error("no-live-deployment case did not error")
+	}
+	if _, err := lb.PickDeployment(nil, 0); err == nil {
+		t.Error("empty candidates did not error")
+	}
+}
+
+func TestPickServersConsistency(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(8, 8)
+	a, err := lb.PickServers(d, "domain-a.net", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lb.PickServers(d, "domain-a.net", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("want 2 servers, got %d/%d", len(a), len(b))
+	}
+	if a[0].ID != b[0].ID || a[1].ID != b[1].ID {
+		t.Error("consistent hash returned different servers for same key")
+	}
+	if a[0].ID == a[1].ID {
+		t.Error("returned duplicate servers")
+	}
+}
+
+func TestPickServersSkipsDead(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(9, 6)
+	a, _ := lb.PickServers(d, "victim.net", 0)
+	a[0].SetAlive(false)
+	b, err := lb.PickServers(d, "victim.net", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range b {
+		if !s.Alive() {
+			t.Error("dead server returned")
+		}
+		if s.ID == a[0].ID {
+			t.Error("dead server still in answer")
+		}
+	}
+}
+
+func TestPickServersSingleServer(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(10, 1)
+	got, err := lb.PickServers(d, "only.net", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("single-server deployment returned %d servers", len(got))
+	}
+}
+
+func TestPickServersNoLiveServers(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(11, 2)
+	for _, s := range d.Servers {
+		s.SetAlive(false)
+	}
+	if _, err := lb.PickServers(d, "dead.net", 0); err == nil {
+		t.Error("all-dead deployment did not error")
+	}
+}
+
+func TestConsistentHashingStability(t *testing.T) {
+	// Killing one server should re-map only the domains it served:
+	// most domains keep their primary server.
+	lb := NewLoadBalancer()
+	d := testDeployment(12, 10)
+	before := map[string]uint64{}
+	for i := 0; i < 200; i++ {
+		dom := fmt.Sprintf("site-%d.example.net", i)
+		s, err := lb.PickServers(d, dom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[dom] = s[0].ID
+	}
+	victim := d.Servers[0]
+	victim.SetAlive(false)
+	moved := 0
+	for dom, prev := range before {
+		s, err := lb.PickServers(d, dom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s[0].ID != prev {
+			moved++
+			if prev != victim.ID {
+				t.Errorf("domain %s moved off a live server", dom)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("killing a server moved no domains (suspicious)")
+	}
+	if moved > 60 {
+		t.Errorf("killing 1 of 10 servers moved %d/200 domains", moved)
+	}
+}
+
+func TestConsistentHashingBalance(t *testing.T) {
+	// With many domains, load should spread across servers reasonably.
+	lb := NewLoadBalancer()
+	d := testDeployment(13, 8)
+	counts := map[uint64]int{}
+	n := 4000
+	for i := 0; i < n; i++ {
+		s, err := lb.PickServers(d, fmt.Sprintf("d%d.net", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s[0].ID]++
+	}
+	if len(counts) != len(d.Servers) {
+		t.Fatalf("only %d of %d servers used", len(counts), len(d.Servers))
+	}
+	mean := float64(n) / float64(len(d.Servers))
+	for id, c := range counts {
+		if float64(c) > mean*3 || float64(c) < mean/4 {
+			t.Errorf("server %d holds %d domains (mean %.0f): imbalanced", id, c, mean)
+		}
+	}
+}
+
+func TestInvalidateRing(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(14, 4)
+	if _, err := lb.PickServers(d, "a.net", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Add a server out-of-band; ring must be rebuilt after invalidation.
+	extra := testDeployment(15, 1).Servers[0]
+	d.Servers = append(d.Servers, extra)
+	lb.InvalidateRing(d)
+	found := false
+	for i := 0; i < 500 && !found; i++ {
+		s, err := lb.PickServers(d, fmt.Sprintf("n%d.net", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, srv := range s {
+			if srv.ID == extra.ID {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("new server never selected after ring invalidation")
+	}
+}
+
+func TestScorerBestMatchesRankHead(t *testing.T) {
+	sc := NewScorer(testW, testP, testNet, 500)
+	ep := testW.Blocks[10].Endpoint()
+	rank := sc.Rank(ep)
+	best, score := sc.Best(ep)
+	if best == nil {
+		t.Fatal("no best deployment")
+	}
+	if rank[0].Deployment != best || rank[0].Score != score {
+		t.Errorf("Rank head %v/%.2f != Best %v/%.2f",
+			rank[0].Deployment.Name, rank[0].Score, best.Name, score)
+	}
+	for i := 1; i < len(rank); i++ {
+		if rank[i].Score < rank[i-1].Score {
+			t.Fatal("Rank not sorted")
+		}
+	}
+}
+
+func TestScorerClusteringConsistent(t *testing.T) {
+	// With clustering, two very close endpoints share a ping target and
+	// hence the exact same ranking slice.
+	sc := NewScorer(testW, testP, testNet, 200)
+	b := testW.Blocks[3]
+	ep1 := b.Endpoint()
+	ep2 := ep1
+	ep2.ID = 999999999
+	ep2.Loc.Lat += 0.001
+	r1 := sc.Rank(ep1)
+	r2 := sc.Rank(ep2)
+	if &r1[0] != &r2[0] {
+		t.Error("nearby endpoints did not share a cached ranking")
+	}
+}
+
+func TestScorerNoClustering(t *testing.T) {
+	sc := NewScorer(testW, testP, testNet, 0)
+	ep := testW.Blocks[1].Endpoint()
+	best, _ := sc.Best(ep)
+	if best == nil {
+		t.Fatal("no best without clustering")
+	}
+}
+
+func TestScorerBestWeighted(t *testing.T) {
+	sc := NewScorer(testW, testP, testNet, 0)
+	// Weighted best of two far-apart endpoints with all weight on one of
+	// them must equal the best of that one.
+	e1 := testW.Blocks[0].Endpoint()
+	e2 := testW.Blocks[len(testW.Blocks)-1].Endpoint()
+	d, _ := sc.BestWeighted([]netmodel.Endpoint{e1, e2}, []float64{1, 0})
+	want, _ := sc.Best(e1)
+	if d != want {
+		t.Errorf("degenerate weighted best = %v, want %v", d.Name, want.Name)
+	}
+	if got, _ := sc.BestWeighted(nil, nil); got != nil {
+		t.Error("empty BestWeighted should return nil")
+	}
+}
+
+func TestLoadAwareSheddingBeforeSaturation(t *testing.T) {
+	lb := NewLoadBalancer()
+	lb.LoadPenalty = 10
+	d1 := testDeployment(20, 4) // best score
+	d2 := testDeployment(21, 4) // slightly worse score
+	candidates := []Ranked{{Deployment: d1, Score: 10}, {Deployment: d2, Score: 11}}
+
+	// Empty: best-scoring wins.
+	got, err := lb.PickDeployment(candidates, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d1 {
+		t.Fatal("unloaded pick should follow score")
+	}
+	// Load d1 to 90%: the penalty (10 * 0.81) makes d2 attractive before
+	// d1 saturates.
+	for _, s := range d1.Servers {
+		s.AddLoad(0.9 * s.Capacity())
+	}
+	got, err = lb.PickDeployment(candidates, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d2 {
+		t.Errorf("load-aware pick stayed on the 90%%-loaded deployment")
+	}
+	// Without the penalty, the hard-spill path sticks with d1.
+	plain := NewLoadBalancer()
+	got, err = plain.PickDeployment(candidates, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d1 {
+		t.Error("hard-spill pick moved before saturation")
+	}
+}
+
+func TestLoadAwareFallsBackWhenAllSaturated(t *testing.T) {
+	lb := NewLoadBalancer()
+	lb.LoadPenalty = 5
+	d1 := testDeployment(22, 2)
+	for _, s := range d1.Servers {
+		s.AddLoad(s.Capacity() * 2)
+	}
+	got, err := lb.PickDeployment([]Ranked{{Deployment: d1, Score: 3}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d1 {
+		t.Error("saturated fallback should still serve from the best live candidate")
+	}
+}

@@ -1,0 +1,223 @@
+package mapping
+
+import (
+	"sort"
+	"sync"
+
+	"eum/internal/cdn"
+	"eum/internal/geo"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+// Prober measures path quality between two endpoints. The network model
+// itself satisfies it (direct probing), as does a measurement database
+// (measure.DB) that serves stored sweep observations — the production
+// information flow, where scoring reads measurements rather than the
+// network.
+type Prober interface {
+	PingMs(a, b netmodel.Endpoint) float64
+}
+
+// Scorer evaluates which deployments serve a given network location best.
+// It reproduces the measurement methodology of §6: rather than measuring
+// every client block directly, blocks are clustered to a bounded set of
+// "ping targets" (8K in the paper, covering the top-traffic /24 blocks),
+// ping latency is measured from every candidate deployment to every target,
+// and a client inherits the measurements of its nearest target.
+//
+// Scores are ping milliseconds: lower is better. Rankings are computed
+// lazily per target and cached; the Scorer is safe for concurrent use.
+type Scorer struct {
+	platform *cdn.Platform
+	net      Prober
+	targets  []netmodel.Endpoint
+
+	mu         sync.Mutex
+	rankCache  map[int][]Ranked // target index -> deployments by score
+	bestCache  map[int]Ranked   // target index -> best live deployment
+	targetByID map[uint64]int   // endpoint ID -> target index
+}
+
+// Ranked is a deployment with its score for some target.
+type Ranked struct {
+	Deployment *cdn.Deployment
+	Score      float64
+}
+
+// NewScorer builds a scorer over the platform using the network model.
+// numTargets bounds the ping-target set; targets are chosen as the
+// highest-demand client blocks of the world, mirroring the paper's "20K /24
+// blocks that account for most of the load, clustered into 8K ping targets".
+// numTargets <= 0 disables clustering: every queried endpoint is scored
+// directly (exact, but slower and unbounded).
+func NewScorer(w *world.World, p *cdn.Platform, net Prober, numTargets int) *Scorer {
+	s := &Scorer{
+		platform:   p,
+		net:        net,
+		rankCache:  map[int][]Ranked{},
+		bestCache:  map[int]Ranked{},
+		targetByID: map[uint64]int{},
+	}
+	if numTargets > 0 {
+		blocks := append([]*world.ClientBlock{}, w.Blocks...)
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].Demand > blocks[j].Demand })
+		if numTargets > len(blocks) {
+			numTargets = len(blocks)
+		}
+		for _, b := range blocks[:numTargets] {
+			s.targets = append(s.targets, b.Endpoint())
+		}
+	}
+	return s
+}
+
+// Platform returns the scored platform.
+func (s *Scorer) Platform() *cdn.Platform { return s.platform }
+
+// targetFor returns the index of the ping target standing in for ep, or -1
+// when clustering is disabled.
+func (s *Scorer) targetFor(ep netmodel.Endpoint) int {
+	if len(s.targets) == 0 {
+		return -1
+	}
+	s.mu.Lock()
+	if idx, ok := s.targetByID[ep.ID]; ok {
+		s.mu.Unlock()
+		return idx
+	}
+	s.mu.Unlock()
+
+	best, bestD := 0, geo.Distance(ep.Loc, s.targets[0].Loc)
+	for i := 1; i < len(s.targets); i++ {
+		if d := geo.Distance(ep.Loc, s.targets[i].Loc); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	s.mu.Lock()
+	s.targetByID[ep.ID] = best
+	s.mu.Unlock()
+	return best
+}
+
+// proxyEndpoint returns the endpoint actually measured for ep: its ping
+// target when clustering is on, else ep itself.
+func (s *Scorer) proxyEndpoint(ep netmodel.Endpoint) (netmodel.Endpoint, int) {
+	idx := s.targetFor(ep)
+	if idx < 0 {
+		return ep, -1
+	}
+	return s.targets[idx], idx
+}
+
+// Rank returns all live deployments ordered by ascending ping score for ep.
+// The slice is shared; callers must not modify it.
+func (s *Scorer) Rank(ep netmodel.Endpoint) []Ranked {
+	proxy, idx := s.proxyEndpoint(ep)
+	if idx >= 0 {
+		s.mu.Lock()
+		if r, ok := s.rankCache[idx]; ok {
+			s.mu.Unlock()
+			return r
+		}
+		s.mu.Unlock()
+	}
+	r := make([]Ranked, 0, len(s.platform.Deployments))
+	for _, d := range s.platform.Deployments {
+		r = append(r, Ranked{Deployment: d, Score: s.net.PingMs(d.Endpoint(), proxy)})
+	}
+	sort.Slice(r, func(i, j int) bool { return r[i].Score < r[j].Score })
+	if idx >= 0 {
+		s.mu.Lock()
+		s.rankCache[idx] = r
+		s.mu.Unlock()
+	}
+	return r
+}
+
+// Best returns the live deployment with the lowest ping score for ep and
+// that score, skipping deployments with no live servers. It returns nil if
+// no deployment is alive. Results are cached per ping target; the cache
+// assumes liveness is stable during a scoring interval (call
+// InvalidateBest after failure injection).
+func (s *Scorer) Best(ep netmodel.Endpoint) (*cdn.Deployment, float64) {
+	proxy, idx := s.proxyEndpoint(ep)
+	if idx >= 0 {
+		s.mu.Lock()
+		if r, ok := s.bestCache[idx]; ok {
+			s.mu.Unlock()
+			return r.Deployment, r.Score
+		}
+		s.mu.Unlock()
+	}
+	var best *cdn.Deployment
+	bestScore := 0.0
+	for _, d := range s.platform.Deployments {
+		if !d.Alive() {
+			continue
+		}
+		sc := s.net.PingMs(d.Endpoint(), proxy)
+		if best == nil || sc < bestScore {
+			best, bestScore = d, sc
+		}
+	}
+	if idx >= 0 && best != nil {
+		s.mu.Lock()
+		s.bestCache[idx] = Ranked{Deployment: best, Score: bestScore}
+		s.mu.Unlock()
+	}
+	return best, bestScore
+}
+
+// InvalidateBest drops the cached best-deployment results, e.g. after
+// liveness changes.
+func (s *Scorer) InvalidateBest() {
+	s.mu.Lock()
+	s.bestCache = map[int]Ranked{}
+	s.mu.Unlock()
+}
+
+// BestWeighted returns the live deployment minimising the demand-weighted
+// mean ping to the given endpoints — the CANS objective: "map client to the
+// deployment that minimizes the traffic-weighted average of the latencies
+// from the deployment to its cluster of clients" (§6).
+func (s *Scorer) BestWeighted(eps []netmodel.Endpoint, weights []float64) (*cdn.Deployment, float64) {
+	if len(eps) == 0 {
+		return nil, 0
+	}
+	proxies := make([]netmodel.Endpoint, len(eps))
+	for i, ep := range eps {
+		proxies[i], _ = s.proxyEndpoint(ep)
+	}
+	var best *cdn.Deployment
+	bestScore := 0.0
+	for _, d := range s.platform.Deployments {
+		if !d.Alive() {
+			continue
+		}
+		de := d.Endpoint()
+		var sum, wsum float64
+		for i, p := range proxies {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			sum += w * s.net.PingMs(de, p)
+			wsum += w
+		}
+		if wsum == 0 {
+			continue
+		}
+		sc := sum / wsum
+		if best == nil || sc < bestScore {
+			best, bestScore = d, sc
+		}
+	}
+	return best, bestScore
+}
+
+// Score returns the ping score between a specific deployment and ep.
+func (s *Scorer) Score(d *cdn.Deployment, ep netmodel.Endpoint) float64 {
+	proxy, _ := s.proxyEndpoint(ep)
+	return s.net.PingMs(d.Endpoint(), proxy)
+}

@@ -1,0 +1,290 @@
+package mapping
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/geo"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+// Policy selects how the mapping system identifies the client it is
+// routing (§6's three schemes).
+type Policy int
+
+// The three request-routing policies the paper evaluates.
+const (
+	// NSBased routes by the LDNS: the deployment with the least latency
+	// to the resolver that sent the query (Equation 1).
+	NSBased Policy = iota
+	// EndUser routes by the client: the deployment with the least latency
+	// to the client's IP block from the EDNS0 client-subnet option
+	// (Equation 2) — the paper's contribution.
+	EndUser
+	// ClientAwareNS routes by the LDNS's measured client cluster: the
+	// deployment minimising traffic-weighted latency to the clients that
+	// share the LDNS. A hybrid needing no ECS but needing client-LDNS
+	// discovery.
+	ClientAwareNS
+)
+
+// String names the policy as in the paper.
+func (p Policy) String() string {
+	switch p {
+	case NSBased:
+		return "NS"
+	case EndUser:
+		return "EU"
+	case ClientAwareNS:
+		return "CANS"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterises a mapping System.
+type Config struct {
+	// Policy is the request-routing policy. Default NSBased (the
+	// traditional system; enable EndUser to roll out EU mapping).
+	Policy Policy
+	// Units is the mapping-unit policy for client prefixes; nil means
+	// /24 blocks.
+	Units UnitPolicy
+	// TTL is the DNS answer TTL. The paper's CDN uses short TTLs so load
+	// balancing reacts quickly; default 20s.
+	TTL time.Duration
+	// PingTargets bounds the scoring measurement set (§6 uses 8K);
+	// 0 disables clustering.
+	PingTargets int
+	// FallbackLoc locates resolvers the system has never measured (e.g.
+	// a lab resolver); default New York.
+	FallbackLoc geo.Point
+	// LoadPenalty enables load-aware global balancing (see
+	// LoadBalancer.LoadPenalty); zero keeps hard capacity spill only.
+	LoadPenalty float64
+}
+
+// System is the mapping system: it answers "which servers should this
+// client download from" for every DNS query the CDN's authoritative name
+// servers receive. It composes the scorer (measurement + topology), the
+// unit policy, and the two-level load balancer.
+type System struct {
+	cfg      Config
+	world    *world.World
+	platform *cdn.Platform
+	scorer   *Scorer
+	lb       *LoadBalancer
+
+	blockByLeaf map[netip.Prefix]*world.ClientBlock // /24 (v4) or /48 (v6) -> block
+	unitRep     map[netip.Prefix]*world.ClientBlock // mapping unit -> representative block
+	ldnsBy      map[netip.Addr]*world.LDNS
+}
+
+// NewSystem builds a mapping system over the given world and platform.
+// The prober is typically the network model itself, or a measure.DB fed by
+// periodic sweeps.
+func NewSystem(w *world.World, p *cdn.Platform, net Prober, cfg Config) *System {
+	if cfg.Units == nil {
+		cfg.Units = PrefixUnits{X: 24}
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 20 * time.Second
+	}
+	if (cfg.FallbackLoc == geo.Point{}) {
+		cfg.FallbackLoc = geo.Point{Lat: 40.71, Lon: -74.01}
+	}
+	s := &System{
+		cfg:         cfg,
+		world:       w,
+		platform:    p,
+		scorer:      NewScorer(w, p, net, cfg.PingTargets),
+		lb:          NewLoadBalancer(),
+		blockByLeaf: make(map[netip.Prefix]*world.ClientBlock, len(w.Blocks)),
+		unitRep:     map[netip.Prefix]*world.ClientBlock{},
+		ldnsBy:      make(map[netip.Addr]*world.LDNS, len(w.LDNSes)),
+	}
+	s.lb.LoadPenalty = cfg.LoadPenalty
+	for _, b := range w.Blocks {
+		s.blockByLeaf[b.Prefix] = b
+		u := cfg.Units.UnitFor(b.Prefix.Addr())
+		if rep, ok := s.unitRep[u]; !ok || b.Demand > rep.Demand {
+			s.unitRep[u] = b
+		}
+	}
+	for _, l := range w.LDNSes {
+		s.ldnsBy[l.Addr] = l
+	}
+	return s
+}
+
+// Policy returns the active routing policy.
+func (s *System) Policy() Policy { return s.cfg.Policy }
+
+// SetPolicy switches the routing policy — how the roll-out was performed:
+// the same system serving the same domains flips from NS to EU mapping.
+func (s *System) SetPolicy(p Policy) { s.cfg.Policy = p }
+
+// Scorer exposes the scoring layer (for simulations and tests).
+func (s *System) Scorer() *Scorer { return s.scorer }
+
+// LoadBalancer exposes the load-balancing layer.
+func (s *System) LoadBalancer() *LoadBalancer { return s.lb }
+
+// TTL returns the configured answer TTL.
+func (s *System) TTL() time.Duration { return s.cfg.TTL }
+
+// Request is one mapping decision request, as extracted from a DNS query
+// by an authoritative name server.
+type Request struct {
+	// Domain is the content domain being resolved.
+	Domain string
+	// LDNS is the resolver address the query came from.
+	LDNS netip.Addr
+	// ClientSubnet is the ECS prefix, if the query carried one.
+	ClientSubnet netip.Prefix
+	// Demand is the load this assignment will add (0 = don't track).
+	Demand float64
+}
+
+// Response is the mapping decision.
+type Response struct {
+	// Deployment is the chosen server cluster.
+	Deployment *cdn.Deployment
+	// Servers are the chosen servers' addresses (≥1, usually 2).
+	Servers []*cdn.Server
+	// ScopePrefix is the ECS scope the answer is valid for (0 when the
+	// decision did not use the client subnet).
+	ScopePrefix uint8
+	// TTL is the answer TTL.
+	TTL time.Duration
+	// UsedClientSubnet reports whether the client subnet (rather than
+	// the LDNS) determined the decision.
+	UsedClientSubnet bool
+}
+
+// Map answers a mapping request under the active policy.
+func (s *System) Map(req Request) (*Response, error) {
+	if req.Domain == "" {
+		return nil, fmt.Errorf("mapping: empty domain")
+	}
+	resp := &Response{TTL: s.cfg.TTL}
+
+	// Decide the endpoint(s) whose latency we optimise.
+	var candidates []Ranked
+	switch {
+	case s.cfg.Policy == EndUser && req.ClientSubnet.IsValid():
+		unit := s.cfg.Units.UnitFor(req.ClientSubnet.Addr())
+		ep, known := s.clientEndpoint(unit, req.ClientSubnet)
+		candidates = s.scorer.Rank(ep)
+		if known {
+			resp.UsedClientSubnet = true
+			// Answer scope: the mapping-unit granularity for this
+			// address family (CIDR units may be coarser), never more
+			// specific than what the query revealed (RFC 7871 §7.2.1
+			// privacy: y <= x).
+			scope := uint8(unit.Bits())
+			if int(scope) > req.ClientSubnet.Bits() {
+				scope = uint8(req.ClientSubnet.Bits())
+			}
+			resp.ScopePrefix = scope
+		}
+	case s.cfg.Policy == ClientAwareNS:
+		if l, ok := s.ldnsBy[req.LDNS]; ok && len(l.Blocks) > 0 {
+			eps := make([]netmodel.Endpoint, len(l.Blocks))
+			weights := make([]float64, len(l.Blocks))
+			for i, b := range l.Blocks {
+				eps[i] = b.Endpoint()
+				weights[i] = b.Demand
+			}
+			if d, _ := s.scorer.BestWeighted(eps, weights); d != nil {
+				candidates = []Ranked{{Deployment: d}}
+				// Fall back to NS ranking for capacity spill.
+				candidates = append(candidates, s.scorer.Rank(s.ldnsEndpoint(req.LDNS))...)
+			}
+		}
+		if candidates == nil {
+			candidates = s.scorer.Rank(s.ldnsEndpoint(req.LDNS))
+		}
+	default:
+		candidates = s.scorer.Rank(s.ldnsEndpoint(req.LDNS))
+	}
+
+	d, err := s.lb.PickDeployment(candidates, req.Demand)
+	if err != nil {
+		return nil, err
+	}
+	servers, err := s.lb.PickServers(d, req.Domain, req.Demand)
+	if err != nil {
+		return nil, err
+	}
+	resp.Deployment = d
+	resp.Servers = servers
+	return resp, nil
+}
+
+// clientEndpoint resolves a mapping unit to the network endpoint scored on
+// its behalf: the unit's highest-demand known block, the exact /24 when
+// known, or (for never-seen prefixes) a synthetic endpoint at the fallback
+// location. The bool reports whether the prefix was recognised.
+func (s *System) clientEndpoint(unit, query netip.Prefix) (netmodel.Endpoint, bool) {
+	if b, ok := s.unitRep[unit]; ok {
+		return b.Endpoint(), true
+	}
+	if leaf, err := query.Addr().Unmap().Prefix(leafBits(query.Addr())); err == nil {
+		if b, ok := s.blockByLeaf[leaf]; ok {
+			return b.Endpoint(), true
+		}
+	}
+	return netmodel.Endpoint{ID: hashString(query.String()), Loc: s.cfg.FallbackLoc,
+		Access: netmodel.AccessCable}, false
+}
+
+// ldnsEndpoint resolves a resolver address to its measured endpoint, or a
+// fallback endpoint for unknown resolvers.
+func (s *System) ldnsEndpoint(addr netip.Addr) netmodel.Endpoint {
+	if l, ok := s.ldnsBy[addr]; ok {
+		return l.Endpoint()
+	}
+	return netmodel.Endpoint{ID: hashAddr(addr), Loc: s.cfg.FallbackLoc,
+		Access: netmodel.AccessBackbone}
+}
+
+// LDNSEndpoint returns the network endpoint the system scores for queries
+// arriving from the given resolver address (a fallback endpoint for
+// unknown resolvers). Top-level name servers use it to pick the low-level
+// name-server cluster to delegate to.
+func (s *System) LDNSEndpoint(addr netip.Addr) netmodel.Endpoint {
+	return s.ldnsEndpoint(addr)
+}
+
+// LookupLDNS returns the world LDNS behind addr, if known.
+func (s *System) LookupLDNS(addr netip.Addr) (*world.LDNS, bool) {
+	l, ok := s.ldnsBy[addr]
+	return l, ok
+}
+
+// LookupBlock returns the world client block owning the leaf prefix
+// (IPv4 /24 or IPv6 /48) around addr.
+func (s *System) LookupBlock(addr netip.Addr) (*world.ClientBlock, bool) {
+	addr = addr.Unmap()
+	p, err := addr.Prefix(leafBits(addr))
+	if err != nil {
+		return nil, false
+	}
+	b, ok := s.blockByLeaf[p]
+	return b, ok
+}
+
+// leafBits is the finest-grain block size per family: /24 v4, /48 v6.
+func leafBits(addr netip.Addr) int {
+	if addr.Unmap().Is4() {
+		return 24
+	}
+	return 48
+}
+
+func hashAddr(a netip.Addr) uint64 {
+	return hashString(a.String())
+}

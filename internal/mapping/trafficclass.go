@@ -1,0 +1,81 @@
+package mapping
+
+import (
+	"fmt"
+
+	"eum/internal/cdn"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+// TrafficClass selects the scoring objective. §2.2: "Different scoring
+// functions that incorporate bandwidth, latency, packet loss etc can be
+// used for different traffic classes (web, video, applications)."
+type TrafficClass int
+
+// The three traffic classes the paper names.
+const (
+	// ClassWeb optimises latency: page loads are round-trip-bound.
+	ClassWeb TrafficClass = iota
+	// ClassVideo optimises sustained throughput: streams are
+	// bandwidth-bound, and a slightly farther cluster with a cleaner
+	// path beats a near one behind a lossy link.
+	ClassVideo
+	// ClassApplication optimises loss: interactive applications
+	// (IP-over-HTTP tunnels, trading, gaming) suffer most from drops
+	// and retransmission stalls.
+	ClassApplication
+)
+
+// String names the class.
+func (c TrafficClass) String() string {
+	switch c {
+	case ClassWeb:
+		return "web"
+	case ClassVideo:
+		return "video"
+	case ClassApplication:
+		return "application"
+	}
+	return fmt.Sprintf("TrafficClass(%d)", int(c))
+}
+
+// ClassProber scores paths for one traffic class over the full network
+// model, satisfying the scoring layer's Prober shape: the "ping" it
+// reports is a class-weighted path cost in millisecond-equivalent units,
+// so lower is better for every class.
+type ClassProber struct {
+	Net   *netmodel.Model
+	Class TrafficClass
+}
+
+// PingMs implements Prober with the class's objective.
+func (cp ClassProber) PingMs(a, b netmodel.Endpoint) float64 {
+	ping := cp.Net.PingMs(a, b)
+	switch cp.Class {
+	case ClassVideo:
+		// Throughput cost: ms-equivalent penalty inversely proportional
+		// to the achievable rate, so a 4 Mbit/s path costs 100 ms-eq
+		// more than an unconstrained one. Latency still matters for
+		// stream start-up, at reduced weight.
+		tp := cp.Net.ThroughputMbps(a, b, 0)
+		if tp <= 0 {
+			tp = 0.1
+		}
+		return 0.5*ping + 400/tp
+	case ClassApplication:
+		// Loss cost: every percent of loss is worth ~40 ms-eq of
+		// retransmission stalls on an interactive flow.
+		return ping * (1 + 40*cp.Net.Loss(a, b))
+	default:
+		return ping
+	}
+}
+
+// NewClassScorer builds a scorer whose ranking follows the traffic class's
+// objective. The mapping system can hold one scorer per class — the
+// paper's mapping runs web, video and application traffic over the same
+// platform with different scoring functions.
+func NewClassScorer(w *world.World, p *cdn.Platform, net *netmodel.Model, class TrafficClass, numTargets int) *Scorer {
+	return NewScorer(w, p, ClassProber{Net: net, Class: class}, numTargets)
+}

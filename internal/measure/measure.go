@@ -1,0 +1,170 @@
+// Package measure implements the network-measurement component of the
+// mapping system (§2.2 component 1): periodic ping sweeps from every
+// candidate deployment to the ping-target set, collected into a
+// measurement database the scoring layer reads.
+//
+// In production this component ingests BGP feeds, geolocation, DNS logs,
+// liveness and path measurements; here the path-probing part is modelled:
+// a sweep queries the network model once per (deployment, target) pair and
+// stores the observation with its timestamp, so scoring decisions are
+// based on measurements of bounded staleness rather than on direct calls
+// into the model — the same information flow as the real system.
+package measure
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/netmodel"
+)
+
+// Observation is one measured path sample.
+type Observation struct {
+	PingMs float64
+	At     time.Time
+}
+
+// DB is a measurement database: the latest observation per
+// (deployment, target) pair. It is safe for concurrent use and implements
+// the Prober shape the scoring layer needs.
+type DB struct {
+	net *netmodel.Model
+
+	mu  sync.RWMutex
+	obs map[pairKey]Observation
+	// sweeps counts completed sweeps.
+	sweeps int
+}
+
+type pairKey struct {
+	deployment uint64
+	target     uint64
+}
+
+// NewDB creates an empty measurement database backed by the given network
+// model (the "Internet" the probes traverse).
+func NewDB(net *netmodel.Model) *DB {
+	return &DB{net: net, obs: map[pairKey]Observation{}}
+}
+
+// EpochOf quantises a time into the network model's congestion epochs
+// (daily, matching the RTT model's day-granularity congestion).
+func EpochOf(now time.Time) uint64 {
+	return uint64(now.Unix() / 86400)
+}
+
+// Sweep probes every (deployment, target) pair once at simulated time now,
+// replacing previous observations. Probes observe the congestion of now's
+// epoch, so observations age as the network's state moves on. It returns
+// the number of probes sent.
+func (db *DB) Sweep(now time.Time, p *cdn.Platform, targets []netmodel.Endpoint) int {
+	type result struct {
+		k pairKey
+		o Observation
+	}
+	epoch := EpochOf(now)
+	// Probe outside the lock; sweeps can be large.
+	results := make([]result, 0, len(p.Deployments)*len(targets))
+	for _, d := range p.Deployments {
+		de := d.Endpoint()
+		for _, t := range targets {
+			results = append(results, result{
+				k: pairKey{d.ID, t.ID},
+				o: Observation{PingMs: db.net.PingMsAt(de, t, epoch), At: now},
+			})
+		}
+	}
+	db.mu.Lock()
+	for _, r := range results {
+		db.obs[r.k] = r.o
+	}
+	db.sweeps++
+	db.mu.Unlock()
+	return len(results)
+}
+
+// Lookup returns the stored observation for the pair.
+func (db *DB) Lookup(deployment *cdn.Deployment, target netmodel.Endpoint) (Observation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.obs[pairKey{deployment.ID, target.ID}]
+	return o, ok
+}
+
+// PingMs returns the measured ping between a deployment endpoint and a
+// target, satisfying the scoring layer's prober shape. Unmeasured pairs
+// fall back to a live probe (and are not cached: the sweep owns the DB's
+// contents).
+func (db *DB) PingMs(a, b netmodel.Endpoint) float64 {
+	db.mu.RLock()
+	if o, ok := db.obs[pairKey{a.ID, b.ID}]; ok {
+		db.mu.RUnlock()
+		return o.PingMs
+	}
+	db.mu.RUnlock()
+	return db.net.PingMs(a, b)
+}
+
+// Size returns the number of stored observations.
+func (db *DB) Size() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.obs)
+}
+
+// Sweeps returns the number of completed sweeps.
+func (db *DB) Sweeps() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.sweeps
+}
+
+// StaleBefore reports how many observations are older than the cutoff —
+// the freshness monitoring a real measurement pipeline alarms on.
+func (db *DB) StaleBefore(cutoff time.Time) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, o := range db.obs {
+		if o.At.Before(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sweeper runs sweeps on a fixed simulated cadence.
+type Sweeper struct {
+	DB       *DB
+	Platform *cdn.Platform
+	Targets  []netmodel.Endpoint
+	// Interval is the sweep cadence.
+	Interval time.Duration
+
+	last time.Time
+}
+
+// NewSweeper builds a sweeper; interval defaults to 2 minutes (the
+// real-time end of the paper's "periodic"/"real-time" measurement split).
+func NewSweeper(db *DB, p *cdn.Platform, targets []netmodel.Endpoint, interval time.Duration) (*Sweeper, error) {
+	if db == nil || p == nil {
+		return nil, fmt.Errorf("measure: nil db or platform")
+	}
+	if interval <= 0 {
+		interval = 2 * time.Minute
+	}
+	return &Sweeper{DB: db, Platform: p, Targets: targets, Interval: interval}, nil
+}
+
+// Tick runs a sweep if the interval has elapsed since the last one,
+// reporting whether it swept. Simulations drive it with their own clock.
+func (s *Sweeper) Tick(now time.Time) bool {
+	if !s.last.IsZero() && now.Sub(s.last) < s.Interval {
+		return false
+	}
+	s.DB.Sweep(now, s.Platform, s.Targets)
+	s.last = now
+	return true
+}

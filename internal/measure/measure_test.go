@@ -1,0 +1,153 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+var (
+	testW   = world.MustGenerate(world.Config{Seed: 71, NumBlocks: 1500})
+	testNet = netmodel.NewDefault()
+	testP   = cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 71, NumDeployments: 60})
+)
+
+func someTargets(n int) []netmodel.Endpoint {
+	var out []netmodel.Endpoint
+	for _, b := range testW.Blocks[:n] {
+		out = append(out, b.Endpoint())
+	}
+	return out
+}
+
+var t0 = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSweepStoresAllPairs(t *testing.T) {
+	db := NewDB(testNet)
+	targets := someTargets(20)
+	n := db.Sweep(t0, testP, targets)
+	want := len(testP.Deployments) * len(targets)
+	if n != want || db.Size() != want {
+		t.Fatalf("sweep stored %d/%d, want %d", n, db.Size(), want)
+	}
+	if db.Sweeps() != 1 {
+		t.Error("sweep count wrong")
+	}
+	o, ok := db.Lookup(testP.Deployments[0], targets[0])
+	if !ok {
+		t.Fatal("lookup miss after sweep")
+	}
+	if o.PingMs != testNet.PingMsAt(testP.Deployments[0].Endpoint(), targets[0], EpochOf(t0)) {
+		t.Error("stored ping differs from probe")
+	}
+	if !o.At.Equal(t0) {
+		t.Error("timestamp wrong")
+	}
+}
+
+func TestPingMsServesStoredAndFallsBack(t *testing.T) {
+	db := NewDB(testNet)
+	targets := someTargets(5)
+	db.Sweep(t0, testP, targets)
+	dep := testP.Deployments[3].Endpoint()
+	if got, want := db.PingMs(dep, targets[2]), testNet.PingMsAt(dep, targets[2], EpochOf(t0)); got != want {
+		t.Errorf("stored PingMs = %v, want %v", got, want)
+	}
+	// Unmeasured pair: falls back to a live probe.
+	other := testW.Blocks[len(testW.Blocks)-1].Endpoint()
+	if got, want := db.PingMs(dep, other), testNet.PingMs(dep, other); got != want {
+		t.Errorf("fallback PingMs = %v, want %v", got, want)
+	}
+	if db.Size() != len(testP.Deployments)*5 {
+		t.Error("fallback probe polluted the DB")
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	db := NewDB(testNet)
+	targets := someTargets(3)
+	db.Sweep(t0, testP, targets)
+	if got := db.StaleBefore(t0); got != 0 {
+		t.Errorf("fresh observations reported stale: %d", got)
+	}
+	cutoff := t0.Add(time.Minute)
+	if got := db.StaleBefore(cutoff); got != db.Size() {
+		t.Errorf("stale count = %d, want all %d", got, db.Size())
+	}
+	// Re-sweep refreshes.
+	db.Sweep(cutoff.Add(time.Second), testP, targets)
+	if got := db.StaleBefore(cutoff); got != 0 {
+		t.Errorf("stale after re-sweep: %d", got)
+	}
+}
+
+func TestSweeperCadence(t *testing.T) {
+	db := NewDB(testNet)
+	sw, err := NewSweeper(db, testP, someTargets(2), 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Tick(t0) {
+		t.Fatal("first tick should sweep")
+	}
+	if sw.Tick(t0.Add(time.Minute)) {
+		t.Error("tick before interval swept")
+	}
+	if !sw.Tick(t0.Add(2 * time.Minute)) {
+		t.Error("tick at interval did not sweep")
+	}
+	if db.Sweeps() != 2 {
+		t.Errorf("sweeps = %d", db.Sweeps())
+	}
+}
+
+func TestSweeperValidation(t *testing.T) {
+	if _, err := NewSweeper(nil, testP, nil, 0); err == nil {
+		t.Error("nil db accepted")
+	}
+	if _, err := NewSweeper(NewDB(testNet), nil, nil, 0); err == nil {
+		t.Error("nil platform accepted")
+	}
+}
+
+// TestScoringFromMeasurementDB verifies the production information flow:
+// a mapping system scoring from the measurement DB makes the same
+// decisions as one probing the network directly, because the sweep stored
+// the same observations.
+func TestScoringFromMeasurementDB(t *testing.T) {
+	db := NewDB(testNet)
+	// Sweep exactly the blocks we will evaluate, with clustering
+	// disabled, so the DB holds congestion-aware observations for every
+	// scored pair.
+	eval := testW.Blocks[:300]
+	var targets []netmodel.Endpoint
+	for _, b := range eval {
+		targets = append(targets, b.Endpoint())
+	}
+	db.Sweep(t0, testP, targets)
+
+	// The DB optimises the latency clients actually see in that epoch,
+	// so on realized (congestion-inclusive) latency its choices must be
+	// at least as good as congestion-blind direct probing.
+	scorerDirect := mapping.NewScorer(testW, testP, testNet, 0)
+	scorerDB := mapping.NewScorer(testW, testP, db, 0)
+	epoch := EpochOf(t0)
+	var realizedDirect, realizedDB float64
+	for _, b := range eval {
+		d1, _ := scorerDirect.Best(b.Endpoint())
+		d2, _ := scorerDB.Best(b.Endpoint())
+		if d1 == nil || d2 == nil {
+			t.Fatal("no best deployment")
+		}
+		realizedDirect += testNet.PingMsAt(d1.Endpoint(), b.Endpoint(), epoch)
+		realizedDB += testNet.PingMsAt(d2.Endpoint(), b.Endpoint(), epoch)
+	}
+	if realizedDB > realizedDirect {
+		t.Errorf("DB-driven decisions realized %.1f ms mean vs %.1f for direct — measurements made things worse",
+			realizedDB/float64(len(eval)), realizedDirect/float64(len(eval)))
+	}
+}

@@ -1,0 +1,240 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"eum/internal/geo"
+)
+
+func ep(id uint64, lat, lon float64, asn uint32, acc AccessType) Endpoint {
+	return Endpoint{ID: id, Loc: geo.Point{Lat: lat, Lon: lon}, ASN: asn, Access: acc}
+}
+
+var (
+	serverBos  = ep(1, 42.36, -71.06, 100, AccessBackbone)
+	clientBos  = ep(2, 42.40, -71.10, 200, AccessCable)
+	clientLon  = ep(3, 51.51, -0.13, 300, AccessDSL)
+	clientSyd  = ep(4, -33.87, 151.21, 400, AccessFiber)
+	clientCell = ep(5, 42.40, -71.10, 200, AccessCellular)
+)
+
+func TestRTTIncreasesWithDistance(t *testing.T) {
+	m := NewDefault()
+	near := m.BaseRTTMs(serverBos, clientBos)
+	mid := m.BaseRTTMs(serverBos, clientLon)
+	far := m.BaseRTTMs(serverBos, clientSyd)
+	if !(near < mid && mid < far) {
+		t.Errorf("RTT not monotone in distance: %.1f, %.1f, %.1f", near, mid, far)
+	}
+}
+
+func TestRTTPhysicallyPlausible(t *testing.T) {
+	m := NewDefault()
+	// Boston-London (~3270 mi): RTT must exceed the speed-of-light bound
+	// (~35 ms through fibre) and stay under a sane ceiling.
+	rtt := m.BaseRTTMs(serverBos, clientLon)
+	lightBound := 2 * geo.Distance(serverBos.Loc, clientLon.Loc) / 124
+	if rtt < lightBound {
+		t.Errorf("RTT %.1f ms beats light-through-fibre bound %.1f ms", rtt, lightBound)
+	}
+	if rtt > 250 {
+		t.Errorf("transatlantic base RTT %.1f ms implausibly high", rtt)
+	}
+}
+
+func TestRTTDeterministic(t *testing.T) {
+	m := NewDefault()
+	a := m.RTTMs(serverBos, clientLon, 5)
+	b := m.RTTMs(serverBos, clientLon, 5)
+	if a != b {
+		t.Errorf("same inputs gave %.3f and %.3f", a, b)
+	}
+}
+
+func TestRTTSymmetric(t *testing.T) {
+	m := NewDefault()
+	for _, pair := range [][2]Endpoint{{serverBos, clientLon}, {clientSyd, clientBos}} {
+		a := m.RTTMs(pair[0], pair[1], 3)
+		b := m.RTTMs(pair[1], pair[0], 3)
+		if a != b {
+			t.Errorf("RTT not symmetric: %.3f vs %.3f", a, b)
+		}
+	}
+}
+
+func TestRTTVariesByEpoch(t *testing.T) {
+	m := NewDefault()
+	seen := map[float64]bool{}
+	for e := uint64(0); e < 20; e++ {
+		seen[m.RTTMs(serverBos, clientLon, e)] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct RTTs over 20 epochs; congestion not varying", len(seen))
+	}
+}
+
+func TestRTTAtLeastBase(t *testing.T) {
+	m := NewDefault()
+	base := m.BaseRTTMs(serverBos, clientSyd)
+	for e := uint64(0); e < 50; e++ {
+		if rtt := m.RTTMs(serverBos, clientSyd, e); rtt < base {
+			t.Fatalf("epoch %d RTT %.2f below base %.2f", e, rtt, base)
+		}
+	}
+}
+
+func TestLastMileDominatesNearby(t *testing.T) {
+	m := NewDefault()
+	cable := m.BaseRTTMs(serverBos, clientBos)
+	cell := m.BaseRTTMs(serverBos, clientCell)
+	if cell <= cable {
+		t.Errorf("cellular last mile (%.1f) should exceed cable (%.1f)", cell, cable)
+	}
+	if cell-cable < 30 {
+		t.Errorf("cellular penalty only %.1f ms", cell-cable)
+	}
+}
+
+func TestASCrossings(t *testing.T) {
+	m := NewDefault()
+	sameAS := ep(10, 42, -71, 200, AccessCable)
+	if c := m.ASCrossings(clientBos, sameAS); c != 0 {
+		t.Errorf("same-AS crossings = %d, want 0", c)
+	}
+	if c := m.ASCrossings(serverBos, clientBos); c < 1 {
+		t.Errorf("cross-AS crossings = %d, want >= 1", c)
+	}
+	near := m.ASCrossings(serverBos, clientBos)
+	far := m.ASCrossings(serverBos, clientSyd)
+	if far <= near {
+		t.Errorf("long path crossings (%d) should exceed short (%d)", far, near)
+	}
+}
+
+func TestLossBounds(t *testing.T) {
+	m := NewDefault()
+	pairs := [][2]Endpoint{{serverBos, clientBos}, {serverBos, clientSyd}, {clientLon, clientCell}}
+	for _, p := range pairs {
+		loss := m.Loss(p[0], p[1])
+		if loss <= 0 || loss > 0.25 {
+			t.Errorf("loss = %v out of (0, 0.25]", loss)
+		}
+	}
+}
+
+func TestLossGrowsWithCrossings(t *testing.T) {
+	m := NewDefault()
+	// Average over salt-varied pairs to smooth per-pair variation.
+	var near, far float64
+	for i := uint64(0); i < 50; i++ {
+		a := ep(100+i, 42.36, -71.06, 100, AccessBackbone)
+		near += m.Loss(a, clientBos)
+		far += m.Loss(a, clientSyd)
+	}
+	if far <= near {
+		t.Errorf("mean far loss %.5f should exceed near loss %.5f", far/50, near/50)
+	}
+}
+
+func TestThroughputDecreasesWithRTT(t *testing.T) {
+	m := NewDefault()
+	// Same access type at both ends to isolate the RTT effect.
+	near := ep(20, 42.37, -71.07, 150, AccessFiber)
+	far := ep(21, -33.87, 151.21, 151, AccessFiber)
+	tpNear := m.ThroughputMbps(serverBos, near, 1)
+	tpFar := m.ThroughputMbps(serverBos, far, 1)
+	if tpFar >= tpNear {
+		t.Errorf("far throughput %.1f >= near %.1f", tpFar, tpNear)
+	}
+}
+
+func TestThroughputCappedByAccess(t *testing.T) {
+	m := NewDefault()
+	tp := m.ThroughputMbps(serverBos, clientCell, 1)
+	if tp > lastMileMbps[AccessCellular] {
+		t.Errorf("throughput %.1f exceeds cellular cap", tp)
+	}
+	if tp <= 0 {
+		t.Errorf("throughput = %v", tp)
+	}
+}
+
+func TestPingUnderestimatesRTT(t *testing.T) {
+	// Paper §6: ping targets are routers en route, so ping latency is a
+	// lower bound on the client RTT.
+	m := NewDefault()
+	pairs := [][2]Endpoint{{serverBos, clientBos}, {serverBos, clientSyd}, {serverBos, clientCell}}
+	for _, p := range pairs {
+		ping := m.PingMs(p[0], p[1])
+		rtt := m.BaseRTTMs(p[0], p[1])
+		if ping > rtt {
+			t.Errorf("ping %.1f exceeds base RTT %.1f", ping, rtt)
+		}
+	}
+}
+
+func TestPingOrderingMatchesRTTOrdering(t *testing.T) {
+	// Fig 25 argues relative ping values are meaningful: ordering by ping
+	// should match ordering by base RTT for same-access endpoints.
+	m := NewDefault()
+	targets := []Endpoint{
+		ep(30, 40.7, -74.0, 500, AccessCable),
+		ep(31, 51.5, -0.1, 501, AccessCable),
+		ep(32, 35.7, 139.7, 502, AccessCable),
+	}
+	for i := 0; i < len(targets); i++ {
+		for j := i + 1; j < len(targets); j++ {
+			pi, pj := m.PingMs(serverBos, targets[i]), m.PingMs(serverBos, targets[j])
+			ri, rj := m.BaseRTTMs(serverBos, targets[i]), m.BaseRTTMs(serverBos, targets[j])
+			if (pi < pj) != (ri < rj) {
+				t.Errorf("ping ordering (%v) disagrees with RTT ordering (%v)", pi < pj, ri < rj)
+			}
+		}
+	}
+}
+
+func TestParetoTailProperties(t *testing.T) {
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / float64(n)
+		v := paretoTail(u)
+		if v < 0 || v > 40 {
+			t.Fatalf("paretoTail(%v) = %v out of [0, 40]", u, v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if mean < 0.5 || mean > 2 {
+		t.Errorf("paretoTail mean = %.3f, want ~1", mean)
+	}
+	if math.IsNaN(paretoTail(1)) || math.IsInf(paretoTail(1), 0) {
+		t.Error("paretoTail(1) not finite")
+	}
+}
+
+func TestSeedDecorrelates(t *testing.T) {
+	p1 := DefaultParams()
+	p2 := DefaultParams()
+	p2.Seed = 12345
+	m1, m2 := New(p1), New(p2)
+	same := 0
+	for e := uint64(0); e < 20; e++ {
+		if m1.RTTMs(serverBos, clientSyd, e) == m2.RTTMs(serverBos, clientSyd, e) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/20 epochs identical across seeds", same)
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if AccessCellular.String() != "cellular" || AccessBackbone.String() != "backbone" {
+		t.Error("AccessType.String broken")
+	}
+	if AccessType(200).String() != "unknown" {
+		t.Error("unknown access type should stringify to unknown")
+	}
+}

@@ -1,0 +1,157 @@
+// Package netsession reproduces the paper's client-LDNS measurement
+// pipeline (§3.1) as running code. NetSession — the download manager
+// installed on client devices — discovered each client's LDNS by resolving
+// a special name (whoami.akamai.net) whose authoritative answer is the
+// address the query arrived from; the client-LDNS association was then
+// aggregated per /24 client block with relative frequencies.
+//
+// Here, simulated clients resolve the whoami name through their actual
+// resolver objects against the actual authority handler, so the pipeline
+// exercises the same mechanism end to end: client -> caching LDNS ->
+// authoritative whoami -> association record -> per-block aggregation.
+package netsession
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"eum/internal/resolver"
+	"eum/internal/world"
+)
+
+// Association is one collected client-LDNS pairing, aggregated per client
+// block: the set of resolver addresses the block's clients were observed
+// behind, with relative frequencies.
+type Association struct {
+	Block *world.ClientBlock
+	// Resolvers maps resolver address to relative frequency (sums to 1).
+	Resolvers map[netip.Addr]float64
+}
+
+// whoamiUpstream answers the whoami name authoritatively: the answer is
+// the address of the resolver that asked — exactly the trick the real
+// measurement uses. It answers with TTL 0 so resolvers cannot cache it
+// (a cached whoami would return stale resolver identities).
+type whoamiUpstream struct {
+	name string
+}
+
+// Resolve implements resolver.Upstream.
+func (u *whoamiUpstream) Resolve(domain string, ldns netip.Addr, _ netip.Prefix) (resolver.Answer, error) {
+	if domain != u.name {
+		return resolver.Answer{}, fmt.Errorf("netsession: unexpected domain %q", domain)
+	}
+	return resolver.Answer{Servers: []netip.Addr{ldns}, TTL: 0}, nil
+}
+
+// Collector runs the measurement across a world's clients.
+type Collector struct {
+	// WhoamiName is the special diagnostic name (default
+	// "whoami.cdn.example.net").
+	WhoamiName string
+	// SamplesPerBlock is how many clients per block perform the lookup.
+	SamplesPerBlock int
+}
+
+// Collect runs the whoami measurement for every block in the world,
+// through per-LDNS caching resolvers, and returns one association per
+// block. The measurement is exact here because each block uses a single
+// resolver; the pipeline still validates the mechanism (TTL-0 answers,
+// per-resolver identity, aggregation).
+func (c *Collector) Collect(w *world.World) ([]Association, error) {
+	name := c.WhoamiName
+	if name == "" {
+		name = "whoami.cdn.example.net"
+	}
+	samples := c.SamplesPerBlock
+	if samples <= 0 {
+		samples = 3
+	}
+	up := &whoamiUpstream{name: name}
+
+	// One resolver object per LDNS, as in the real world.
+	resolvers := make(map[uint64]*resolver.Resolver, len(w.LDNSes))
+	for _, l := range w.LDNSes {
+		r, err := resolver.New(resolver.Config{Addr: l.Addr}, up)
+		if err != nil {
+			return nil, err
+		}
+		resolvers[l.ID] = r
+	}
+
+	now := time.Date(2014, 3, 24, 0, 0, 0, 0, time.UTC) // collection start (§3.1)
+	out := make([]Association, 0, len(w.Blocks))
+	for _, b := range w.Blocks {
+		counts := map[netip.Addr]int{}
+		for i := 0; i < samples; i++ {
+			client := clientInBlock(b, i)
+			ans, err := resolvers[b.LDNS.ID].Query(now, name, client)
+			if err != nil {
+				return nil, fmt.Errorf("netsession: block %v: %w", b.Prefix, err)
+			}
+			if len(ans.Servers) != 1 {
+				return nil, fmt.Errorf("netsession: block %v: %d answers", b.Prefix, len(ans.Servers))
+			}
+			counts[ans.Servers[0]]++
+			now = now.Add(time.Second)
+		}
+		assoc := Association{Block: b, Resolvers: map[netip.Addr]float64{}}
+		for addr, n := range counts {
+			assoc.Resolvers[addr] = float64(n) / float64(samples)
+		}
+		out = append(out, assoc)
+	}
+	return out, nil
+}
+
+// clientInBlock derives the i-th sampled client address in a block.
+func clientInBlock(b *world.ClientBlock, i int) netip.Addr {
+	if b.Prefix.Addr().Is4() {
+		a := b.Prefix.Addr().As4()
+		a[3] = byte(10 + i)
+		return netip.AddrFrom4(a)
+	}
+	a := b.Prefix.Addr().As16()
+	a[15] = byte(10 + i)
+	return netip.AddrFrom16(a)
+}
+
+// Verify cross-checks collected associations against the world's ground
+// truth, returning the fraction of blocks whose dominant measured resolver
+// matches the true one — the measurement-fidelity number a real pipeline
+// would monitor.
+func Verify(w *world.World, assocs []Association) float64 {
+	if len(assocs) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, a := range assocs {
+		if dominant(a.Resolvers) == a.Block.LDNS.Addr {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(assocs))
+}
+
+func dominant(m map[netip.Addr]float64) netip.Addr {
+	type kv struct {
+		addr netip.Addr
+		f    float64
+	}
+	var all []kv
+	for a, f := range m {
+		all = append(all, kv{a, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].addr.Less(all[j].addr)
+	})
+	if len(all) == 0 {
+		return netip.Addr{}
+	}
+	return all[0].addr
+}

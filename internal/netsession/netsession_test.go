@@ -1,0 +1,122 @@
+package netsession
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"eum/internal/geo"
+	"eum/internal/resolver"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+var testW = world.MustGenerate(world.Config{Seed: 91, NumBlocks: 1200})
+
+func TestCollectAllBlocks(t *testing.T) {
+	c := &Collector{SamplesPerBlock: 2}
+	assocs, err := c.Collect(testW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assocs) != len(testW.Blocks) {
+		t.Fatalf("associations = %d, want %d", len(assocs), len(testW.Blocks))
+	}
+	for _, a := range assocs[:50] {
+		var sum float64
+		for _, f := range a.Resolvers {
+			sum += f
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("frequencies sum to %v", sum)
+		}
+	}
+}
+
+func TestCollectMatchesGroundTruth(t *testing.T) {
+	c := &Collector{}
+	assocs, err := c.Collect(testW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each block uses exactly one resolver in this world, so the whoami
+	// measurement must identify it perfectly.
+	if fidelity := Verify(testW, assocs); fidelity != 1 {
+		t.Errorf("measurement fidelity = %.3f, want 1.0", fidelity)
+	}
+}
+
+func TestWhoamiNotCacheable(t *testing.T) {
+	// Two different resolvers asking the same whoami name must each see
+	// their own address — the TTL-0 answer prevents cross-contamination.
+	up := &whoamiUpstream{name: "whoami.x.net"}
+	r1, err := resolver.New(resolver.Config{Addr: netip.MustParseAddr("198.51.100.1")}, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	a1, err := r1.Query(now, "whoami.x.net", netip.MustParseAddr("10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Servers[0] != netip.MustParseAddr("198.51.100.1") {
+		t.Errorf("whoami answer = %v", a1.Servers[0])
+	}
+	// Same resolver asking again must go upstream again (no caching).
+	a2, err := r1.Query(now.Add(time.Millisecond), "whoami.x.net", netip.MustParseAddr("10.0.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.FromCache {
+		t.Error("whoami answer was cached despite TTL 0")
+	}
+}
+
+func TestWhoamiWrongDomain(t *testing.T) {
+	up := &whoamiUpstream{name: "whoami.x.net"}
+	if _, err := up.Resolve("other.net", netip.MustParseAddr("10.0.0.1"), netip.Prefix{}); err == nil {
+		t.Error("wrong domain accepted")
+	}
+}
+
+// TestClientLDNSDistanceFromMeasurement reruns the Fig 5 analysis from
+// *measured* associations instead of ground truth — the full §3 pipeline:
+// measure pairs, geolocate both ends, compute distances.
+func TestClientLDNSDistanceFromMeasurement(t *testing.T) {
+	c := &Collector{}
+	assocs, err := c.Collect(testW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldnsByAddr := map[netip.Addr]*world.LDNS{}
+	for _, l := range testW.LDNSes {
+		ldnsByAddr[l.Addr] = l
+	}
+	var measured, truth stats.Dataset
+	for _, a := range assocs {
+		l := ldnsByAddr[dominant(a.Resolvers)]
+		if l == nil {
+			t.Fatal("measured resolver not in world")
+		}
+		measured.Add(geo.Distance(a.Block.Loc, l.Loc), a.Block.Demand)
+		truth.Add(a.Block.ClientLDNSDistance(), a.Block.Demand)
+	}
+	if m, tr := measured.Median(), truth.Median(); m != tr {
+		t.Errorf("measured median %.1f != truth %.1f", m, tr)
+	}
+}
+
+func TestDominant(t *testing.T) {
+	a1 := netip.MustParseAddr("10.0.0.1")
+	a2 := netip.MustParseAddr("10.0.0.2")
+	if got := dominant(map[netip.Addr]float64{a1: 0.3, a2: 0.7}); got != a2 {
+		t.Errorf("dominant = %v", got)
+	}
+	// Ties break deterministically (lowest address).
+	if got := dominant(map[netip.Addr]float64{a1: 0.5, a2: 0.5}); got != a1 {
+		t.Errorf("tie dominant = %v", got)
+	}
+	if got := dominant(nil); got.IsValid() {
+		t.Errorf("empty dominant = %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+package overlay
+
+import (
+	"testing"
+
+	"eum/internal/cdn"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+var (
+	testW   = world.MustGenerate(world.Config{Seed: 97, NumBlocks: 1500})
+	testNet = netmodel.NewDefault()
+	testP   = cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 97, NumDeployments: 250})
+)
+
+// originFor returns a far-away "origin" endpoint (a content provider's
+// data centre) for a given server.
+func originPairs(n int) [][2]netmodel.Endpoint {
+	var out [][2]netmodel.Endpoint
+	for i := 0; i < n && i < len(testP.Deployments); i++ {
+		server := testP.Deployments[i].Endpoint()
+		// Use a distant client block's location as the origin site.
+		origin := testW.Blocks[(i*37+500)%len(testW.Blocks)].Endpoint()
+		origin.Access = netmodel.AccessBackbone
+		out = append(out, [2]netmodel.Endpoint{server, origin})
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, testNet, 0); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := New(testP, nil, 0); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestBestPathNeverWorseThanDirect(t *testing.T) {
+	o, err := New(testP, testNet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range originPairs(60) {
+		p := o.BestPath(pr[0], pr[1], 3)
+		if p.LatencyMs > p.DirectMs {
+			t.Fatalf("overlay path %.1f worse than direct %.1f", p.LatencyMs, p.DirectMs)
+		}
+		if p.Via == nil && p.LatencyMs != p.DirectMs {
+			t.Fatal("direct path with mismatched latency")
+		}
+		if p.Improvement() < 0 || p.Improvement() >= 1 {
+			t.Fatalf("improvement = %v", p.Improvement())
+		}
+	}
+}
+
+func TestOverlayFindsRelays(t *testing.T) {
+	// Over many long paths with congestion variation, some relay paths
+	// must win — the overlay's reason to exist.
+	o, err := New(testP, testNet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Evaluate(originPairs(120), 5)
+	if s.RelayedFraction <= 0 {
+		t.Fatal("no pair benefited from a relay")
+	}
+	if s.MeanImprovementWhenRelayed <= 0 {
+		t.Fatal("relayed pairs show no improvement")
+	}
+	if s.MeanImprovementWhenRelayed > 0.9 {
+		t.Fatalf("implausible relay improvement %.2f", s.MeanImprovementWhenRelayed)
+	}
+}
+
+func TestCorridorPruningClose(t *testing.T) {
+	// Pruned search must stay close to the exhaustive optimum.
+	full, err := New(testP, testNet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := New(testP, testNet, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worse int
+	pairs := originPairs(60)
+	for _, pr := range pairs {
+		pf := full.BestPath(pr[0], pr[1], 7)
+		pp := pruned.BestPath(pr[0], pr[1], 7)
+		if pp.LatencyMs > pf.LatencyMs*1.25+2 {
+			worse++
+		}
+	}
+	if worse > len(pairs)/5 {
+		t.Errorf("pruned search much worse on %d/%d pairs", worse, len(pairs))
+	}
+}
+
+func TestDeadRelaysSkipped(t *testing.T) {
+	o, err := New(testP, testNet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := originPairs(40)
+	// Find a pair that uses a relay, kill the relay, re-route.
+	for _, pr := range pairs {
+		p := o.BestPath(pr[0], pr[1], 9)
+		if p.Via == nil {
+			continue
+		}
+		victim := p.Via
+		for _, s := range victim.Servers {
+			s.SetAlive(false)
+		}
+		p2 := o.BestPath(pr[0], pr[1], 9)
+		for _, s := range victim.Servers {
+			s.SetAlive(true)
+		}
+		if p2.Via == victim {
+			t.Fatal("dead relay still used")
+		}
+		if p2.LatencyMs > p2.DirectMs {
+			t.Fatal("re-route worse than direct")
+		}
+		return
+	}
+	t.Skip("no relayed pair found to test failover")
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	o, _ := New(testP, testNet, 0)
+	if s := o.Evaluate(nil, 0); s.RelayedFraction != 0 || s.MeanImprovement != 0 {
+		t.Errorf("empty evaluate = %+v", s)
+	}
+}

@@ -1,0 +1,185 @@
+// Package redirect implements the pre-ECS end-user mapping mechanisms the
+// paper discusses in §7 as baselines: metafile redirection (used by a video
+// CDN at Akamai circa 2000) and HTTP redirection. Both learn the client's
+// IP at the application layer — after NS-based DNS has already picked a
+// possibly-distant first server — and buy client-accurate server selection
+// at the price of extra round trips through that first server:
+//
+//   - Metafile: the media player fetches a metafile from the NS-chosen
+//     server; the mapping system embeds the IP of the client-proximal
+//     server in the metafile; the player then connects there. Hard to
+//     extend beyond traffic that uses metafiles.
+//   - HTTP redirection: the NS-chosen first server answers the content
+//     request with a redirect to a better second server. The redirection
+//     penalty is "acceptable only for larger downloads".
+//   - ECS (end-user mapping proper) gets the client-accurate decision
+//     during DNS resolution, with no application-layer penalty.
+//
+// The Evaluator quantifies exactly that trade-off on the shared substrate.
+package redirect
+
+import (
+	"fmt"
+
+	"eum/internal/cdn"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+// Mechanism identifies a request-routing mechanism.
+type Mechanism int
+
+// The compared mechanisms.
+const (
+	// NSOnly is the baseline: DNS by LDNS, no client knowledge at all.
+	NSOnly Mechanism = iota
+	// ECS is end-user mapping via the EDNS0 client-subnet option.
+	ECS
+	// Metafile is metafile redirection.
+	Metafile
+	// HTTPRedirect is application-layer redirection.
+	HTTPRedirect
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case NSOnly:
+		return "ns-only"
+	case ECS:
+		return "ecs"
+	case Metafile:
+		return "metafile"
+	case HTTPRedirect:
+		return "http-redirect"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// Result is one mechanism's outcome for one download.
+type Result struct {
+	Mechanism Mechanism
+	// ServingDeployment is where the content ultimately comes from.
+	ServingDeployment *cdn.Deployment
+	// StartupMs is the time until the first content byte: DNS, connection
+	// setup, and any redirection penalty.
+	StartupMs float64
+	// TotalMs is StartupMs plus the content transfer time.
+	TotalMs float64
+}
+
+// Evaluator computes per-mechanism download timings.
+type Evaluator struct {
+	scorer *mapping.Scorer
+	net    *netmodel.Model
+}
+
+// NewEvaluator builds an evaluator over the given scorer (which fixes the
+// platform) and network model.
+func NewEvaluator(scorer *mapping.Scorer, net *netmodel.Model) *Evaluator {
+	return &Evaluator{scorer: scorer, net: net}
+}
+
+// Evaluate returns the four mechanisms' results for a client block
+// downloading sizeBytes of content, at the given congestion epoch.
+func (e *Evaluator) Evaluate(b *world.ClientBlock, sizeBytes int, epoch uint64) ([]Result, error) {
+	nsDep, _ := e.scorer.Best(b.LDNS.Endpoint())
+	euDep, _ := e.scorer.Best(b.Endpoint())
+	if nsDep == nil || euDep == nil {
+		return nil, fmt.Errorf("redirect: no live deployment")
+	}
+
+	client := b.Endpoint()
+	// One cached DNS resolution: a client-LDNS round trip.
+	dnsMs := e.net.RTTMs(client, b.LDNS.Endpoint(), epoch)
+	rttNS := e.net.RTTMs(client, nsDep.Endpoint(), epoch)
+	rttEU := e.net.RTTMs(client, euDep.Endpoint(), epoch)
+	transfer := func(d *cdn.Deployment) float64 {
+		tp := e.net.ThroughputMbps(client, d.Endpoint(), epoch)
+		return float64(sizeBytes) * 8 / (tp * 1e6) * 1000
+	}
+
+	// connect = 1 RTT (TCP handshake); request to first byte = 1 RTT.
+	results := []Result{
+		{
+			Mechanism:         NSOnly,
+			ServingDeployment: nsDep,
+			StartupMs:         dnsMs + 2*rttNS,
+			TotalMs:           dnsMs + 2*rttNS + transfer(nsDep),
+		},
+		{
+			Mechanism:         ECS,
+			ServingDeployment: euDep,
+			StartupMs:         dnsMs + 2*rttEU,
+			TotalMs:           dnsMs + 2*rttEU + transfer(euDep),
+		},
+		{
+			// Connect to the NS-chosen server, fetch the metafile
+			// (1 RTT), then connect and stream from the EU server.
+			Mechanism:         Metafile,
+			ServingDeployment: euDep,
+			StartupMs:         dnsMs + 2*rttNS + 2*rttEU,
+			TotalMs:           dnsMs + 2*rttNS + 2*rttEU + transfer(euDep),
+		},
+		{
+			// Connect to the NS-chosen server, issue the content request
+			// and receive the redirect (1 RTT), connect to the second
+			// server and re-issue the full request (an extra half RTT of
+			// request bytes versus the metafile flow).
+			Mechanism:         HTTPRedirect,
+			ServingDeployment: euDep,
+			StartupMs:         dnsMs + 2*rttNS + 2.5*rttEU,
+			TotalMs:           dnsMs + 2*rttNS + 2.5*rttEU + transfer(euDep),
+		},
+	}
+	return results, nil
+}
+
+// CrossoverBytes estimates the download size above which a redirection
+// mechanism beats NS-only delivery for the given block: the point where
+// the transfer-speed advantage of the client-proximal server amortises the
+// redirection penalty. Returns 0 when redirection wins even for empty
+// downloads, and -1 when it never wins (the NS server is already as good).
+func (e *Evaluator) CrossoverBytes(b *world.ClientBlock, mech Mechanism, epoch uint64) (int, error) {
+	lo, hi := 0, 1<<30 // up to 1 GB
+	better := func(size int) (bool, error) {
+		rs, err := e.Evaluate(b, size, epoch)
+		if err != nil {
+			return false, err
+		}
+		var ns, m Result
+		for _, r := range rs {
+			if r.Mechanism == NSOnly {
+				ns = r
+			}
+			if r.Mechanism == mech {
+				m = r
+			}
+		}
+		return m.TotalMs < ns.TotalMs, nil
+	}
+	if ok, err := better(lo); err != nil {
+		return 0, err
+	} else if ok {
+		return 0, nil
+	}
+	if ok, err := better(hi); err != nil {
+		return 0, err
+	} else if !ok {
+		return -1, nil
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := better(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

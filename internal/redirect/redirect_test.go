@@ -1,0 +1,181 @@
+package redirect
+
+import (
+	"testing"
+
+	"eum/internal/cdn"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+var (
+	testW   = world.MustGenerate(world.Config{Seed: 51, NumBlocks: 3000})
+	testNet = netmodel.NewDefault()
+	testP   = cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 51, NumDeployments: 300})
+	scorer  = mapping.NewScorer(testW, testP, testNet, 600)
+	eval    = NewEvaluator(scorer, testNet)
+)
+
+// farClient returns a public-resolver block far from its LDNS — where the
+// mechanisms differ most.
+func farClient(t *testing.T) *world.ClientBlock {
+	t.Helper()
+	for _, b := range testW.Blocks {
+		if b.LDNS.IsPublic() && b.ClientLDNSDistance() > 3000 {
+			return b
+		}
+	}
+	t.Fatal("no far client")
+	return nil
+}
+
+func resultsByMech(t *testing.T, b *world.ClientBlock, size int) map[Mechanism]Result {
+	t.Helper()
+	rs, err := eval.Evaluate(b, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[Mechanism]Result{}
+	for _, r := range rs {
+		out[r.Mechanism] = r
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d mechanisms", len(out))
+	}
+	return out
+}
+
+func TestECSBestStartup(t *testing.T) {
+	b := farClient(t)
+	rs := resultsByMech(t, b, 500_000)
+	// ECS pays no redirection penalty and reaches the proximal server:
+	// it must have the best (or tied-best) startup.
+	for m, r := range rs {
+		if m == ECS {
+			continue
+		}
+		if rs[ECS].StartupMs > r.StartupMs+1e-9 {
+			t.Errorf("ECS startup %.1f worse than %v's %.1f", rs[ECS].StartupMs, m, r.StartupMs)
+		}
+	}
+}
+
+func TestRedirectionPenaltyOrdering(t *testing.T) {
+	b := farClient(t)
+	rs := resultsByMech(t, b, 100_000)
+	// Redirection mechanisms pay strictly more startup than ECS; the
+	// HTTP redirect re-request costs slightly more than the metafile.
+	if !(rs[ECS].StartupMs < rs[Metafile].StartupMs) {
+		t.Errorf("metafile startup %.1f not above ECS %.1f", rs[Metafile].StartupMs, rs[ECS].StartupMs)
+	}
+	if !(rs[Metafile].StartupMs < rs[HTTPRedirect].StartupMs) {
+		t.Errorf("redirect startup %.1f not above metafile %.1f",
+			rs[HTTPRedirect].StartupMs, rs[Metafile].StartupMs)
+	}
+}
+
+func TestRedirectServesFromProximalServer(t *testing.T) {
+	b := farClient(t)
+	rs := resultsByMech(t, b, 100_000)
+	if rs[Metafile].ServingDeployment != rs[ECS].ServingDeployment {
+		t.Error("metafile should serve from the EU-chosen deployment")
+	}
+	if rs[HTTPRedirect].ServingDeployment != rs[ECS].ServingDeployment {
+		t.Error("redirect should serve from the EU-chosen deployment")
+	}
+	if rs[NSOnly].ServingDeployment == rs[ECS].ServingDeployment {
+		t.Skip("NS and EU chose the same deployment for this client")
+	}
+}
+
+func TestLargeDownloadsAmortiseRedirection(t *testing.T) {
+	// §7: "a redirection penalty that is acceptable only for larger
+	// downloads such as media files and software downloads."
+	b := farClient(t)
+	small := resultsByMech(t, b, 20_000) // 20 KB page
+	large := resultsByMech(t, b, 200_000_000)
+
+	smallPenalty := small[HTTPRedirect].TotalMs / small[ECS].TotalMs
+	largePenalty := large[HTTPRedirect].TotalMs / large[ECS].TotalMs
+	if largePenalty >= smallPenalty {
+		t.Errorf("relative redirect penalty should shrink with size: %.3f -> %.3f",
+			smallPenalty, largePenalty)
+	}
+	if largePenalty > 1.02 {
+		t.Errorf("for a 200MB download the redirect penalty should be negligible, got %.3f", largePenalty)
+	}
+	// And for a large download, redirection beats staying on the NS
+	// server (for this far client).
+	if large[HTTPRedirect].TotalMs >= large[NSOnly].TotalMs {
+		t.Error("redirect did not beat NS-only for a large download by a far client")
+	}
+}
+
+func TestCrossoverBytes(t *testing.T) {
+	b := farClient(t)
+	cross, err := eval.CrossoverBytes(b, HTTPRedirect, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross < 0 {
+		t.Fatal("redirect never beats NS for a far client; expected a crossover")
+	}
+	if cross > 0 {
+		// At the crossover, larger is better and smaller is worse.
+		below := resultsByMech(t, b, cross/2)
+		above := resultsByMech(t, b, cross*2)
+		if below[HTTPRedirect].TotalMs < below[NSOnly].TotalMs {
+			t.Error("redirect already wins below the crossover")
+		}
+		if above[HTTPRedirect].TotalMs >= above[NSOnly].TotalMs {
+			t.Error("redirect does not win above the crossover")
+		}
+	}
+}
+
+func TestCrossoverNearClient(t *testing.T) {
+	// A client already near its LDNS gains nothing from redirection:
+	// the NS choice is (nearly) optimal, so crossover is never or huge.
+	var near *world.ClientBlock
+	for _, b := range testW.Blocks {
+		if !b.LDNS.IsPublic() && b.ClientLDNSDistance() < 10 {
+			near = b
+			break
+		}
+	}
+	if near == nil {
+		t.Skip("no very-near client")
+	}
+	cross, err := eval.CrossoverBytes(near, HTTPRedirect, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross == 0 {
+		t.Error("redirection should not win at size 0 for a near client")
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	for m, want := range map[Mechanism]string{
+		NSOnly: "ns-only", ECS: "ecs", Metafile: "metafile", HTTPRedirect: "http-redirect",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestEvaluateDeadPlatform(t *testing.T) {
+	w2 := world.MustGenerate(world.Config{Seed: 52, NumBlocks: 500})
+	p2 := cdn.MustGenerateUniverse(w2, cdn.Config{Seed: 52, NumDeployments: 3})
+	for _, d := range p2.Deployments {
+		for _, s := range d.Servers {
+			s.SetAlive(false)
+		}
+	}
+	e2 := NewEvaluator(mapping.NewScorer(w2, p2, testNet, 0), testNet)
+	if _, err := e2.Evaluate(w2.Blocks[0], 1000, 1); err == nil {
+		t.Error("dead platform should error")
+	}
+}

@@ -1,0 +1,38 @@
+package resolver_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"eum/internal/resolver"
+)
+
+// fixedUpstream answers every query with a /24-scoped 20s answer.
+type fixedUpstream struct{}
+
+func (fixedUpstream) Resolve(domain string, ldns netip.Addr, subnet netip.Prefix) (resolver.Answer, error) {
+	a := resolver.Answer{Servers: []netip.Addr{netip.MustParseAddr("23.0.0.1")}, TTL: 20 * time.Second}
+	if subnet.IsValid() {
+		a.ScopePrefix = 24
+	}
+	return a, nil
+}
+
+// The §5.2 effect in miniature: with ECS on, clients in different /24
+// blocks can no longer share a cache entry, so the same three queries cost
+// the authoritative side two resolutions instead of one.
+func Example() {
+	now := time.Date(2014, 4, 1, 0, 0, 0, 0, time.UTC)
+	run := func(ecs bool) uint64 {
+		r, _ := resolver.New(resolver.Config{
+			Addr: netip.MustParseAddr("198.51.100.1"), ECSEnabled: ecs, SourcePrefix: 24,
+		}, fixedUpstream{})
+		for _, c := range []string{"10.1.1.5", "10.1.1.9", "10.1.2.5"} {
+			_, _ = r.Query(now, "www.cdn.example.net", netip.MustParseAddr(c))
+		}
+		return r.Metrics.UpstreamQueries
+	}
+	fmt.Printf("upstream queries without ECS: %d, with ECS: %d\n", run(false), run(true))
+	// Output: upstream queries without ECS: 1, with ECS: 2
+}

@@ -1,0 +1,34 @@
+package resolver
+
+import (
+	"net/netip"
+
+	"eum/internal/mapping"
+)
+
+// SystemUpstream adapts a mapping.System as a resolver Upstream, so
+// simulated LDNSes resolve against the real mapping code path.
+type SystemUpstream struct {
+	System *mapping.System
+	// Demand, if positive, is charged to the chosen servers per
+	// resolution (load accounting).
+	Demand float64
+}
+
+// Resolve implements Upstream.
+func (u *SystemUpstream) Resolve(domain string, ldns netip.Addr, clientSubnet netip.Prefix) (Answer, error) {
+	resp, err := u.System.Map(mapping.Request{
+		Domain:       domain,
+		LDNS:         ldns,
+		ClientSubnet: clientSubnet,
+		Demand:       u.Demand,
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	a := Answer{TTL: resp.TTL, ScopePrefix: resp.ScopePrefix}
+	for _, s := range resp.Servers {
+		a.Servers = append(a.Servers, s.Addr)
+	}
+	return a, nil
+}

@@ -1,0 +1,176 @@
+package rum
+
+import (
+	"testing"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/demand"
+	"eum/internal/geo"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+var (
+	testW = world.MustGenerate(world.Config{Seed: 41, NumBlocks: 3000})
+	testP = cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 41, NumDeployments: 200})
+	cat   = demand.MustNewCatalogue(20, 1, 41)
+)
+
+func nearFarDeployments(b *world.ClientBlock) (near, far *cdn.Deployment) {
+	for _, d := range testP.Deployments {
+		if near == nil || geo.Distance(d.Loc, b.Loc) < geo.Distance(near.Loc, b.Loc) {
+			near = d
+		}
+		if far == nil || geo.Distance(d.Loc, b.Loc) > geo.Distance(far.Loc, b.Loc) {
+			far = d
+		}
+	}
+	return near, far
+}
+
+func TestMeasureBasics(t *testing.T) {
+	m := NewModel(netmodel.NewDefault())
+	b := testW.Blocks[0]
+	near, _ := nearFarDeployments(b)
+	at := time.Date(2014, 4, 20, 12, 0, 0, 0, time.UTC)
+	meas := m.Measure(at, b, cat.Domains[0], near, 5)
+	if meas.At != at || meas.Block != b || meas.Deployment != near {
+		t.Error("measurement identity fields wrong")
+	}
+	if meas.MappingDistance != geo.Distance(b.Loc, near.Loc) {
+		t.Error("mapping distance mismatch")
+	}
+	if meas.RTTMs <= 0 || meas.TTFBMs <= 0 || meas.DownloadMs <= 0 {
+		t.Errorf("non-positive timings: %+v", meas)
+	}
+	if meas.TTFBMs <= meas.RTTMs {
+		t.Error("TTFB should exceed RTT (construction time)")
+	}
+}
+
+func TestCloserDeploymentFasterEverything(t *testing.T) {
+	m := NewModel(netmodel.NewDefault())
+	b := testW.Blocks[10]
+	near, far := nearFarDeployments(b)
+	mn := m.Measure(time.Now(), b, cat.Domains[0], near, 1)
+	mf := m.Measure(time.Now(), b, cat.Domains[0], far, 1)
+	if mn.MappingDistance >= mf.MappingDistance {
+		t.Fatal("near/far inverted")
+	}
+	if mn.RTTMs >= mf.RTTMs {
+		t.Errorf("near RTT %.0f >= far RTT %.0f", mn.RTTMs, mf.RTTMs)
+	}
+	if mn.TTFBMs >= mf.TTFBMs {
+		t.Errorf("near TTFB %.0f >= far TTFB %.0f", mn.TTFBMs, mf.TTFBMs)
+	}
+	if mn.DownloadMs >= mf.DownloadMs {
+		t.Errorf("near download %.0f >= far download %.0f", mn.DownloadMs, mf.DownloadMs)
+	}
+}
+
+func TestTTFBLessElasticThanRTT(t *testing.T) {
+	// §4.1: TTFB shows "more modest reductions" than RTT because page
+	// construction is unaffected by mapping. Relative improvement in
+	// TTFB must be smaller than in RTT.
+	m := NewModel(netmodel.NewDefault())
+	b := testW.Blocks[20]
+	near, far := nearFarDeployments(b)
+	mn := m.Measure(time.Now(), b, cat.Domains[0], near, 2)
+	mf := m.Measure(time.Now(), b, cat.Domains[0], far, 2)
+	rttGain := mf.RTTMs / mn.RTTMs
+	ttfbGain := mf.TTFBMs / mn.TTFBMs
+	if ttfbGain >= rttGain {
+		t.Errorf("TTFB gain %.2fx should be below RTT gain %.2fx", ttfbGain, rttGain)
+	}
+	if ttfbGain <= 1 {
+		t.Errorf("TTFB gain %.2fx should still be positive", ttfbGain)
+	}
+}
+
+func TestDynamicPagesSlowerTTFB(t *testing.T) {
+	m := NewModel(netmodel.NewDefault())
+	b := testW.Blocks[30]
+	near, _ := nearFarDeployments(b)
+	static := demand.Domain{Name: "static", DynamicFraction: 0.35, PageBytes: 100_000}
+	dynamic := demand.Domain{Name: "dyn", DynamicFraction: 0.75, PageBytes: 100_000}
+	ms := m.Measure(time.Now(), b, static, near, 3)
+	md := m.Measure(time.Now(), b, dynamic, near, 3)
+	if md.TTFBMs <= ms.TTFBMs {
+		t.Error("dynamic page TTFB should exceed static")
+	}
+	if md.DownloadMs != ms.DownloadMs {
+		t.Error("download time should not depend on dynamic fraction")
+	}
+}
+
+func TestBiggerPagesSlowerDownload(t *testing.T) {
+	m := NewModel(netmodel.NewDefault())
+	b := testW.Blocks[40]
+	near, _ := nearFarDeployments(b)
+	small := demand.Domain{Name: "s", DynamicFraction: 0.5, PageBytes: 50_000}
+	big := demand.Domain{Name: "b", DynamicFraction: 0.5, PageBytes: 2_000_000}
+	if m.Measure(time.Now(), b, big, near, 1).DownloadMs <= m.Measure(time.Now(), b, small, near, 1).DownloadMs {
+		t.Error("bigger page should download slower")
+	}
+}
+
+func TestHighExpectationCountries(t *testing.T) {
+	groups := HighExpectationCountries(testW)
+	if len(groups) == 0 {
+		t.Fatal("no countries classified")
+	}
+	// Countries whose public resolvers are far (no nearby provider
+	// sites) must be high-expectation; those with local sites must not.
+	for _, cc := range []string{"AR", "BR"} {
+		if high, ok := groups[cc]; ok && !high {
+			t.Errorf("%s should be high expectation", cc)
+		}
+	}
+	for _, cc := range []string{"US", "DE", "NL", "GB"} {
+		if high, ok := groups[cc]; ok && high {
+			t.Errorf("%s should be low expectation", cc)
+		}
+	}
+	// Both groups must be non-empty for before/after comparisons.
+	var hi, lo int
+	for _, h := range groups {
+		if h {
+			hi++
+		} else {
+			lo++
+		}
+	}
+	if hi == 0 || lo == 0 {
+		t.Errorf("degenerate grouping: high=%d low=%d", hi, lo)
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	ds := []distWeight{{10, 1}, {20, 1}, {30, 1}}
+	if got := weightedMedian(ds, 3); got != 20 {
+		t.Errorf("median = %v", got)
+	}
+	ds = []distWeight{{10, 9}, {1000, 1}}
+	if got := weightedMedian(ds, 10); got != 10 {
+		t.Errorf("weighted median = %v", got)
+	}
+	if got := weightedMedian(nil, 0); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+}
+
+func TestMeasureDeterministicPerEpoch(t *testing.T) {
+	m := NewModel(netmodel.NewDefault())
+	b := testW.Blocks[50]
+	near, _ := nearFarDeployments(b)
+	a := m.Measure(time.Time{}, b, cat.Domains[1], near, 7)
+	bb := m.Measure(time.Time{}, b, cat.Domains[1], near, 7)
+	if a.RTTMs != bb.RTTMs || a.TTFBMs != bb.TTFBMs || a.DownloadMs != bb.DownloadMs {
+		t.Error("same epoch gave different measurements")
+	}
+	c := m.Measure(time.Time{}, b, cat.Domains[1], near, 8)
+	if a.RTTMs == c.RTTMs {
+		t.Error("different epochs gave identical RTT (congestion frozen)")
+	}
+}

@@ -1,0 +1,157 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/demand"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/resolver"
+	"eum/internal/rum"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+// BroadRolloutResult quantifies the paper's conclusion (§8): "a broad
+// roll-out of this technology across the entire Internet population will
+// be quite beneficial ... more ISPs would need to support the EDNS0
+// extension". It compares three worlds: no ECS anywhere, the paper's
+// actual roll-out (public resolvers only), and universal adoption
+// including ISP resolvers.
+type BroadRolloutResult struct {
+	// Stage names the adoption level.
+	Stages []BroadRolloutStage
+}
+
+// BroadRolloutStage is one adoption level's outcome.
+type BroadRolloutStage struct {
+	Name string
+	// MeanRTTMs / P95RTTMs are demand-weighted over ALL clients
+	// (not just public-resolver users).
+	MeanRTTMs float64
+	P95RTTMs  float64
+	// MeanDistance is the demand-weighted mean mapping distance.
+	MeanDistance float64
+	// AuthQueryMultiplier is the authoritative DNS query rate relative
+	// to the no-ECS baseline (the §5 scaling price of adoption).
+	AuthQueryMultiplier float64
+}
+
+// RunBroadRollout simulates the three adoption stages on one substrate.
+// Performance is evaluated by mapping every block through per-LDNS
+// resolvers with the stage's ECS settings; the query-rate multiplier comes
+// from replaying an identical dense query workload through the caches.
+func RunBroadRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, seed int64) (*BroadRolloutResult, error) {
+	sys := mapping.NewSystem(w, p, net, mapping.Config{Policy: mapping.EndUser, PingTargets: len(w.Blocks) / 10})
+	up := &resolver.SystemUpstream{System: sys}
+	rumModel := rum.NewModel(net)
+	_ = rumModel
+
+	depByAddr := map[netip.Addr]*cdn.Deployment{}
+	for _, d := range p.Deployments {
+		for _, s := range d.Servers {
+			depByAddr[s.Addr] = d
+		}
+	}
+
+	stages := []struct {
+		name string
+		ecs  func(l *world.LDNS) bool
+	}{
+		{"no-ecs", func(*world.LDNS) bool { return false }},
+		{"public-only", func(l *world.LDNS) bool { return l.IsPublic() }},
+		{"universal", func(*world.LDNS) bool { return true }},
+	}
+
+	res := &BroadRolloutResult{}
+	var baselineQPS float64
+	for _, stage := range stages {
+		// Fresh resolvers per stage.
+		resolvers := map[uint64]*resolver.Resolver{}
+		for _, l := range w.LDNSes {
+			r, err := resolver.New(resolver.Config{
+				Addr: l.Addr, ECSEnabled: stage.ecs(l), SourcePrefix: 24,
+			}, up)
+			if err != nil {
+				return nil, err
+			}
+			resolvers[l.ID] = r
+		}
+
+		// Performance: every block resolves once and is measured.
+		now := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
+		var rtt, dist stats.Dataset
+		for _, b := range w.Blocks {
+			ans, err := resolvers[b.LDNS.ID].Query(now, "broad.cdn.example.net", hostInBlock(b))
+			if err != nil {
+				return nil, err
+			}
+			dep := depByAddr[ans.Servers[0]]
+			if dep == nil {
+				return nil, fmt.Errorf("simulation: unknown server %v", ans.Servers[0])
+			}
+			rtt.Add(net.BaseRTTMs(b.Endpoint(), dep.Endpoint()), b.Demand)
+			m := rumModel.Measure(now, b, demand.Domain{Name: "broad", DynamicFraction: 0.5, PageBytes: 100_000}, dep, 1)
+			dist.Add(m.MappingDistance, b.Demand)
+			now = now.Add(time.Second)
+		}
+		for _, r := range resolvers {
+			r.Flush()
+		}
+
+		// Query-rate: a dense identical workload through the caches.
+		qps, err := stageQueryRate(w, resolvers, seed)
+		if err != nil {
+			return nil, err
+		}
+		st := BroadRolloutStage{
+			Name:         stage.name,
+			MeanRTTMs:    rtt.Mean(),
+			P95RTTMs:     rtt.Percentile(95),
+			MeanDistance: dist.Mean(),
+		}
+		if stage.name == "no-ecs" {
+			baselineQPS = qps
+		}
+		if baselineQPS > 0 {
+			st.AuthQueryMultiplier = qps / baselineQPS
+		}
+		res.Stages = append(res.Stages, st)
+	}
+	return res, nil
+}
+
+// stageQueryRate replays a fixed dense workload through the resolvers and
+// returns the authoritative query rate.
+func stageQueryRate(w *world.World, resolvers map[uint64]*resolver.Resolver, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cat := demand.MustNewCatalogue(80, 1.35, seed)
+	sampler, err := demand.NewSampler(w, nil)
+	if err != nil {
+		return 0, err
+	}
+	var before uint64
+	for _, r := range resolvers {
+		before += r.Metrics.UpstreamQueries
+	}
+	window := 2 * time.Minute
+	events := 60000
+	start := time.Date(2014, 7, 2, 0, 0, 0, 0, time.UTC)
+	step := window / time.Duration(events+1)
+	for i := 0; i < events; i++ {
+		blk := sampler.Sample(rng)
+		dom := cat.Sample(rng)
+		if _, err := resolvers[blk.LDNS.ID].Query(start.Add(time.Duration(i)*step), dom.Name, hostInBlock(blk)); err != nil {
+			return 0, err
+		}
+	}
+	var after uint64
+	for _, r := range resolvers {
+		after += r.Metrics.UpstreamQueries
+	}
+	return float64(after-before) / window.Seconds(), nil
+}

@@ -1,0 +1,322 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"eum/internal/demand"
+	"eum/internal/resolver"
+	"eum/internal/world"
+)
+
+// QueryRateConfig parameterises the authoritative-side DNS query-volume
+// simulation behind Figs 2, 23 and 24.
+type QueryRateConfig struct {
+	Seed int64
+	// Days is the timeline length.
+	Days int
+	// RolloutStartDay..RolloutEndDay is when public sites enable ECS.
+	RolloutStartDay, RolloutEndDay int
+	// WindowPerDay is the simulated slice of each day (query streams are
+	// dense, so a window per day suffices to estimate rates).
+	WindowPerDay time.Duration
+	// EventsPerWindow is the number of client DNS queries simulated in
+	// each day's window.
+	EventsPerWindow int
+	// TTL is the authoritative answer TTL.
+	TTL time.Duration
+	// Catalogue is the domain workload; nil builds a default.
+	Catalogue *demand.Catalogue
+}
+
+// DefaultQueryRateConfig returns a timeline shaped like the paper's:
+// 180 days with the roll-out around day 87-105.
+func DefaultQueryRateConfig() QueryRateConfig {
+	return QueryRateConfig{
+		Seed:            1,
+		Days:            180,
+		RolloutStartDay: 87,
+		RolloutEndDay:   105,
+		WindowPerDay:    2 * time.Minute,
+		EventsPerWindow: 200000,
+		TTL:             20 * time.Second,
+	}
+}
+
+// QueryRatePoint is one day's simulated rates, in queries per second.
+type QueryRatePoint struct {
+	Day int
+	// ClientQPS is the client-side resolution rate arriving at LDNSes —
+	// a proxy for client content requests (Fig 2's left axis).
+	ClientQPS float64
+	// AuthQPS is the rate of queries reaching the CDN's authoritative
+	// name servers (Fig 2's right axis; Fig 23's y axis).
+	AuthQPS float64
+	// PublicAuthQPS is the share of AuthQPS from public resolvers.
+	PublicAuthQPS float64
+}
+
+// FixedUpstream is a minimal authoritative stand-in for rate simulations:
+// answers carry a constant TTL and are ECS-scoped at Scope when the query
+// carries a subnet. (The query-rate effects of §5 depend only on TTL and
+// scope semantics, not on which servers are answered; use
+// resolver.SystemUpstream to run against the full mapping system instead.)
+type FixedUpstream struct {
+	TTL   time.Duration
+	Scope uint8
+}
+
+// Resolve implements resolver.Upstream.
+func (u *FixedUpstream) Resolve(domain string, ldns netip.Addr, subnet netip.Prefix) (resolver.Answer, error) {
+	a := resolver.Answer{
+		Servers: []netip.Addr{netip.AddrFrom4([4]byte{23, 0, 0, 1})},
+		TTL:     u.TTL,
+	}
+	if subnet.IsValid() {
+		a.ScopePrefix = u.Scope
+	}
+	return a, nil
+}
+
+// RunQueryRate simulates DNS query volumes before, during and after the
+// roll-out. Each simulated day replays a fixed-size window of
+// demand-weighted client queries through per-LDNS caching resolvers;
+// public resolver sites enable ECS on a schedule inside the roll-out
+// window. Growth in underlying traffic (~3%/month in the period) is
+// applied on top, matching Fig 23's gradual rise outside the roll-out.
+func RunQueryRate(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([]QueryRatePoint, error) {
+	if cfg.Days <= 0 || cfg.EventsPerWindow <= 0 {
+		return nil, fmt.Errorf("simulation: Days and EventsPerWindow must be positive")
+	}
+	if cfg.WindowPerDay <= 0 {
+		cfg.WindowPerDay = 10 * time.Minute
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 20 * time.Second
+	}
+	if cfg.Catalogue == nil {
+		// Public-resolver query streams concentrate on popular domains;
+		// a steep Zipf reproduces that concentration.
+		cfg.Catalogue = demand.MustNewCatalogue(120, 1.35, cfg.Seed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	resolvers, enableDay, err := buildResolvers(w, cfg, up, rng)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := demand.NewSampler(w, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	base := time.Date(2014, 1, 1, 12, 0, 0, 0, time.UTC)
+	var out []QueryRatePoint
+	for day := 0; day < cfg.Days; day++ {
+		// Enable ECS on public sites whose day has come.
+		for id, d := range enableDay {
+			if day >= d {
+				resolvers[id].SetECSEnabled(true)
+			}
+		}
+		// Organic traffic growth over the period.
+		grow := 1 + 0.18*float64(day)/float64(cfg.Days)
+		events := int(float64(cfg.EventsPerWindow) * grow)
+
+		windowStart := base.AddDate(0, 0, day)
+		var authBefore, pubBefore uint64
+		for _, r := range resolvers {
+			authBefore += r.Metrics.UpstreamQueries
+		}
+		for _, l := range w.LDNSes {
+			if l.IsPublic() {
+				pubBefore += resolvers[l.ID].Metrics.UpstreamQueries
+			}
+		}
+
+		step := cfg.WindowPerDay / time.Duration(events+1)
+		for i := 0; i < events; i++ {
+			now := windowStart.Add(time.Duration(i) * step)
+			blk := sampler.Sample(rng)
+			dom := cfg.Catalogue.Sample(rng)
+			if _, err := resolvers[blk.LDNS.ID].Query(now, dom.Name, hostInBlock(blk)); err != nil {
+				return nil, err
+			}
+		}
+
+		var authAfter, pubAfter uint64
+		for _, r := range resolvers {
+			authAfter += r.Metrics.UpstreamQueries
+		}
+		for _, l := range w.LDNSes {
+			if l.IsPublic() {
+				pubAfter += resolvers[l.ID].Metrics.UpstreamQueries
+			}
+		}
+		secs := cfg.WindowPerDay.Seconds()
+		out = append(out, QueryRatePoint{
+			Day:           day,
+			ClientQPS:     float64(events) / secs,
+			AuthQPS:       float64(authAfter-authBefore) / secs,
+			PublicAuthQPS: float64(pubAfter-pubBefore) / secs,
+		})
+		// Caches carry within a day's window but not across days
+		// (windows are far apart relative to TTL); flush to bound memory.
+		for _, r := range resolvers {
+			r.Flush()
+		}
+	}
+	return out, nil
+}
+
+func buildResolvers(w *world.World, cfg QueryRateConfig, up resolver.Upstream, rng *rand.Rand) (map[uint64]*resolver.Resolver, map[uint64]int, error) {
+	resolvers := map[uint64]*resolver.Resolver{}
+	enableDay := map[uint64]int{}
+	for _, l := range w.LDNSes {
+		r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: false, SourcePrefix: 24}, up)
+		if err != nil {
+			return nil, nil, err
+		}
+		resolvers[l.ID] = r
+		if l.IsPublic() {
+			span := cfg.RolloutEndDay - cfg.RolloutStartDay
+			if span < 1 {
+				span = 1
+			}
+			enableDay[l.ID] = cfg.RolloutStartDay + rng.Intn(span)
+		}
+	}
+	return resolvers, enableDay, nil
+}
+
+// PopularityBucket is one bar of Fig 24: (domain, LDNS) pairs bucketed by
+// their pre-roll-out popularity in authoritative queries per TTL, with the
+// mean factor increase in query rate once ECS/EU mapping is enabled.
+type PopularityBucket struct {
+	// PopularityLo..PopularityHi is the bucket range in queries per TTL.
+	PopularityLo, PopularityHi float64
+	// FactorIncrease is the mean post/pre authoritative query-rate ratio.
+	FactorIncrease float64
+	// Pairs is the number of (domain, LDNS) pairs in the bucket.
+	Pairs int
+	// PreQueryShare is the bucket's share of pre-roll-out queries
+	// (the paper notes the most popular bucket held only 11% of them).
+	PreQueryShare float64
+}
+
+// RunPopularity reproduces Fig 24's analysis: the same client workload is
+// replayed twice through public-resolver caches — once with ECS off (pre
+// roll-out) and once with ECS on — and (domain, LDNS) pairs are bucketed by
+// pre-roll-out queries per TTL.
+func RunPopularity(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([]PopularityBucket, error) {
+	if cfg.EventsPerWindow <= 0 {
+		return nil, fmt.Errorf("simulation: EventsPerWindow must be positive")
+	}
+	if cfg.WindowPerDay <= 0 {
+		cfg.WindowPerDay = 10 * time.Minute
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 20 * time.Second
+	}
+	if cfg.Catalogue == nil {
+		cfg.Catalogue = demand.MustNewCatalogue(120, 1.35, cfg.Seed)
+	}
+
+	type pairKey struct {
+		ldns   uint64
+		domain string
+	}
+	run := func(ecs bool) (map[pairKey]uint64, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed)) // identical workload both runs
+		resolvers := map[uint64]*resolver.Resolver{}
+		for _, l := range w.LDNSes {
+			if !l.IsPublic() {
+				continue
+			}
+			r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: ecs, SourcePrefix: 24}, up)
+			if err != nil {
+				return nil, err
+			}
+			r.TrackDomains()
+			resolvers[l.ID] = r
+		}
+		sampler, err := demand.NewSampler(w, func(b *world.ClientBlock) bool { return b.LDNS.IsPublic() })
+		if err != nil {
+			return nil, err
+		}
+		base := time.Date(2014, 3, 1, 12, 0, 0, 0, time.UTC)
+		step := cfg.WindowPerDay / time.Duration(cfg.EventsPerWindow+1)
+		for i := 0; i < cfg.EventsPerWindow; i++ {
+			now := base.Add(time.Duration(i) * step)
+			blk := sampler.Sample(rng)
+			dom := cfg.Catalogue.Sample(rng)
+			if _, err := resolvers[blk.LDNS.ID].Query(now, dom.Name, hostInBlock(blk)); err != nil {
+				return nil, err
+			}
+		}
+		counts := map[pairKey]uint64{}
+		for id, r := range resolvers {
+			for dom, n := range r.PerDomainUpstream {
+				counts[pairKey{id, dom}] = n
+			}
+		}
+		return counts, nil
+	}
+
+	pre, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	post, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bucket pairs by pre-roll-out queries per TTL, in tenths of the
+	// maximum of 1 query/TTL (a cache bounds the pre rate at 1/TTL).
+	windows := cfg.WindowPerDay.Seconds() / cfg.TTL.Seconds()
+	const nBuckets = 10
+	type agg struct {
+		factorSum float64
+		pairs     int
+		preSum    uint64
+	}
+	buckets := make([]agg, nBuckets)
+	var totalPre uint64
+	for k, preN := range pre {
+		if preN == 0 {
+			continue
+		}
+		totalPre += preN
+		perTTL := float64(preN) / windows
+		idx := int(perTTL * nBuckets)
+		if idx >= nBuckets {
+			idx = nBuckets - 1
+		}
+		postN := post[k]
+		buckets[idx].factorSum += float64(postN) / float64(preN)
+		buckets[idx].pairs++
+		buckets[idx].preSum += preN
+	}
+	var out []PopularityBucket
+	for i, b := range buckets {
+		if b.pairs == 0 {
+			continue
+		}
+		pb := PopularityBucket{
+			PopularityLo:   float64(i) / nBuckets,
+			PopularityHi:   float64(i+1) / nBuckets,
+			FactorIncrease: b.factorSum / float64(b.pairs),
+			Pairs:          b.pairs,
+		}
+		if totalPre > 0 {
+			pb.PreQueryShare = float64(b.preSum) / float64(totalPre)
+		}
+		out = append(out, pb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PopularityLo < out[j].PopularityLo })
+	return out, nil
+}

@@ -1,0 +1,213 @@
+// Package simulation orchestrates end-to-end simulations of the end-user
+// mapping roll-out: the client-side performance timeline of §4 (RUM metrics
+// before, during and after public resolvers were switched to EU mapping)
+// and the authoritative-side DNS query-rate effects of §5.
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/demand"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/resolver"
+	"eum/internal/rum"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+// RolloutConfig parameterises the roll-out performance simulation.
+type RolloutConfig struct {
+	Seed int64
+	// Start..End is the measurement period (paper: Jan 1 - Jun 30 2014).
+	Start, End time.Time
+	// RolloutStart..RolloutEnd is when public resolver sites switch to
+	// end-user mapping (paper: Mar 28 - Apr 15 2014).
+	RolloutStart, RolloutEnd time.Time
+	// DailyMeasurements is the RUM beacon count on the first day; volume
+	// grows linearly to ~1.75x by the last day (Fig 12's rising trend).
+	DailyMeasurements int
+	// Catalogue is the content-domain workload; nil builds a default.
+	Catalogue *demand.Catalogue
+	// PingTargets is the scoring measurement granularity. The paper
+	// measures 8K targets on behalf of 3.76M blocks (~0.2% coverage);
+	// the default of 4% of blocks keeps mapping realistically imperfect.
+	PingTargets int
+	// Faults optionally injects server failures during the simulation;
+	// a health monitor probes daily and the mapping system routes around
+	// outages, as the production platform does continuously.
+	Faults cdn.FaultInjector
+}
+
+// DefaultRolloutConfig mirrors the paper's timeline.
+func DefaultRolloutConfig() RolloutConfig {
+	return RolloutConfig{
+		Seed:              1,
+		Start:             time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:               time.Date(2014, 6, 30, 0, 0, 0, 0, time.UTC),
+		RolloutStart:      time.Date(2014, 3, 28, 0, 0, 0, 0, time.UTC),
+		RolloutEnd:        time.Date(2014, 4, 15, 0, 0, 0, 0, time.UTC),
+		DailyMeasurements: 600,
+	}
+}
+
+// GroupSeries is a metric's time series split into the paper's two country
+// groups (§4.1.1).
+type GroupSeries struct {
+	High stats.TimeSeries // countries where EU mapping should help most
+	Low  stats.TimeSeries
+}
+
+// Series selects the group's series.
+func (g *GroupSeries) Series(high bool) *stats.TimeSeries {
+	if high {
+		return &g.High
+	}
+	return &g.Low
+}
+
+// RolloutResult holds the four §4.1 metrics for qualified clients (those
+// using public resolvers) over the simulation period.
+type RolloutResult struct {
+	MappingDistance GroupSeries // miles
+	RTT             GroupSeries // ms
+	TTFB            GroupSeries // ms
+	Download        GroupSeries // ms
+
+	// Rollout window, copied from config for before/after analysis.
+	RolloutStart, RolloutEnd time.Time
+}
+
+// BeforeAfter returns the demand-weighted datasets of a metric before the
+// roll-out started and after it completed, for the CDF figures.
+func BeforeAfter(g *GroupSeries, high bool, r *RolloutResult) (before, after *stats.Dataset) {
+	s := g.Series(high)
+	return s.Window(time.Time{}, r.RolloutStart),
+		s.Window(r.RolloutEnd, r.RolloutEnd.AddDate(100, 0, 0))
+}
+
+// RunRollout simulates the roll-out: RUM measurements from clients of
+// public resolvers are generated every simulated day; each public resolver
+// site flips to ECS (and hence end-user mapping) at a date drawn from the
+// roll-out window. The mapping system runs the EndUser policy throughout —
+// exactly as deployed, the client-specific path only activates for queries
+// that carry ECS.
+func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg RolloutConfig) (*RolloutResult, error) {
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("simulation: empty period %v..%v", cfg.Start, cfg.End)
+	}
+	if cfg.DailyMeasurements <= 0 {
+		cfg.DailyMeasurements = 600
+	}
+	if cfg.Catalogue == nil {
+		cfg.Catalogue = demand.MustNewCatalogue(200, 1, cfg.Seed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	if cfg.PingTargets <= 0 {
+		cfg.PingTargets = len(w.Blocks) / 25
+	}
+	sys := mapping.NewSystem(w, p, net, mapping.Config{Policy: mapping.EndUser, PingTargets: cfg.PingTargets})
+	up := &resolver.SystemUpstream{System: sys}
+
+	// One simulated resolver per public site, with a per-site enable day.
+	resolvers := map[uint64]*resolver.Resolver{}
+	enableAt := map[uint64]time.Time{}
+	window := cfg.RolloutEnd.Sub(cfg.RolloutStart)
+	for _, l := range w.LDNSes {
+		if !l.IsPublic() {
+			continue
+		}
+		r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: false, SourcePrefix: 24}, up)
+		if err != nil {
+			return nil, err
+		}
+		resolvers[l.ID] = r
+		enableAt[l.ID] = cfg.RolloutStart.Add(time.Duration(rng.Int63n(int64(window))))
+	}
+
+	// Server address -> deployment, to interpret DNS answers.
+	depByAddr := map[netip.Addr]*cdn.Deployment{}
+	for _, d := range p.Deployments {
+		for _, s := range d.Servers {
+			depByAddr[s.Addr] = d
+		}
+	}
+
+	sampler, err := demand.NewSampler(w, func(b *world.ClientBlock) bool { return b.LDNS.IsPublic() })
+	if err != nil {
+		return nil, err
+	}
+	highExp := rum.HighExpectationCountries(w)
+	rumModel := rum.NewModel(net)
+
+	var monitor *cdn.Monitor
+	if cfg.Faults != nil {
+		m, err := cdn.NewMonitor(p, cfg.Faults, 12*time.Hour, func(*cdn.Deployment) {
+			sys.Scorer().InvalidateBest()
+		})
+		if err != nil {
+			return nil, err
+		}
+		monitor = m
+	}
+
+	res := &RolloutResult{RolloutStart: cfg.RolloutStart, RolloutEnd: cfg.RolloutEnd}
+	totalDays := int(cfg.End.Sub(cfg.Start).Hours() / 24)
+	for day := 0; day < totalDays; day++ {
+		dayStart := cfg.Start.AddDate(0, 0, day)
+		if monitor != nil {
+			monitor.Tick(dayStart)
+		}
+		// Volume grows ~1.75x across the period (Fig 12).
+		grow := 1 + 0.75*float64(day)/float64(totalDays)
+		n := int(float64(cfg.DailyMeasurements) * grow)
+
+		// Flip resolvers whose enable date has arrived.
+		for id, at := range enableAt {
+			if !dayStart.Before(at) {
+				resolvers[id].SetECSEnabled(true)
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			now := dayStart.Add(time.Duration(i) * (24 * time.Hour / time.Duration(n+1)))
+			blk := sampler.Sample(rng)
+			dom := cfg.Catalogue.Sample(rng)
+			clientAddr := hostInBlock(blk)
+			r := resolvers[blk.LDNS.ID]
+			ans, err := r.Query(now, dom.Name, clientAddr)
+			if err != nil {
+				return nil, fmt.Errorf("simulation: day %d: %w", day, err)
+			}
+			dep := depByAddr[ans.Servers[0]]
+			if dep == nil {
+				return nil, fmt.Errorf("simulation: answer %v is not a platform server", ans.Servers[0])
+			}
+			m := rumModel.Measure(now, blk, dom, dep, uint64(day))
+			high := highExp[blk.Country.Code()]
+			weight := blk.Demand
+			res.MappingDistance.Series(high).Add(now, m.MappingDistance, weight)
+			res.RTT.Series(high).Add(now, m.RTTMs, weight)
+			res.TTFB.Series(high).Add(now, m.TTFBMs, weight)
+			res.Download.Series(high).Add(now, m.DownloadMs, weight)
+		}
+	}
+	return res, nil
+}
+
+// hostInBlock returns a representative client address inside the block.
+func hostInBlock(b *world.ClientBlock) netip.Addr {
+	if b.Prefix.Addr().Is4() {
+		a := b.Prefix.Addr().As4()
+		a[3] = 77
+		return netip.AddrFrom4(a)
+	}
+	a := b.Prefix.Addr().As16()
+	a[15] = 77
+	return netip.AddrFrom16(a)
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// TimeSeries accumulates (timestamp, value, weight) observations and reports
+// per-bucket weighted means — the "daily mean" curves of Figs 13, 15, 17, 19
+// and the monthly volumes of Fig 12.
+// The zero value is ready to use.
+type TimeSeries struct {
+	obs []timedSample
+}
+
+type timedSample struct {
+	at     time.Time
+	value  float64
+	weight float64
+}
+
+// Add records one observation. Non-positive weights are ignored.
+func (ts *TimeSeries) Add(at time.Time, value, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	ts.obs = append(ts.obs, timedSample{at, value, weight})
+}
+
+// Len returns the number of retained observations.
+func (ts *TimeSeries) Len() int { return len(ts.obs) }
+
+// BucketPoint is one aggregated point of a bucketed time series.
+type BucketPoint struct {
+	Start  time.Time // inclusive start of the bucket
+	Mean   float64   // weighted mean of values in the bucket
+	Weight float64   // total weight (e.g. measurement count) in the bucket
+}
+
+// DailyMeans buckets observations by UTC calendar day and returns the
+// weighted mean per day, sorted by day. Days with no observations are
+// omitted.
+func (ts *TimeSeries) DailyMeans() []BucketPoint {
+	return ts.bucketMeans(func(t time.Time) time.Time {
+		y, m, d := t.UTC().Date()
+		return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+	})
+}
+
+// MonthlyMeans buckets observations by UTC calendar month.
+func (ts *TimeSeries) MonthlyMeans() []BucketPoint {
+	return ts.bucketMeans(func(t time.Time) time.Time {
+		y, m, _ := t.UTC().Date()
+		return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC)
+	})
+}
+
+func (ts *TimeSeries) bucketMeans(truncate func(time.Time) time.Time) []BucketPoint {
+	type agg struct{ sum, weight float64 }
+	buckets := make(map[time.Time]*agg)
+	for _, o := range ts.obs {
+		k := truncate(o.at)
+		a := buckets[k]
+		if a == nil {
+			a = &agg{}
+			buckets[k] = a
+		}
+		a.sum += o.value * o.weight
+		a.weight += o.weight
+	}
+	out := make([]BucketPoint, 0, len(buckets))
+	for k, a := range buckets {
+		out = append(out, BucketPoint{Start: k, Mean: a.sum / a.weight, Weight: a.weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Window returns a Dataset containing the observations with from <= t < to,
+// for computing before/after CDFs around the roll-out window.
+func (ts *TimeSeries) Window(from, to time.Time) *Dataset {
+	var d Dataset
+	for _, o := range ts.obs {
+		if !o.at.Before(from) && o.at.Before(to) {
+			d.Add(o.value, o.weight)
+		}
+	}
+	return &d
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestDailyMeans(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(day(2014, 3, 1).Add(2*time.Hour), 100, 1)
+	ts.Add(day(2014, 3, 1).Add(20*time.Hour), 200, 1)
+	ts.Add(day(2014, 3, 3), 50, 2)
+	pts := ts.DailyMeans()
+	if len(pts) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(pts))
+	}
+	if !pts[0].Start.Equal(day(2014, 3, 1)) || pts[0].Mean != 150 || pts[0].Weight != 2 {
+		t.Errorf("day 1 bucket = %+v", pts[0])
+	}
+	if !pts[1].Start.Equal(day(2014, 3, 3)) || pts[1].Mean != 50 {
+		t.Errorf("day 3 bucket = %+v", pts[1])
+	}
+}
+
+func TestDailyMeansSorted(t *testing.T) {
+	var ts TimeSeries
+	for i := 30; i >= 1; i-- {
+		ts.Add(day(2014, 4, i), float64(i), 1)
+	}
+	pts := ts.DailyMeans()
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].Start.Before(pts[i].Start) {
+			t.Fatal("daily means not sorted by day")
+		}
+	}
+}
+
+func TestMonthlyMeans(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(day(2014, 1, 5), 10, 1)
+	ts.Add(day(2014, 1, 25), 30, 1)
+	ts.Add(day(2014, 2, 10), 100, 4)
+	pts := ts.MonthlyMeans()
+	if len(pts) != 2 {
+		t.Fatalf("got %d months, want 2", len(pts))
+	}
+	if pts[0].Mean != 20 || pts[0].Weight != 2 {
+		t.Errorf("Jan = %+v", pts[0])
+	}
+	if pts[1].Mean != 100 || pts[1].Weight != 4 {
+		t.Errorf("Feb = %+v", pts[1])
+	}
+}
+
+func TestWindow(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(day(2014, 3, 1), 1, 1)
+	ts.Add(day(2014, 3, 15), 2, 1)
+	ts.Add(day(2014, 4, 20), 3, 1)
+	d := ts.Window(day(2014, 3, 10), day(2014, 4, 1))
+	if d.Len() != 1 {
+		t.Fatalf("window retained %d samples, want 1", d.Len())
+	}
+	if math.Abs(d.Mean()-2) > 1e-12 {
+		t.Errorf("window mean = %v, want 2", d.Mean())
+	}
+}
+
+func TestWindowBoundaries(t *testing.T) {
+	var ts TimeSeries
+	at := day(2014, 3, 10)
+	ts.Add(at, 5, 1)
+	if ts.Window(at, at.Add(time.Hour)).Len() != 1 {
+		t.Error("window start should be inclusive")
+	}
+	if ts.Window(at.Add(-time.Hour), at).Len() != 0 {
+		t.Error("window end should be exclusive")
+	}
+}
+
+func TestTimeSeriesIgnoresZeroWeight(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(day(2014, 1, 1), 5, 0)
+	ts.Add(day(2014, 1, 1), 5, -1)
+	if ts.Len() != 0 {
+		t.Errorf("Len = %d, want 0", ts.Len())
+	}
+}

@@ -1,0 +1,334 @@
+package world
+
+import "eum/internal/geo"
+
+// CountrySpec is the static per-country generation profile. The table below
+// covers the paper's top-25 countries by client demand (Fig 6) and encodes,
+// for each, the qualitative structure the paper measured:
+//
+//   - DemandShare: the country's share of global client demand.
+//   - Cities: major population/metro centres with weights.
+//   - LDNS placement profile: how ISP resolvers are sited relative to
+//     clients (metro / regional hub / national hub / offshore), the knob
+//     that produces the per-country client-LDNS distance distributions of
+//     Fig 6 — e.g. India/Turkey/Vietnam/Mexico with >1000-mile medians
+//     versus Korea/Taiwan with the smallest distances.
+//   - PublicAdoption: fraction of client demand using public resolvers
+//     (Fig 9) — Vietnam and Turkey heaviest, Japan and Korea lightest.
+//   - InfraTier: 1 = highly developed access networks (more fibre),
+//     3 = mobile-heavy.
+type CountrySpec struct {
+	Code        string
+	Name        string
+	DemandShare float64
+	Cities      []CitySpec
+	Profile     LDNSProfile
+	// PublicAdoption is the target fraction of demand using public
+	// resolvers.
+	PublicAdoption float64
+	// OffshoreHub is where "offshore" LDNSes for this country's
+	// enterprises/outsourced ISPs sit (e.g. a US or EU data-centre hub).
+	OffshoreHub geo.Point
+	// InfraTier selects the access-technology mix (1 best).
+	InfraTier int
+}
+
+// CitySpec is a city with a population weight used when placing client
+// blocks and choosing regional LDNS hubs. The first city of each country is
+// its primary hub ("national" LDNS placement); cities with Hub set also
+// serve as regional LDNS hubs.
+type CitySpec struct {
+	Name   string
+	Loc    geo.Point
+	Weight float64
+	Hub    bool
+}
+
+// LDNSProfile gives the probability that an ISP-operated LDNS serving a
+// client block is placed in the client's metro, at a regional hub, at the
+// national hub, or offshore. Fractions sum to 1.
+type LDNSProfile struct {
+	Metro, Regional, National, Offshore float64
+}
+
+var (
+	hubFrankfurt = geo.Point{Lat: 50.11, Lon: 8.68}
+	hubLondon    = geo.Point{Lat: 51.51, Lon: -0.13}
+	hubAshburn   = geo.Point{Lat: 39.04, Lon: -77.49}
+	hubMiami     = geo.Point{Lat: 25.76, Lon: -80.19}
+	hubLosAng    = geo.Point{Lat: 34.05, Lon: -118.24}
+	hubSingapore = geo.Point{Lat: 1.35, Lon: 103.82}
+	hubTokyo     = geo.Point{Lat: 35.68, Lon: 139.65}
+)
+
+// Countries is the generation table for the paper's top-25 countries.
+// Demand shares are approximate relative magnitudes and are normalised by
+// the generator.
+var Countries = []CountrySpec{
+	{
+		Code: "US", Name: "United States", DemandShare: 30, InfraTier: 1,
+		Cities: []CitySpec{
+			{"New York", geo.Point{Lat: 40.71, Lon: -74.01}, 18, true},
+			{"Los Angeles", geo.Point{Lat: 34.05, Lon: -118.24}, 13, true},
+			{"Chicago", geo.Point{Lat: 41.88, Lon: -87.63}, 9, true},
+			{"Dallas", geo.Point{Lat: 32.78, Lon: -96.80}, 7, true},
+			{"Atlanta", geo.Point{Lat: 33.75, Lon: -84.39}, 6, false},
+			{"Seattle", geo.Point{Lat: 47.61, Lon: -122.33}, 5, false},
+			{"Miami", geo.Point{Lat: 25.76, Lon: -80.19}, 5, false},
+			{"Denver", geo.Point{Lat: 39.74, Lon: -104.99}, 4, false},
+			{"San Francisco", geo.Point{Lat: 37.77, Lon: -122.42}, 6, true},
+		},
+		Profile:        LDNSProfile{Metro: 0.50, Regional: 0.37, National: 0.09, Offshore: 0.04},
+		PublicAdoption: 0.08, OffshoreHub: hubLondon,
+	},
+	{
+		Code: "JP", Name: "Japan", DemandShare: 8, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Tokyo", geo.Point{Lat: 35.68, Lon: 139.65}, 20, true},
+			{"Osaka", geo.Point{Lat: 34.69, Lon: 135.50}, 10, true},
+			{"Nagoya", geo.Point{Lat: 35.18, Lon: 136.91}, 5, false},
+			{"Fukuoka", geo.Point{Lat: 33.59, Lon: 130.40}, 3, false},
+			{"Sapporo", geo.Point{Lat: 43.06, Lon: 141.35}, 2, false},
+		},
+		// Small median but a heavy far tail: multinationals with
+		// centralised LDNSes outside Japan (paper §3.2).
+		Profile:        LDNSProfile{Metro: 0.68, Regional: 0.17, National: 0.04, Offshore: 0.11},
+		PublicAdoption: 0.02, OffshoreHub: hubAshburn,
+	},
+	{
+		Code: "GB", Name: "United Kingdom", DemandShare: 6, InfraTier: 1,
+		Cities: []CitySpec{
+			{"London", geo.Point{Lat: 51.51, Lon: -0.13}, 14, true},
+			{"Manchester", geo.Point{Lat: 53.48, Lon: -2.24}, 5, true},
+			{"Edinburgh", geo.Point{Lat: 55.95, Lon: -3.19}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.62, Regional: 0.30, National: 0.06, Offshore: 0.02},
+		PublicAdoption: 0.07, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "DE", Name: "Germany", DemandShare: 5, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Frankfurt", geo.Point{Lat: 50.11, Lon: 8.68}, 8, true},
+			{"Berlin", geo.Point{Lat: 52.52, Lon: 13.41}, 7, true},
+			{"Munich", geo.Point{Lat: 48.14, Lon: 11.58}, 5, false},
+			{"Hamburg", geo.Point{Lat: 53.55, Lon: 9.99}, 4, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.64, Regional: 0.29, National: 0.05, Offshore: 0.02},
+		PublicAdoption: 0.05, OffshoreHub: hubLondon,
+	},
+	{
+		Code: "FR", Name: "France", DemandShare: 4.5, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Paris", geo.Point{Lat: 48.86, Lon: 2.35}, 12, true},
+			{"Lyon", geo.Point{Lat: 45.76, Lon: 4.84}, 4, true},
+			{"Marseille", geo.Point{Lat: 43.30, Lon: 5.37}, 3, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.63, Regional: 0.29, National: 0.06, Offshore: 0.02},
+		PublicAdoption: 0.05, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "BR", Name: "Brazil", DemandShare: 4, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Sao Paulo", geo.Point{Lat: -23.55, Lon: -46.63}, 12, true},
+			{"Rio de Janeiro", geo.Point{Lat: -22.91, Lon: -43.17}, 7, false},
+			{"Brasilia", geo.Point{Lat: -15.78, Lon: -47.93}, 3, true},
+			{"Salvador", geo.Point{Lat: -12.97, Lon: -38.50}, 3, false},
+			{"Porto Alegre", geo.Point{Lat: -30.03, Lon: -51.23}, 3, false},
+			{"Recife", geo.Point{Lat: -8.05, Lon: -34.88}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.34, Regional: 0.20, National: 0.20, Offshore: 0.26},
+		PublicAdoption: 0.20, OffshoreHub: hubAshburn,
+	},
+	{
+		Code: "IN", Name: "India", DemandShare: 4, InfraTier: 3,
+		Cities: []CitySpec{
+			{"Mumbai", geo.Point{Lat: 19.08, Lon: 72.88}, 10, true},
+			{"Delhi", geo.Point{Lat: 28.61, Lon: 77.21}, 10, true},
+			{"Bangalore", geo.Point{Lat: 12.97, Lon: 77.59}, 6, false},
+			{"Chennai", geo.Point{Lat: 13.08, Lon: 80.27}, 5, true},
+			{"Kolkata", geo.Point{Lat: 22.57, Lon: 88.36}, 5, false},
+			{"Hyderabad", geo.Point{Lat: 17.38, Lon: 78.48}, 4, false},
+		},
+		// Heavily centralised + offshore DNS: >1000-mile median, a
+		// quarter of demand served from >4500 miles (paper Fig 6).
+		Profile:        LDNSProfile{Metro: 0.17, Regional: 0.20, National: 0.28, Offshore: 0.35},
+		PublicAdoption: 0.15, OffshoreHub: hubLondon,
+	},
+	{
+		Code: "CA", Name: "Canada", DemandShare: 3.5, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Toronto", geo.Point{Lat: 43.65, Lon: -79.38}, 9, true},
+			{"Montreal", geo.Point{Lat: 45.50, Lon: -73.57}, 5, false},
+			{"Vancouver", geo.Point{Lat: 49.28, Lon: -123.12}, 4, true},
+			{"Calgary", geo.Point{Lat: 51.05, Lon: -114.07}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.60, Regional: 0.30, National: 0.07, Offshore: 0.03},
+		PublicAdoption: 0.06, OffshoreHub: hubAshburn,
+	},
+	{
+		Code: "IT", Name: "Italy", DemandShare: 3, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Milan", geo.Point{Lat: 45.46, Lon: 9.19}, 8, true},
+			{"Rome", geo.Point{Lat: 41.90, Lon: 12.50}, 7, true},
+			{"Naples", geo.Point{Lat: 40.85, Lon: 14.27}, 3, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.52, Regional: 0.32, National: 0.12, Offshore: 0.04},
+		PublicAdoption: 0.25, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "AU", Name: "Australia", DemandShare: 3, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Sydney", geo.Point{Lat: -33.87, Lon: 151.21}, 8, true},
+			{"Melbourne", geo.Point{Lat: -37.81, Lon: 144.96}, 7, true},
+			{"Brisbane", geo.Point{Lat: -27.47, Lon: 153.03}, 4, false},
+			{"Perth", geo.Point{Lat: -31.95, Lon: 115.86}, 3, false},
+		},
+		// A quarter of demand served by LDNSes across the Pacific.
+		Profile:        LDNSProfile{Metro: 0.42, Regional: 0.18, National: 0.12, Offshore: 0.28},
+		PublicAdoption: 0.03, OffshoreHub: hubLosAng,
+	},
+	{
+		Code: "KR", Name: "South Korea", DemandShare: 3, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Seoul", geo.Point{Lat: 37.57, Lon: 126.98}, 18, true},
+			{"Busan", geo.Point{Lat: 35.18, Lon: 129.08}, 5, false},
+		},
+		// Smallest client-LDNS distances in the paper.
+		Profile:        LDNSProfile{Metro: 0.90, Regional: 0.08, National: 0.02, Offshore: 0},
+		PublicAdoption: 0.02, OffshoreHub: hubTokyo,
+	},
+	{
+		Code: "NL", Name: "Netherlands", DemandShare: 2.5, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Amsterdam", geo.Point{Lat: 52.37, Lon: 4.90}, 7, true},
+			{"Rotterdam", geo.Point{Lat: 51.92, Lon: 4.48}, 3, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.80, Regional: 0.15, National: 0.03, Offshore: 0.02},
+		PublicAdoption: 0.05, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "ES", Name: "Spain", DemandShare: 2.5, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Madrid", geo.Point{Lat: 40.42, Lon: -3.70}, 9, true},
+			{"Barcelona", geo.Point{Lat: 41.39, Lon: 2.17}, 6, true},
+			{"Seville", geo.Point{Lat: 37.39, Lon: -5.98}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.66, Regional: 0.26, National: 0.06, Offshore: 0.02},
+		PublicAdoption: 0.10, OffshoreHub: hubLondon,
+	},
+	{
+		Code: "MX", Name: "Mexico", DemandShare: 2.5, InfraTier: 3,
+		Cities: []CitySpec{
+			{"Mexico City", geo.Point{Lat: 19.43, Lon: -99.13}, 12, true},
+			{"Guadalajara", geo.Point{Lat: 20.66, Lon: -103.35}, 4, false},
+			{"Monterrey", geo.Point{Lat: 25.69, Lon: -100.32}, 4, true},
+		},
+		Profile:        LDNSProfile{Metro: 0.16, Regional: 0.14, National: 0.14, Offshore: 0.56},
+		PublicAdoption: 0.12, OffshoreHub: hubAshburn,
+	},
+	{
+		Code: "RU", Name: "Russia", DemandShare: 2.5, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Moscow", geo.Point{Lat: 55.76, Lon: 37.62}, 13, true},
+			{"St Petersburg", geo.Point{Lat: 59.93, Lon: 30.34}, 6, true},
+			{"Novosibirsk", geo.Point{Lat: 55.03, Lon: 82.92}, 3, false},
+			{"Yekaterinburg", geo.Point{Lat: 56.84, Lon: 60.65}, 3, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.45, Regional: 0.25, National: 0.24, Offshore: 0.06},
+		PublicAdoption: 0.13, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "TR", Name: "Turkey", DemandShare: 2, InfraTier: 3,
+		Cities: []CitySpec{
+			{"Istanbul", geo.Point{Lat: 41.01, Lon: 28.98}, 11, true},
+			{"Ankara", geo.Point{Lat: 39.93, Lon: 32.86}, 4, false},
+			{"Izmir", geo.Point{Lat: 38.42, Lon: 27.14}, 3, false},
+		},
+		// >1000-mile median: heavy reliance on European DNS infrastructure.
+		Profile:        LDNSProfile{Metro: 0.22, Regional: 0.18, National: 0.22, Offshore: 0.38},
+		PublicAdoption: 0.40, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "TW", Name: "Taiwan", DemandShare: 2, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Taipei", geo.Point{Lat: 25.03, Lon: 121.57}, 10, true},
+			{"Kaohsiung", geo.Point{Lat: 22.63, Lon: 120.30}, 4, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.88, Regional: 0.10, National: 0.02, Offshore: 0},
+		PublicAdoption: 0.09, OffshoreHub: hubTokyo,
+	},
+	{
+		Code: "CH", Name: "Switzerland", DemandShare: 2, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Zurich", geo.Point{Lat: 47.38, Lon: 8.54}, 6, true},
+			{"Geneva", geo.Point{Lat: 46.20, Lon: 6.14}, 3, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.76, Regional: 0.18, National: 0.03, Offshore: 0.03},
+		PublicAdoption: 0.06, OffshoreHub: hubFrankfurt,
+	},
+	{
+		Code: "AR", Name: "Argentina", DemandShare: 2, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Buenos Aires", geo.Point{Lat: -34.60, Lon: -58.38}, 11, true},
+			{"Cordoba", geo.Point{Lat: -31.42, Lon: -64.18}, 3, false},
+			{"Mendoza", geo.Point{Lat: -32.89, Lon: -68.83}, 2, false},
+		},
+		// Over a quarter of demand served from >4500 miles away.
+		Profile:        LDNSProfile{Metro: 0.46, Regional: 0.18, National: 0.14, Offshore: 0.22},
+		PublicAdoption: 0.18, OffshoreHub: hubMiami,
+	},
+	{
+		Code: "ID", Name: "Indonesia", DemandShare: 2, InfraTier: 3,
+		Cities: []CitySpec{
+			{"Jakarta", geo.Point{Lat: -6.21, Lon: 106.85}, 10, true},
+			{"Surabaya", geo.Point{Lat: -7.25, Lon: 112.75}, 4, false},
+			{"Medan", geo.Point{Lat: 3.59, Lon: 98.67}, 3, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.34, Regional: 0.22, National: 0.26, Offshore: 0.18},
+		PublicAdoption: 0.25, OffshoreHub: hubSingapore,
+	},
+	{
+		Code: "TH", Name: "Thailand", DemandShare: 1.5, InfraTier: 3,
+		Cities: []CitySpec{
+			{"Bangkok", geo.Point{Lat: 13.76, Lon: 100.50}, 9, true},
+			{"Chiang Mai", geo.Point{Lat: 18.79, Lon: 98.98}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.52, Regional: 0.20, National: 0.18, Offshore: 0.10},
+		PublicAdoption: 0.11, OffshoreHub: hubSingapore,
+	},
+	{
+		Code: "VN", Name: "Vietnam", DemandShare: 1.5, InfraTier: 3,
+		Cities: []CitySpec{
+			{"Ho Chi Minh City", geo.Point{Lat: 10.82, Lon: 106.63}, 7, true},
+			{"Hanoi", geo.Point{Lat: 21.03, Lon: 105.85}, 6, true},
+			{"Da Nang", geo.Point{Lat: 16.05, Lon: 108.21}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.18, Regional: 0.16, National: 0.32, Offshore: 0.34},
+		PublicAdoption: 0.45, OffshoreHub: hubSingapore,
+	},
+	{
+		Code: "HK", Name: "Hong Kong", DemandShare: 1.5, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Hong Kong", geo.Point{Lat: 22.32, Lon: 114.17}, 8, true},
+		},
+		Profile:        LDNSProfile{Metro: 0.86, Regional: 0.08, National: 0.02, Offshore: 0.04},
+		PublicAdoption: 0.07, OffshoreHub: hubSingapore,
+	},
+	{
+		Code: "MY", Name: "Malaysia", DemandShare: 1.5, InfraTier: 2,
+		Cities: []CitySpec{
+			{"Kuala Lumpur", geo.Point{Lat: 3.14, Lon: 101.69}, 6, true},
+			{"Penang", geo.Point{Lat: 5.42, Lon: 100.33}, 2, false},
+		},
+		Profile:        LDNSProfile{Metro: 0.55, Regional: 0.20, National: 0.13, Offshore: 0.12},
+		PublicAdoption: 0.22, OffshoreHub: hubSingapore,
+	},
+	{
+		Code: "SG", Name: "Singapore", DemandShare: 1, InfraTier: 1,
+		Cities: []CitySpec{
+			{"Singapore", geo.Point{Lat: 1.35, Lon: 103.82}, 6, true},
+		},
+		Profile:        LDNSProfile{Metro: 0.85, Regional: 0.08, National: 0.03, Offshore: 0.04},
+		PublicAdoption: 0.04, OffshoreHub: hubTokyo,
+	},
+}

@@ -1,0 +1,103 @@
+package world
+
+import (
+	"net/netip"
+	"testing"
+)
+
+var v6World = MustGenerate(Config{Seed: 13, NumBlocks: 3000, IPv6Fraction: 0.25})
+
+func TestIPv6FractionRealised(t *testing.T) {
+	v6 := 0
+	for _, b := range v6World.Blocks {
+		if b.Prefix.Addr().Is6() {
+			v6++
+		}
+	}
+	frac := float64(v6) / float64(len(v6World.Blocks))
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("v6 fraction = %.3f, want ~0.25", frac)
+	}
+}
+
+func TestIPv6BlockShape(t *testing.T) {
+	seen := map[netip.Prefix]bool{}
+	for _, b := range v6World.Blocks {
+		a := b.Prefix.Addr()
+		if a.Is4() {
+			if b.Prefix.Bits() != 24 {
+				t.Fatalf("v4 block %v not a /24", b.Prefix)
+			}
+			continue
+		}
+		if b.Prefix.Bits() != 48 {
+			t.Fatalf("v6 block %v not a /48", b.Prefix)
+		}
+		if seen[b.Prefix] {
+			t.Fatalf("duplicate v6 prefix %v", b.Prefix)
+		}
+		seen[b.Prefix] = true
+		if b.Prefix.Addr() != b.Prefix.Masked().Addr() {
+			t.Fatalf("v6 block %v not canonical", b.Prefix)
+		}
+		// Inside the synthetic 2600::-style space.
+		if b.Prefix.Addr().As16()[0] != 0x26 {
+			t.Fatalf("v6 block %v outside allocation space", b.Prefix)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no v6 blocks generated")
+	}
+}
+
+func TestIPv6CIDRCoverage(t *testing.T) {
+	for _, as := range v6World.ASes {
+		for _, b := range as.Blocks {
+			n := 0
+			for _, c := range as.CIDRs {
+				if c.Contains(b.Prefix.Addr()) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("block %v covered by %d of its AS's CIDRs", b.Prefix, n)
+			}
+		}
+	}
+	// v6 aggregates must be /45../48 and canonical.
+	for _, c := range v6World.BGPCIDRs() {
+		if c.Addr().Is4() {
+			continue
+		}
+		if c.Bits() < 45 || c.Bits() > 48 {
+			t.Fatalf("v6 aggregate %v outside /45../48", c)
+		}
+	}
+}
+
+func TestIPv6DisabledByDefault(t *testing.T) {
+	w := MustGenerate(Config{Seed: 14, NumBlocks: 500})
+	for _, b := range w.Blocks {
+		if b.Prefix.Addr().Is6() {
+			t.Fatal("v6 block generated with IPv6Fraction=0")
+		}
+	}
+}
+
+func TestIPv6Deterministic(t *testing.T) {
+	w1 := MustGenerate(Config{Seed: 15, NumBlocks: 600, IPv6Fraction: 0.3})
+	w2 := MustGenerate(Config{Seed: 15, NumBlocks: 600, IPv6Fraction: 0.3})
+	for i := range w1.Blocks {
+		if w1.Blocks[i].Prefix != w2.Blocks[i].Prefix {
+			t.Fatalf("block %d prefix differs", i)
+		}
+	}
+}
+
+func TestV6NetRoundTrip(t *testing.T) {
+	for _, n := range []uint64{0, 1, 0x260000000000, 0xFFFFFFFFFFFF} {
+		if got := v6NetOf(ipFromV6Net(n)); got != n {
+			t.Errorf("v6 net round trip %x -> %x", n, got)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package world
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eum/internal/geo"
+)
+
+// TestGenerateInvariantsAcrossConfigs property-checks the generator over
+// random configurations: whatever the seed, size and IPv6 mix, the world
+// must satisfy its structural invariants.
+func TestGenerateInvariantsAcrossConfigs(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16, v6Raw uint8) bool {
+		size := 200 + int(sizeRaw)%1500
+		v6 := float64(v6Raw%50) / 100 // 0..0.49
+		w, err := Generate(Config{Seed: seed, NumBlocks: size, IPv6Fraction: v6})
+		if err != nil {
+			t.Logf("Generate failed: %v", err)
+			return false
+		}
+		// Demand normalised.
+		if d := w.TotalDemand(); d < 0.999 || d > 1.001 {
+			t.Logf("total demand %v", d)
+			return false
+		}
+		// Every block well-formed and covered by exactly one of its AS's
+		// announcements.
+		for _, b := range w.Blocks {
+			if b.LDNS == nil || !b.Loc.IsValid() || b.Demand <= 0 {
+				t.Logf("malformed block %+v", b)
+				return false
+			}
+			wantBits := 24
+			if b.Prefix.Addr().Is6() {
+				wantBits = 48
+			}
+			if b.Prefix.Bits() != wantBits {
+				t.Logf("block %v has wrong leaf size", b.Prefix)
+				return false
+			}
+			n := 0
+			for _, c := range b.AS.CIDRs {
+				if c.Contains(b.Prefix.Addr()) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Logf("block %v covered %d times", b.Prefix, n)
+				return false
+			}
+		}
+		// Every LDNS's cluster demand equals the sum of its blocks.
+		for _, l := range w.LDNSes {
+			var sum float64
+			for _, b := range l.Blocks {
+				sum += b.Demand
+				if b.LDNS != l {
+					t.Logf("cluster membership inconsistent")
+					return false
+				}
+			}
+			if diff := l.Demand - sum; diff > 1e-9 || diff < -1e-9 {
+				t.Logf("LDNS demand %v != cluster sum %v", l.Demand, sum)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8} // each case generates a full world
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistancesFiniteAcrossSeeds property-checks that client-LDNS
+// distances are always finite and within the half-circumference bound.
+func TestDistancesFiniteAcrossSeeds(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := Generate(Config{Seed: seed, NumBlocks: 300})
+		if err != nil {
+			return false
+		}
+		limit := 3.15 * geo.EarthRadiusMiles // slightly above pi*R
+		for _, b := range w.Blocks {
+			d := b.ClientLDNSDistance()
+			if d < 0 || d > limit {
+				t.Logf("distance %v out of range", d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,493 @@
+package world
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"eum/internal/geo"
+	"eum/internal/stats"
+)
+
+// testWorld caches a mid-sized world shared across tests in this package.
+var testWorld = MustGenerate(Config{Seed: 7, NumBlocks: 8000})
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumBlocks: 0}); err == nil {
+		t.Error("NumBlocks=0 accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, NumBlocks: -5}); err == nil {
+		t.Error("negative NumBlocks accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1 := MustGenerate(Config{Seed: 42, NumBlocks: 1000})
+	w2 := MustGenerate(Config{Seed: 42, NumBlocks: 1000})
+	if len(w1.Blocks) != len(w2.Blocks) || len(w1.LDNSes) != len(w2.LDNSes) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			len(w1.Blocks), len(w1.LDNSes), len(w2.Blocks), len(w2.LDNSes))
+	}
+	for i := range w1.Blocks {
+		a, b := w1.Blocks[i], w2.Blocks[i]
+		if a.Prefix != b.Prefix || a.Loc != b.Loc || a.Demand != b.Demand ||
+			a.LDNS.Addr != b.LDNS.Addr {
+			t.Fatalf("block %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	w1 := MustGenerate(Config{Seed: 1, NumBlocks: 500})
+	w2 := MustGenerate(Config{Seed: 2, NumBlocks: 500})
+	same := 0
+	for i := range w1.Blocks {
+		if i < len(w2.Blocks) && w1.Blocks[i].Loc == w2.Blocks[i].Loc {
+			same++
+		}
+	}
+	if same == len(w1.Blocks) {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestBlockInvariants(t *testing.T) {
+	seen := map[netip.Prefix]bool{}
+	for _, b := range testWorld.Blocks {
+		if b.Prefix.Bits() != 24 {
+			t.Fatalf("block prefix %v is not a /24", b.Prefix)
+		}
+		if seen[b.Prefix] {
+			t.Fatalf("duplicate prefix %v", b.Prefix)
+		}
+		seen[b.Prefix] = true
+		if !b.Loc.IsValid() {
+			t.Fatalf("invalid location %v", b.Loc)
+		}
+		if b.LDNS == nil {
+			t.Fatal("block without LDNS")
+		}
+		if b.Demand <= 0 {
+			t.Fatalf("non-positive demand %v", b.Demand)
+		}
+		if b.AS == nil || b.Country == nil {
+			t.Fatal("block missing AS or country")
+		}
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, b := range testWorld.Blocks {
+		if seen[b.ID] {
+			t.Fatalf("duplicate block ID %d", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	for _, l := range testWorld.LDNSes {
+		if seen[l.ID] {
+			t.Fatalf("LDNS ID %d collides", l.ID)
+		}
+		seen[l.ID] = true
+	}
+}
+
+func TestTotalDemandNormalised(t *testing.T) {
+	if d := testWorld.TotalDemand(); d < 0.999 || d > 1.001 {
+		t.Errorf("total demand = %v, want ~1", d)
+	}
+}
+
+func TestCountryDemandShares(t *testing.T) {
+	// Country demand should match the normalised spec share.
+	var totalShare float64
+	for _, cs := range Countries {
+		totalShare += cs.DemandShare
+	}
+	for _, c := range testWorld.Countries {
+		var sum float64
+		for _, b := range c.Blocks {
+			sum += b.Demand
+		}
+		want := c.Spec.DemandShare / totalShare
+		if sum < want*0.98 || sum > want*1.02 {
+			t.Errorf("%s demand = %.4f, want ~%.4f", c.Code(), sum, want)
+		}
+	}
+}
+
+func TestPublicAdoptionWorldwide(t *testing.T) {
+	// Paper §3.2: ~8% of client demand originates from public resolvers.
+	frac := testWorld.PublicDemandFraction()
+	if frac < 0.05 || frac > 0.14 {
+		t.Errorf("public resolver demand fraction = %.3f, want ~0.08", frac)
+	}
+}
+
+func TestECSSupport(t *testing.T) {
+	for _, l := range testWorld.LDNSes {
+		if l.IsPublic() && !l.SupportsECS {
+			t.Errorf("public resolver %s/%s does not support ECS", l.Provider, l.Site)
+		}
+		if !l.IsPublic() && l.SupportsECS {
+			t.Errorf("ISP LDNS %v unexpectedly supports ECS", l.Addr)
+		}
+	}
+}
+
+// distanceStats returns demand-weighted client-LDNS distance data for all
+// blocks and for the public-resolver subset.
+func distanceStats(w *World) (all, pub *stats.Dataset) {
+	all, pub = &stats.Dataset{}, &stats.Dataset{}
+	for _, b := range w.Blocks {
+		d := b.ClientLDNSDistance()
+		all.Add(d, b.Demand)
+		if b.LDNS.IsPublic() {
+			pub.Add(d, b.Demand)
+		}
+	}
+	return all, pub
+}
+
+func TestGlobalDistanceShape(t *testing.T) {
+	all, pub := distanceStats(testWorld)
+	// Paper: overall median 162 mi; public-resolver median 1028 mi. The
+	// synthetic world must preserve "public resolvers are several times
+	// farther" and keep both medians in plausible bands.
+	am, pm := all.Median(), pub.Median()
+	if am < 5 || am > 400 {
+		t.Errorf("overall median distance = %.0f mi, want O(10-400)", am)
+	}
+	if pm < 500 || pm > 2500 {
+		t.Errorf("public median distance = %.0f mi, want O(500-2500)", pm)
+	}
+	if pm < 3*am {
+		t.Errorf("public median (%.0f) should be >= 3x overall (%.0f)", pm, am)
+	}
+}
+
+func TestHighVsLowExpectationCountries(t *testing.T) {
+	medians := map[string]float64{}
+	for _, c := range testWorld.Countries {
+		var d stats.Dataset
+		for _, b := range c.Blocks {
+			d.Add(b.ClientLDNSDistance(), b.Demand)
+		}
+		medians[c.Code()] = d.Median()
+	}
+	// Paper Fig 6: IN, TR, VN, MX medians over ~1000 miles.
+	for _, cc := range []string{"IN", "TR", "MX"} {
+		if medians[cc] < 500 {
+			t.Errorf("%s median = %.0f, want > 500", cc, medians[cc])
+		}
+	}
+	if medians["VN"] < 400 {
+		t.Errorf("VN median = %.0f, want > 400", medians["VN"])
+	}
+	// Korea and Taiwan have the smallest distances.
+	for _, cc := range []string{"KR", "TW", "NL"} {
+		if medians[cc] > 120 {
+			t.Errorf("%s median = %.0f, want < 120", cc, medians[cc])
+		}
+	}
+}
+
+func TestFarTailCountries(t *testing.T) {
+	// Paper Fig 6: IN, BR, AU, AR serve over a quarter of demand from
+	// LDNSes more than 4500 miles away.
+	for _, c := range testWorld.Countries {
+		switch c.Code() {
+		case "IN", "BR", "AU", "AR":
+			var d stats.Dataset
+			for _, b := range c.Blocks {
+				d.Add(b.ClientLDNSDistance(), b.Demand)
+			}
+			if p75 := d.Percentile(75); p75 < 2500 {
+				t.Errorf("%s p75 = %.0f, want far tail (> 2500)", c.Code(), p75)
+			}
+		}
+	}
+}
+
+func TestSmallASesFartherFromLDNS(t *testing.T) {
+	// Paper Fig 10: smaller ASes (by demand) have larger client-LDNS
+	// distances because they outsource DNS.
+	var small, large stats.Dataset
+	for _, as := range testWorld.ASes {
+		for _, b := range as.Blocks {
+			if as.Large {
+				large.Add(b.ClientLDNSDistance(), b.Demand)
+			} else {
+				small.Add(b.ClientLDNSDistance(), b.Demand)
+			}
+		}
+	}
+	if small.Median() <= large.Median() {
+		t.Errorf("small-AS median (%.0f) should exceed large-AS median (%.0f)",
+			small.Median(), large.Median())
+	}
+}
+
+func TestPublicResolverClusterRadii(t *testing.T) {
+	// Paper §3.3: 99% of public resolver demand comes from client
+	// clusters with radius 470-3800 miles; ISP clusters are much smaller.
+	var pubRadii, ispRadii stats.Dataset
+	for _, l := range testWorld.LDNSes {
+		if len(l.Blocks) < 2 {
+			continue
+		}
+		pts := make([]geo.Weighted, 0, len(l.Blocks))
+		for _, b := range l.Blocks {
+			pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
+		}
+		r := geo.Radius(pts)
+		if l.IsPublic() {
+			pubRadii.Add(r, l.Demand)
+		} else {
+			ispRadii.Add(r, l.Demand)
+		}
+	}
+	if pubRadii.Len() == 0 || ispRadii.Len() == 0 {
+		t.Fatal("no clusters found")
+	}
+	if pm, im := pubRadii.Median(), ispRadii.Median(); pm < 300 || pm < 4*im {
+		t.Errorf("public cluster radius median %.0f should be large and >> ISP median %.0f", pm, im)
+	}
+}
+
+func TestPublicClusterNotCentred(t *testing.T) {
+	// Paper §3.3: for public resolvers the mean client-LDNS distance
+	// exceeds the cluster radius — the site is not at the centroid.
+	var exceed, total float64
+	for _, l := range testWorld.LDNSes {
+		if !l.IsPublic() || len(l.Blocks) < 5 {
+			continue
+		}
+		pts := make([]geo.Weighted, 0, len(l.Blocks))
+		for _, b := range l.Blocks {
+			pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
+		}
+		total++
+		if geo.MeanDistanceTo(pts, l.Loc) > geo.Radius(pts) {
+			exceed++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no public clusters")
+	}
+	if exceed/total < 0.5 {
+		t.Errorf("only %.0f%% of public clusters have mean distance > radius", 100*exceed/total)
+	}
+}
+
+func TestBGPCIDRsCoverBlocks(t *testing.T) {
+	cidrs := testWorld.BGPCIDRs()
+	if len(cidrs) == 0 {
+		t.Fatal("no CIDRs")
+	}
+	// Every block must be contained in exactly one of its AS's CIDRs.
+	for _, as := range testWorld.ASes {
+		for _, b := range as.Blocks {
+			n := 0
+			for _, c := range as.CIDRs {
+				if c.Contains(b.Prefix.Addr()) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("block %v covered by %d CIDRs of its AS", b.Prefix, n)
+			}
+		}
+	}
+	ratio := float64(len(testWorld.Blocks)) / float64(len(cidrs))
+	// Paper §5.1: 3.76M /24 blocks -> ~517K CIDRs, a ~7x reduction.
+	if ratio < 3 || ratio > 12 {
+		t.Errorf("blocks/CIDR ratio = %.1f, want ~4-10", ratio)
+	}
+}
+
+func TestAggregateCIDRs(t *testing.T) {
+	mkBlocks := func(nets ...uint32) []*ClientBlock {
+		var out []*ClientBlock
+		for _, n := range nets {
+			out = append(out, &ClientBlock{Prefix: netip.PrefixFrom(ipFromUint32(n<<8), 24)})
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		nets []uint32
+		want []string
+	}{
+		{"single", []uint32{0x010000}, []string{"1.0.0.0/24"}},
+		{"aligned-pair", []uint32{0x010000, 0x010001}, []string{"1.0.0.0/23"}},
+		{"unaligned-pair", []uint32{0x010001, 0x010002}, []string{"1.0.1.0/24", "1.0.2.0/24"}},
+		{"run-of-8", []uint32{0x010000, 0x010001, 0x010002, 0x010003, 0x010004, 0x010005, 0x010006, 0x010007},
+			[]string{"1.0.0.0/21"}},
+		{"gap", []uint32{0x010000, 0x010002}, []string{"1.0.0.0/24", "1.0.2.0/24"}},
+		{"empty", nil, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := aggregateCIDRs(mkBlocks(c.nets...))
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i].String() != c.want[i] {
+					t.Errorf("cidr %d = %v, want %v", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAggregateCIDRsCapped(t *testing.T) {
+	// A run of 32 must split into /21s (8 blocks max per aggregate).
+	var blocks []*ClientBlock
+	for n := uint32(0); n < 32; n++ {
+		blocks = append(blocks, &ClientBlock{Prefix: netip.PrefixFrom(ipFromUint32((0x010000+n)<<8), 24)})
+	}
+	got := aggregateCIDRs(blocks)
+	if len(got) != 4 {
+		t.Fatalf("32-block run -> %d CIDRs, want 4 x /21: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p.Bits() != 21 {
+			t.Errorf("aggregate %v, want /21", p)
+		}
+	}
+}
+
+func TestBlockByPrefix(t *testing.T) {
+	b := testWorld.Blocks[17]
+	if got := testWorld.BlockByPrefix(b.Prefix); got != b {
+		t.Error("BlockByPrefix did not find existing block")
+	}
+	if got := testWorld.BlockByPrefix(netip.MustParsePrefix("203.0.113.0/24")); got != nil {
+		t.Error("BlockByPrefix found a nonexistent block")
+	}
+}
+
+func TestAnycastMisrouting(t *testing.T) {
+	// Some public-resolver blocks should land at a non-nearest site.
+	misrouted := 0
+	total := 0
+	for _, b := range testWorld.Blocks {
+		if !b.LDNS.IsPublic() {
+			continue
+		}
+		total++
+		sites := testWorld.publicSites[b.LDNS.Provider]
+		best := sites[0]
+		for _, s := range sites[1:] {
+			if geo.Distance(s.Loc, b.Loc) < geo.Distance(best.Loc, b.Loc) {
+				best = s
+			}
+		}
+		if best != b.LDNS {
+			misrouted++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no public blocks")
+	}
+	frac := float64(misrouted) / float64(total)
+	if frac < 0.03 || frac > 0.35 {
+		t.Errorf("misrouted fraction = %.3f, want ~0.1-0.2", frac)
+	}
+}
+
+func TestDemandConcentration(t *testing.T) {
+	// Paper Fig 21: demand is heavy-tailed over blocks — the top ~11% of
+	// blocks carry about half the demand; LDNS demand is far more
+	// concentrated than block demand.
+	blocks := append([]*ClientBlock{}, testWorld.Blocks...)
+	sortByDemandDesc(blocks)
+	var cum float64
+	topFrac := -1.0
+	for i, b := range blocks {
+		cum += b.Demand
+		if cum >= 0.5 {
+			topFrac = float64(i+1) / float64(len(blocks))
+			break
+		}
+	}
+	if topFrac < 0.02 || topFrac > 0.3 {
+		t.Errorf("top %.1f%% of blocks carry half the demand, want ~5-25%%", 100*topFrac)
+	}
+}
+
+func sortByDemandDesc(blocks []*ClientBlock) {
+	for i := 1; i < len(blocks); i++ {
+		for j := i; j > 0 && blocks[j].Demand > blocks[j-1].Demand; j-- {
+			blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
+		}
+	}
+}
+
+func TestLDNSKindString(t *testing.T) {
+	kinds := []LDNSKind{KindISPMetro, KindISPRegional, KindISPNational, KindISPOffshore, KindPublic}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d stringifies to %q", k, s)
+		}
+		seen[s] = true
+	}
+	if LDNSKind(99).String() != "unknown" {
+		t.Error("invalid kind should stringify to unknown")
+	}
+}
+
+func TestProfileSumsToOne(t *testing.T) {
+	for _, cs := range Countries {
+		p := cs.Profile
+		sum := p.Metro + p.Regional + p.National + p.Offshore
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s profile sums to %v", cs.Code, sum)
+		}
+		if cs.PublicAdoption < 0 || cs.PublicAdoption > 1 {
+			t.Errorf("%s adoption %v out of range", cs.Code, cs.PublicAdoption)
+		}
+		if len(cs.Cities) == 0 {
+			t.Errorf("%s has no cities", cs.Code)
+		}
+		for _, city := range cs.Cities {
+			if !city.Loc.IsValid() {
+				t.Errorf("%s city %s invalid location", cs.Code, city.Name)
+			}
+		}
+	}
+}
+
+func TestProviderSharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, p := range DefaultProviders() {
+		sum += p.Share
+		if len(p.Sites) == 0 {
+			t.Errorf("provider %s has no sites", p.Name)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("provider shares sum to %v", sum)
+	}
+}
+
+func TestNoSouthAmericanPublicSites(t *testing.T) {
+	// The 2014-era footprint gap behind Fig 8's AR/BR outliers.
+	for _, p := range DefaultProviders() {
+		for _, s := range p.Sites {
+			if s.Loc.Lat < 0 && s.Loc.Lon < -30 && s.Loc.Lon > -90 {
+				t.Errorf("provider %s has a South American site %s", p.Name, s.Name)
+			}
+		}
+	}
+}
+
+func ExampleGenerate() {
+	w := MustGenerate(Config{Seed: 1, NumBlocks: 2000})
+	fmt.Println(len(w.Countries) == len(Countries), w.TotalDemand() > 0.99)
+	// Output: true true
+}
