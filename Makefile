@@ -1,0 +1,33 @@
+GO ?= go
+
+# Hot-path micro-benchmarks (see DESIGN.md "Hot path & concurrency model").
+HOTBENCH = BenchmarkDNSMessagePack|BenchmarkDNSMessageUnpack|BenchmarkMappingMap|BenchmarkAuthorityServeDNS|BenchmarkEndToEndUDP|BenchmarkServerThroughput
+
+.PHONY: all check vet build test race bench bench-hot bench-figures
+
+all: check
+
+# The full verification gate: vet, build, tests with the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path benchmarks with allocation counts.
+bench-hot:
+	$(GO) test -run 'TestNone' -bench '$(HOTBENCH)' -benchmem .
+
+# Regenerate every paper figure as benchmarks (slow; see EXPERIMENTS.md).
+bench-figures:
+	$(GO) test -run 'TestNone' -bench . -benchmem .
+
+bench: bench-hot

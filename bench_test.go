@@ -9,6 +9,7 @@ package bench
 
 import (
 	"context"
+	"net"
 	"net/netip"
 	"os"
 	"sync"
@@ -726,6 +727,32 @@ func BenchmarkAuthorityServeDNS(b *testing.B) {
 	}
 }
 
+// BenchmarkAuthorityServeDNSNoCache is the same query stream with the
+// answer cache disabled — isolates the mapping-path improvements from the
+// cache's short-circuit.
+func BenchmarkAuthorityServeDNSNoCache(b *testing.B) {
+	l := benchLab(b)
+	sys := mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+		Policy: mapping.EndUser, PingTargets: 400,
+	})
+	auth, err := authority.New("cdn.example.net", sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth.DisableAnswerCache()
+	blk := l.World.Blocks[0]
+	q := dnsmsg.NewQuery(7, "img.cdn.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(blk.Prefix.Addr(), 24)
+	remote := netip.AddrPortFrom(blk.LDNS.Addr, 53)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := auth.ServeDNS(remote, q); resp == nil || resp.RCode != dnsmsg.RCodeSuccess {
+			b.Fatal("bad response")
+		}
+	}
+}
+
 // BenchmarkEndToEndUDP measures the full stack over a loopback socket:
 // client -> UDP -> authoritative handler -> mapping -> UDP -> client.
 func BenchmarkEndToEndUDP(b *testing.B) {
@@ -747,10 +774,82 @@ func BenchmarkEndToEndUDP(b *testing.B) {
 	blk := l.World.Blocks[0]
 	c := &dnsclient.Client{Timeout: 2 * time.Second}
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Lookup(ctx, srv.Addr().String(), "img.cdn.example.net", dnsmsg.TypeA, blk.Prefix); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerThroughput compares the server's two dispatch modes under
+// parallel client load: the legacy goroutine-per-packet loop against the
+// pooled reader/worker loop. Each parallel client owns a UDP socket and
+// plays query-response ping-pong; the qps metric is the aggregate rate.
+func BenchmarkServerThroughput(b *testing.B) {
+	l := benchLab(b)
+	sys := mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+		Policy: mapping.EndUser, PingTargets: 400,
+	})
+	auth, err := authority.New("cdn.example.net", sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := l.World.Blocks[0]
+
+	for _, tc := range []struct {
+		name string
+		cfg  dnsserver.Config
+	}{
+		{"goroutine-per-packet", dnsserver.Config{GoroutinePerPacket: true}},
+		{"pooled", dnsserver.Config{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			srv, err := dnsserver.ListenConfig("127.0.0.1:0", auth, tc.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = srv.Serve() }()
+			defer srv.Close()
+			addr := srv.Addr().String()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				conn, err := net.Dial("udp", addr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer conn.Close()
+				_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
+				q := dnsmsg.NewQuery(9, "img.cdn.example.net", dnsmsg.TypeA)
+				_ = q.SetClientSubnet(blk.Prefix.Addr(), 24)
+				wire, err := q.Pack()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				buf := make([]byte, 4096)
+				for pb.Next() {
+					if _, err := conn.Write(wire); err != nil {
+						b.Error(err)
+						return
+					}
+					n, err := conn.Read(buf)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if n < 12 || buf[0] != wire[0] || buf[1] != wire[1] {
+						b.Error("short or mismatched response")
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
 	}
 }

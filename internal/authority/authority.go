@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"eum/internal/dnsmsg"
 	"eum/internal/mapping"
@@ -22,17 +23,31 @@ import (
 
 // Authority answers DNS queries for one CDN zone using a mapping system.
 // It implements dnsserver.Handler and is safe for concurrent use.
+//
+// Repeat mapping decisions are served from a per-scope answer cache (see
+// cache.go): within one TTL window, queries for the same content domain
+// from the same mapping unit (EU policy) or the same resolver (NS/CANS)
+// short-circuit the mapping computation.
 type Authority struct {
 	zone   dnsmsg.Name
 	system *mapping.System
+	cache  *answerCache
+
+	// nowNanos is the cache clock, overridable in tests.
+	nowNanos func() int64
 
 	// ECSQueries counts queries carrying a client-subnet option.
 	ECSQueries atomic.Uint64
 	// TotalQueries counts all well-formed in-zone queries.
 	TotalQueries atomic.Uint64
+	// CacheHits counts mapping queries answered from the answer cache.
+	CacheHits atomic.Uint64
+	// CacheMisses counts mapping queries that ran the full mapping path.
+	CacheMisses atomic.Uint64
 }
 
-// New creates an authority for the given zone (e.g. "cdn.example.net").
+// New creates an authority for the given zone (e.g. "cdn.example.net"),
+// with the per-scope answer cache enabled.
 func New(zone dnsmsg.Name, system *mapping.System) (*Authority, error) {
 	if zone.Canonical() == "" {
 		return nil, fmt.Errorf("authority: empty zone")
@@ -40,8 +55,18 @@ func New(zone dnsmsg.Name, system *mapping.System) (*Authority, error) {
 	if system == nil {
 		return nil, fmt.Errorf("authority: nil mapping system")
 	}
-	return &Authority{zone: zone.Canonical(), system: system}, nil
+	return &Authority{
+		zone:     zone.Canonical(),
+		system:   system,
+		cache:    newAnswerCache(),
+		nowNanos: func() int64 { return time.Now().UnixNano() },
+	}, nil
 }
+
+// DisableAnswerCache turns the per-scope answer cache off, forcing every
+// query through the full mapping path (for baseline benchmarks and tests).
+// Call it before serving begins.
+func (a *Authority) DisableAnswerCache() { a.cache = nil }
 
 // Zone returns the served zone.
 func (a *Authority) Zone() dnsmsg.Name { return a.zone }
@@ -112,7 +137,8 @@ func (a *Authority) serveWhoami(remote netip.AddrPort, q dnsmsg.Question, resp *
 	return resp
 }
 
-// serveMapping asks the mapping system for servers and builds the answer.
+// serveMapping asks the mapping system for servers and builds the answer,
+// consulting the per-scope answer cache first.
 func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q dnsmsg.Question, resp *dnsmsg.Message) *dnsmsg.Message {
 	req := mapping.Request{
 		Domain: string(q.Name.Canonical()),
@@ -128,10 +154,30 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 		}
 	}
 
-	decision, err := a.system.Map(req)
-	if err != nil {
-		resp.RCode = dnsmsg.RCodeServerFailure
-		return resp
+	var decision *mapping.Response
+	if a.cache != nil {
+		key := a.cacheKey(req)
+		gen := a.system.Generation()
+		now := a.nowNanos()
+		if decision = a.cache.get(key, gen, now); decision != nil {
+			a.CacheHits.Add(1)
+		} else {
+			var err error
+			decision, err = a.system.Map(req)
+			if err != nil {
+				resp.RCode = dnsmsg.RCodeServerFailure
+				return resp
+			}
+			a.CacheMisses.Add(1)
+			a.cache.put(key, gen, now, now+decision.TTL.Nanoseconds(), decision)
+		}
+	} else {
+		var err error
+		decision, err = a.system.Map(req)
+		if err != nil {
+			resp.RCode = dnsmsg.RCodeServerFailure
+			return resp
+		}
 	}
 	ttl := uint32(decision.TTL.Seconds())
 	for _, srv := range decision.Servers {
@@ -153,6 +199,27 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 		})
 	}
 	return resp
+}
+
+// cacheKey derives the answer-cache key for a mapping request: under the
+// EU policy with a client subnet, answers are shared at mapping-unit
+// granularity (with the ECS scope clamp folded in so narrower queries do
+// not inherit a wider answer's scope field); every other decision depends
+// only on the resolver, so it is keyed by the LDNS address.
+func (a *Authority) cacheKey(req mapping.Request) answerKey {
+	if a.system.Policy() == mapping.EndUser && req.ClientSubnet.IsValid() {
+		unit := a.system.UnitFor(req.ClientSubnet.Addr())
+		clamp := uint8(unit.Bits())
+		if int(clamp) > req.ClientSubnet.Bits() {
+			clamp = uint8(req.ClientSubnet.Bits())
+		}
+		return answerKey{domain: req.Domain, scope: unit, clamp: clamp}
+	}
+	ldns := req.LDNS
+	return answerKey{
+		domain: req.Domain,
+		scope:  netip.PrefixFrom(ldns, ldns.BitLen()),
+	}
 }
 
 // soa returns the zone's SOA record for negative/nodata answers.

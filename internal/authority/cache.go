@@ -1,0 +1,143 @@
+package authority
+
+import (
+	"net/netip"
+	"sync"
+
+	"eum/internal/mapping"
+)
+
+// The per-scope answer cache memoises mapping decisions on the serving
+// path. §5 of the paper shows why it matters: EU mapping fragments the
+// answer space per client scope (Fig 23: up to 10x query volume for
+// public-resolver traffic, because a resolver can no longer reuse one
+// answer for all its clients), so the authoritative servers see the same
+// (name, scope) pair again and again within one TTL window. Filing the
+// decision per scope — exactly how an ECS-aware resolver files answers
+// per scope prefix (RFC 7871 §7.3.1) — turns that repeat traffic into a
+// lock-light lookup instead of a full mapping computation.
+//
+// Correctness hinges on two properties:
+//
+//   - Scope: an entry is keyed by the mapping unit of the client subnet
+//     (EU policy) or by the resolver address (NS/CANS policies), so a
+//     cached EU answer is only ever reused for queries in the same
+//     mapping unit — the exact granularity at which the mapping system
+//     itself considers clients interchangeable.
+//   - Freshness: entries carry the system generation at decision time and
+//     an expiry one TTL after. A policy flip or a liveness invalidation
+//     bumps the generation, orphaning every older entry; expiry bounds
+//     staleness to the same window a downstream resolver would cache the
+//     answer for anyway.
+
+// answerShardCount shards the cache so concurrent queries rarely contend
+// on one lock. Must be a power of two.
+const answerShardCount = 16
+
+// maxEntriesPerShard bounds memory: at the bound, inserting first sweeps
+// expired entries, then falls back to evicting arbitrary ones.
+const maxEntriesPerShard = 8192
+
+// answerKey identifies one cacheable decision.
+type answerKey struct {
+	// domain is the queried content domain (canonical form).
+	domain string
+	// scope is the mapping unit (EU policy with a client subnet) or the
+	// resolver's full-length prefix (all other decisions).
+	scope netip.Prefix
+	// clamp is the answer's ECS scope after RFC 7871 §7.2.1 clamping
+	// (min of unit bits and the query's source prefix length), zero on
+	// the resolver-keyed path. Queries revealing fewer bits than the
+	// mapping unit must not share the wider answer's scope field.
+	clamp uint8
+}
+
+// answerEntry is one cached decision.
+type answerEntry struct {
+	decision *mapping.Response
+	gen      uint64
+	expires  int64 // unix nanoseconds
+}
+
+type answerShard struct {
+	mu      sync.RWMutex
+	entries map[answerKey]answerEntry
+}
+
+// answerCache is a sharded, TTL- and generation-checked decision cache.
+type answerCache struct {
+	shards [answerShardCount]answerShard
+}
+
+func newAnswerCache() *answerCache {
+	c := &answerCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[answerKey]answerEntry)
+	}
+	return c
+}
+
+func (c *answerCache) shardFor(key answerKey) *answerShard {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key.domain); i++ {
+		h ^= uint64(key.domain[i])
+		h *= fnvPrime64
+	}
+	b := key.scope.Addr().As16()
+	for _, v := range b {
+		h ^= uint64(v)
+		h *= fnvPrime64
+	}
+	h ^= uint64(uint8(key.scope.Bits())) ^ uint64(key.clamp)<<8
+	h *= fnvPrime64
+	return &c.shards[h&(answerShardCount-1)]
+}
+
+// FNV-1a constants, mirrored from the mapping package's hashing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// get returns the cached decision for key if it is from the current
+// generation and unexpired, else nil.
+func (c *answerCache) get(key answerKey, gen uint64, now int64) *mapping.Response {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	if !ok || e.gen != gen || now >= e.expires {
+		return nil
+	}
+	return e.decision
+}
+
+// put files a decision under key. Concurrent puts for the same key are
+// idempotent enough: both decisions are valid for the window, last write
+// wins.
+func (c *answerCache) put(key answerKey, gen uint64, now, expires int64, d *mapping.Response) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.entries) >= maxEntriesPerShard {
+		sh.evictLocked(now)
+	}
+	sh.entries[key] = answerEntry{decision: d, gen: gen, expires: expires}
+}
+
+// evictLocked reclaims space: drop everything expired, then, if the shard
+// is still full, arbitrary entries until a quarter of the shard is free.
+func (sh *answerShard) evictLocked(now int64) {
+	for k, e := range sh.entries {
+		if now >= e.expires {
+			delete(sh.entries, k)
+		}
+	}
+	target := maxEntriesPerShard - maxEntriesPerShard/4
+	for k := range sh.entries {
+		if len(sh.entries) <= target {
+			break
+		}
+		delete(sh.entries, k)
+	}
+}

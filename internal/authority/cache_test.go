@@ -1,0 +1,247 @@
+package authority
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"eum/internal/dnsmsg"
+	"eum/internal/mapping"
+)
+
+// fakeClock pins the authority's cache clock for TTL tests.
+type fakeClock struct {
+	now int64
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.now += d.Nanoseconds() }
+
+func newCachedAuthority(t *testing.T, pol mapping.Policy) (*Authority, *fakeClock) {
+	t.Helper()
+	a := newAuthority(t, pol)
+	clk := &fakeClock{now: time.Date(2014, 4, 20, 0, 0, 0, 0, time.UTC).UnixNano()}
+	a.nowNanos = func() int64 { return clk.now }
+	return a, clk
+}
+
+func ecsQuery(t *testing.T, name string, addr netip.Addr, bits uint8) *dnsmsg.Message {
+	t.Helper()
+	q := query(name, dnsmsg.TypeA)
+	if err := q.SetClientSubnet(addr, bits); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func answerAddrs(resp *dnsmsg.Message) []netip.Addr {
+	var out []netip.Addr
+	for _, rr := range resp.Answers {
+		if a, ok := rr.Data.(*dnsmsg.A); ok {
+			out = append(out, a.Addr)
+		}
+	}
+	return out
+}
+
+func sameAddrs(a, b []netip.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAnswerCacheHitSameUnit: two EU queries from different addresses in
+// the same mapping unit share one cached decision.
+func TestAnswerCacheHitSameUnit(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	blk := testW.Blocks[100]
+
+	first := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 24))
+	if first.RCode != dnsmsg.RCodeSuccess || len(first.Answers) == 0 {
+		t.Fatalf("first query failed: %v", first.RCode)
+	}
+	// A different host address inside the same /24 block.
+	second := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr().Next(), 24))
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !sameAddrs(answerAddrs(first), answerAddrs(second)) {
+		t.Errorf("cached answer differs: %v vs %v", answerAddrs(first), answerAddrs(second))
+	}
+	if ecs := second.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 24 {
+		t.Errorf("cached answer lost its ECS scope: %v", second.ClientSubnet())
+	}
+}
+
+// TestAnswerCacheScopeIsolation: queries from different mapping units do
+// not share entries.
+func TestAnswerCacheScopeIsolation(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	b1, b2 := testW.Blocks[100], testW.Blocks[500]
+	if b1.Prefix == b2.Prefix {
+		t.Fatal("test blocks share a prefix")
+	}
+
+	a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", b1.Prefix.Addr(), 24))
+	a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", b2.Prefix.Addr(), 24))
+	if misses := a.CacheMisses.Load(); misses != 2 {
+		t.Fatalf("misses=%d, want 2 (different units must not share)", misses)
+	}
+	// Back to the first unit: its entry is still valid.
+	a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", b1.Prefix.Addr(), 24))
+	if hits := a.CacheHits.Load(); hits != 1 {
+		t.Fatalf("hits=%d, want 1", hits)
+	}
+	// A different domain is a different decision.
+	a.ServeDNS(resolverAddr, ecsQuery(t, "js.cdn.example.net", b1.Prefix.Addr(), 24))
+	if misses := a.CacheMisses.Load(); misses != 3 {
+		t.Fatalf("misses=%d, want 3 (different domains must not share)", misses)
+	}
+}
+
+// TestAnswerCacheScopeClamp: a query revealing fewer bits than the mapping
+// unit gets its own entry and a correctly clamped scope (RFC 7871 §7.2.1).
+func TestAnswerCacheScopeClamp(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	blk := testW.Blocks[100]
+
+	wide := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 24))
+	if ecs := wide.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 24 {
+		t.Fatalf("scope for /24 query = %v, want 24", wide.ClientSubnet())
+	}
+	narrow := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 20))
+	if ecs := narrow.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 20 {
+		t.Fatalf("scope for /20 query = %v, want clamped to 20", narrow.ClientSubnet())
+	}
+	if misses := a.CacheMisses.Load(); misses != 2 {
+		t.Fatalf("misses=%d, want 2 (narrower reveal must not reuse the /24 entry's scope)", misses)
+	}
+}
+
+// TestAnswerCacheTTLExpiry: entries die one TTL after the decision.
+func TestAnswerCacheTTLExpiry(t *testing.T) {
+	a, clk := newCachedAuthority(t, mapping.EndUser)
+	blk := testW.Blocks[100]
+	q := func() { a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 24)) }
+
+	q()
+	clk.advance(a.system.TTL() / 2)
+	q()
+	if hits := a.CacheHits.Load(); hits != 1 {
+		t.Fatalf("hits=%d, want 1 (within TTL window)", hits)
+	}
+	clk.advance(a.system.TTL()) // now past expiry
+	q()
+	if misses := a.CacheMisses.Load(); misses != 2 {
+		t.Fatalf("misses=%d, want 2 (entry past its TTL must be recomputed)", misses)
+	}
+}
+
+// TestAnswerCachePolicyFlipInvalidates: SetPolicy orphans every cached
+// decision, including entries for the policy being flipped back to.
+func TestAnswerCachePolicyFlipInvalidates(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	blk := testW.Blocks[100]
+	q := func() *dnsmsg.Message {
+		return a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 24))
+	}
+
+	q()
+	q()
+	if hits := a.CacheHits.Load(); hits != 1 {
+		t.Fatalf("hits=%d, want 1", hits)
+	}
+
+	a.system.SetPolicy(mapping.NSBased)
+	nsResp := q()
+	if ecs := nsResp.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 0 {
+		t.Fatalf("NS-policy answer scope = %v, want 0", nsResp.ClientSubnet())
+	}
+
+	// Flip back: the old EU entry has a matching key but a stale
+	// generation and must not be served.
+	a.system.SetPolicy(mapping.EndUser)
+	q()
+	if hits := a.CacheHits.Load(); hits != 1 {
+		t.Fatalf("hits=%d after policy flips, want 1 (stale-generation entry reused)", hits)
+	}
+	q()
+	if hits := a.CacheHits.Load(); hits != 2 {
+		t.Fatalf("hits=%d, want 2 (fresh entry after re-decision)", hits)
+	}
+}
+
+// TestAnswerCacheLivenessInvalidation: a scorer invalidation (the hook
+// failure injection uses) orphans cached answers.
+func TestAnswerCacheLivenessInvalidation(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	blk := testW.Blocks[100]
+	q := func() *dnsmsg.Message {
+		return a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 24))
+	}
+
+	first := q()
+	q()
+	if hits := a.CacheHits.Load(); hits != 1 {
+		t.Fatalf("hits=%d, want 1", hits)
+	}
+
+	// Kill the deployment the cached answer points at, as failure
+	// injection would, and invalidate the scorer.
+	firstAddrs := answerAddrs(first)
+	var killed bool
+	for _, d := range testP.Deployments {
+		for _, s := range d.Servers {
+			if s.Addr == firstAddrs[0] {
+				for _, ds := range d.Servers {
+					ds.SetAlive(false)
+				}
+				killed = true
+			}
+		}
+	}
+	if !killed {
+		t.Fatal("could not find the answered deployment")
+	}
+	defer func() {
+		for _, d := range testP.Deployments {
+			for _, s := range d.Servers {
+				s.SetAlive(true)
+			}
+		}
+		a.system.Scorer().Invalidate()
+	}()
+	a.system.Scorer().Invalidate()
+
+	after := q()
+	if hits := a.CacheHits.Load(); hits != 1 {
+		t.Fatalf("hits=%d, want 1 (liveness change must orphan the entry)", hits)
+	}
+	for _, addr := range answerAddrs(after) {
+		if addr == firstAddrs[0] {
+			t.Errorf("answer still points at dead server %v", addr)
+		}
+	}
+}
+
+// TestAnswerCacheDisabled: with the cache off every query runs the full
+// mapping path and counters stay zero.
+func TestAnswerCacheDisabled(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	a.DisableAnswerCache()
+	blk := testW.Blocks[100]
+	for i := 0; i < 3; i++ {
+		resp := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", blk.Prefix.Addr(), 24))
+		if resp.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) == 0 {
+			t.Fatalf("query %d failed", i)
+		}
+	}
+	if a.CacheHits.Load() != 0 || a.CacheMisses.Load() != 0 {
+		t.Error("disabled cache still counting")
+	}
+}

@@ -14,44 +14,36 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"eum/internal/geo"
 	"eum/internal/netmodel"
 	"eum/internal/world"
 )
 
-// Server is a single content server in a deployment.
+// Server is a single content server in a deployment. Liveness and load are
+// held in atomics: the mapping hot path reads them for every candidate
+// deployment on every query, so they must not serialize concurrent queries
+// on a mutex.
 type Server struct {
 	ID         uint64
 	Addr       netip.Addr
 	Deployment *Deployment
 
-	mu    sync.Mutex
-	alive bool
-	load  float64 // current load in demand units
-	cap   float64 // capacity in demand units
+	alive atomic.Bool
+	load  atomic.Uint64 // float64 bits; see Load/AddLoad
+	cap   float64       // capacity in demand units; immutable after creation
 }
 
 // Alive reports whether the server is live.
-func (s *Server) Alive() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.alive
-}
+func (s *Server) Alive() bool { return s.alive.Load() }
 
 // SetAlive marks the server live or dead (failure injection).
-func (s *Server) SetAlive(v bool) {
-	s.mu.Lock()
-	s.alive = v
-	s.mu.Unlock()
-}
+func (s *Server) SetAlive(v bool) { s.alive.Store(v) }
 
 // Load returns the server's current load.
 func (s *Server) Load() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.load
+	return math.Float64frombits(s.load.Load())
 }
 
 // Capacity returns the server's capacity.
@@ -60,30 +52,27 @@ func (s *Server) Capacity() float64 { return s.cap }
 // AddLoad adds (or with a negative delta, removes) load, reporting whether
 // the server remains within capacity afterwards.
 func (s *Server) AddLoad(delta float64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.load += delta
-	if s.load < 0 {
-		s.load = 0
+	for {
+		old := s.load.Load()
+		v := math.Float64frombits(old) + delta
+		if v < 0 {
+			v = 0
+		}
+		if s.load.CompareAndSwap(old, math.Float64bits(v)) {
+			return v <= s.cap
+		}
 	}
-	return s.load <= s.cap
 }
 
 // ResetLoad zeroes the server's load (start of a load-balancing interval).
-func (s *Server) ResetLoad() {
-	s.mu.Lock()
-	s.load = 0
-	s.mu.Unlock()
-}
+func (s *Server) ResetLoad() { s.load.Store(0) }
 
 // Utilisation returns load/capacity.
 func (s *Server) Utilisation() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cap == 0 {
 		return math.Inf(1)
 	}
-	return s.load / s.cap
+	return s.Load() / s.cap
 }
 
 // Deployment is a server cluster at one location — the unit the global
@@ -135,8 +124,17 @@ func (d *Deployment) LiveServers() []*Server {
 	return out
 }
 
-// Alive reports whether the deployment has at least one live server.
-func (d *Deployment) Alive() bool { return len(d.LiveServers()) > 0 }
+// Alive reports whether the deployment has at least one live server. It
+// scans directly rather than materialising the live-server slice: the
+// load balancer asks this for every candidate on every query.
+func (d *Deployment) Alive() bool {
+	for _, s := range d.Servers {
+		if s.Alive() {
+			return true
+		}
+	}
+	return false
+}
 
 // ResetLoad zeroes every server's load.
 func (d *Deployment) ResetLoad() {
@@ -249,9 +247,9 @@ func GenerateUniverse(w *world.World, cfg Config) (*Platform, error) {
 				ID:         id,
 				Addr:       ipv4(serverIP),
 				Deployment: d,
-				alive:      true,
 				cap:        1,
 			}
+			srv.alive.Store(true)
 			id++
 			serverIP++
 			d.Servers = append(d.Servers, srv)

@@ -94,7 +94,8 @@ func TestSubsetPrefixProperty(t *testing.T) {
 }
 
 func TestServerLoadTracking(t *testing.T) {
-	s := &Server{alive: true, cap: 10}
+	s := &Server{cap: 10}
+	s.SetAlive(true)
 	if !s.AddLoad(4) {
 		t.Error("within-capacity AddLoad reported overload")
 	}
@@ -118,7 +119,8 @@ func TestServerLoadTracking(t *testing.T) {
 }
 
 func TestServerLoadConcurrent(t *testing.T) {
-	s := &Server{alive: true, cap: 1e9}
+	s := &Server{cap: 1e9}
+	s.SetAlive(true)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -158,7 +160,8 @@ func TestLivenessAndCapacity(t *testing.T) {
 }
 
 func TestUtilisationZeroCapacity(t *testing.T) {
-	s := &Server{alive: true, cap: 0}
+	s := &Server{cap: 0}
+	s.SetAlive(true)
 	s.AddLoad(1)
 	if u := s.Utilisation(); !(u > 1e18) {
 		t.Errorf("zero-capacity utilisation = %v, want +Inf", u)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 )
 
 // Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1),
@@ -107,9 +108,25 @@ func (m *Message) SetClientSubnet(addr netip.Addr, sourcePrefix uint8) error {
 	return nil
 }
 
+// compressorPool recycles compression maps across Pack calls, so the
+// serving hot path does not allocate a fresh map per response.
+var compressorPool = sync.Pool{
+	New: func() any { return make(compressor, 8) },
+}
+
 // Pack encodes the message to wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	buf := make([]byte, 0, 512)
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack encodes the message into buf, which must be empty (length
+// zero): compression offsets are relative to the start of the buffer. The
+// buffer's capacity is reused, so callers can recycle wire buffers across
+// messages (e.g. via a sync.Pool) and pack without allocating.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: AppendPack buffer must be empty", ErrPack)
+	}
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -146,7 +163,11 @@ func (m *Message) Pack() ([]byte, error) {
 	buf = appendUint16(buf, uint16(len(m.Authorities)))
 	buf = appendUint16(buf, uint16(additionals))
 
-	cmp := make(compressor)
+	cmp := compressorPool.Get().(compressor)
+	defer func() {
+		clear(cmp)
+		compressorPool.Put(cmp)
+	}()
 	var err error
 	for _, q := range m.Questions {
 		if buf, err = q.pack(buf, cmp); err != nil {
@@ -179,12 +200,37 @@ func (m *Message) Pack() ([]byte, error) {
 	return buf, nil
 }
 
+// Reset clears the message for reuse, keeping the capacity of its section
+// slices so a recycled message can be unpacked into without reallocating.
+func (m *Message) Reset() {
+	m.Header = Header{}
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authorities = m.Authorities[:0]
+	m.Additionals = m.Additionals[:0]
+	m.EDNS = false
+	m.UDPSize = 0
+	m.Options = nil
+}
+
 // Unpack decodes a wire-format message.
 func Unpack(wire []byte) (*Message, error) {
-	if len(wire) < 12 {
-		return nil, ErrBufferTooSmall
-	}
 	m := &Message{}
+	if err := UnpackInto(m, wire); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackInto decodes a wire-format message into m, resetting it first.
+// Reusing one message across datagrams (e.g. from a sync.Pool) avoids the
+// per-query Message and section-slice allocations on a server's read path.
+// Strings and RData values still allocate: they outlive the wire buffer.
+func UnpackInto(m *Message, wire []byte) error {
+	m.Reset()
+	if len(wire) < 12 {
+		return ErrBufferTooSmall
+	}
 	m.ID = binary.BigEndian.Uint16(wire)
 	flags := binary.BigEndian.Uint16(wire[2:])
 	m.Response = flags&(1<<15) != 0
@@ -205,7 +251,7 @@ func Unpack(wire []byte) (*Message, error) {
 	for i := 0; i < qd; i++ {
 		var q Question
 		if q, off, err = unpackQuestion(wire, off); err != nil {
-			return nil, err
+			return err
 		}
 		m.Questions = append(m.Questions, q)
 	}
@@ -216,11 +262,11 @@ func Unpack(wire []byte) (*Message, error) {
 		for i := 0; i < sec.n; i++ {
 			var rr RR
 			if rr, off, err = unpackRR(wire, off); err != nil {
-				return nil, err
+				return err
 			}
 			if opt, ok := rr.Data.(*OPT); ok {
 				if m.EDNS {
-					return nil, fmt.Errorf("%w: multiple OPT records", ErrUnpack)
+					return fmt.Errorf("%w: multiple OPT records", ErrUnpack)
 				}
 				m.EDNS = true
 				m.UDPSize = uint16(rr.Class)
@@ -231,7 +277,7 @@ func Unpack(wire []byte) (*Message, error) {
 			*sec.dst = append(*sec.dst, rr)
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // String renders the message in a dig-like multi-section format.

@@ -36,18 +36,29 @@ func (n Name) IsSubdomainOf(parent Name) bool {
 }
 
 // validate checks RFC 1035 length limits: each label <= 63 octets and the
-// whole encoded name <= 255 octets.
+// whole encoded name <= 255 octets. It scans the canonical string directly
+// rather than splitting it, so validation performs no allocation on the
+// packing hot path.
 func (n Name) validate() error {
-	labels := n.Labels()
+	s := string(n.Canonical())
+	if s == "" {
+		return nil
+	}
 	encoded := 1 // terminating root
-	for _, l := range labels {
-		if len(l) == 0 {
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != '.' {
+			continue
+		}
+		l := i - start
+		if l == 0 {
 			return fmt.Errorf("%w: empty label in %q", ErrPack, string(n))
 		}
-		if len(l) > 63 {
+		if l > 63 {
 			return ErrLabelTooLong
 		}
-		encoded += 1 + len(l)
+		encoded += 1 + l
+		start = i + 1
 	}
 	if encoded > 255 {
 		return ErrNameTooLong
@@ -61,23 +72,29 @@ func (n Name) validate() error {
 type compressor map[string]int
 
 // packName appends the wire encoding of n to buf, compressing against
-// previously packed names, and returns the extended buffer.
+// previously packed names, and returns the extended buffer. Suffix keys
+// are substrings of the canonical name, so packing an already-canonical
+// name allocates nothing beyond buffer growth.
 func packName(buf []byte, n Name, cmp compressor) ([]byte, error) {
 	if err := n.validate(); err != nil {
 		return nil, err
 	}
-	labels := n.Labels()
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".")
+	s := string(n.Canonical())
+	for start := 0; start < len(s); {
+		suffix := s[start:]
 		if off, ok := cmp[suffix]; ok {
 			return append(buf, 0xC0|byte(off>>8), byte(off)), nil
 		}
 		if off := len(buf); off < 0x4000 && cmp != nil {
 			cmp[suffix] = off
 		}
-		l := labels[i]
-		buf = append(buf, byte(len(l)))
-		buf = append(buf, l...)
+		end := strings.IndexByte(suffix, '.')
+		if end < 0 {
+			end = len(suffix)
+		}
+		buf = append(buf, byte(end))
+		buf = append(buf, suffix[:end]...)
+		start += end + 1
 	}
 	return append(buf, 0), nil
 }

@@ -5,6 +5,12 @@
 // It is the transport layer for the mapping system's authoritative name
 // servers (§2.2 component 3): handlers implement the mapping behaviour,
 // this package owns sockets, concurrency and message hygiene.
+//
+// The serve loop is built for the paper's query rates (§5: millions of
+// queries per second platform-wide): a small set of reader goroutines
+// recycle packet buffers through a sync.Pool and feed a bounded worker
+// pool, so the steady-state path performs no per-datagram allocation for
+// buffers, goroutines, or wire encoding.
 package dnsserver
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +28,11 @@ import (
 // Handler answers DNS queries. Implementations must be safe for concurrent
 // use. Returning nil drops the query (no response), which a handler may use
 // for malformed or abusive traffic.
+//
+// The query message is only valid for the duration of the call: the server
+// recycles it once ServeDNS returns. Handlers that need query state beyond
+// the call must copy it (the response returned may freely reference the
+// query's strings, which are immutable).
 type Handler interface {
 	ServeDNS(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message
 }
@@ -46,22 +58,89 @@ type Metrics struct {
 	Dropped atomic.Uint64
 }
 
+// maxAdvertisedUDPSize caps the EDNS UDP payload size the server honours.
+// RFC 6891 §6.2.5 recommends 4096 octets as the upper bound of what is
+// reliably deliverable; clients advertising more are clamped rather than
+// trusted, bounding response buffers and fragmentation exposure.
+const maxAdvertisedUDPSize = 4096
+
+// maxPacketSize is the read buffer size: the largest UDP datagram.
+const maxPacketSize = 65535
+
+// Config tunes the server's concurrency model. The zero value selects the
+// pooled defaults.
+type Config struct {
+	// Readers is the number of goroutines blocked in ReadFrom on the
+	// socket. More than one keeps the socket drained while packets are
+	// being dispatched. Default 2.
+	Readers int
+	// Workers is the number of handler goroutines draining the packet
+	// queue. Mapping decisions are CPU-bound, so the default is
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending-packet channel. When the queue is
+	// full, readers block — backpressure lands in the kernel socket
+	// buffer, which sheds load by dropping datagrams (the correct
+	// behaviour for DNS over UDP). Default 4x Workers.
+	QueueDepth int
+	// GoroutinePerPacket restores the legacy spawn-per-datagram serve
+	// loop. It exists so benchmarks can compare the pooled loop against
+	// the old model; production servers should leave it false.
+	GoroutinePerPacket bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Readers <= 0 {
+		c.Readers = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	return c
+}
+
+// packet is one received datagram travelling from a reader to a worker.
+// buf is a pooled full-size buffer (passed by pointer so re-pooling it
+// does not re-box the slice header); the datagram occupies (*buf)[:n].
+type packet struct {
+	buf   *[]byte
+	n     int
+	raddr netip.AddrPort
+}
+
 // Server is a UDP DNS server.
 type Server struct {
-	conn    net.PacketConn
+	conn net.PacketConn
+	// udpConn is conn when it is a *net.UDPConn, enabling the
+	// allocation-free ReadFromUDPAddrPort/WriteToUDPAddrPort pair.
+	udpConn *net.UDPConn
 	handler Handler
+	cfg     Config
 
 	// Metrics exposes live counters.
 	Metrics Metrics
 
+	bufPool  sync.Pool // *[]byte, len maxPacketSize
+	packPool sync.Pool // *[]byte, len 0: response wire buffers
+	msgPool  sync.Pool // *dnsmsg.Message: recycled query messages
+
 	mu     sync.Mutex
 	closed bool
-	wg     sync.WaitGroup
+	wg     sync.WaitGroup // in-flight packets (goroutine-per-packet mode)
 }
 
 // Listen binds a UDP socket on addr (e.g. "127.0.0.1:0") and returns a
-// server ready to Serve. The handler must not be nil.
+// server with default pooled concurrency, ready to Serve. The handler must
+// not be nil.
 func Listen(addr string, h Handler) (*Server, error) {
+	return ListenConfig(addr, h, Config{})
+}
+
+// ListenConfig is Listen with an explicit concurrency configuration.
+func ListenConfig(addr string, h Handler, cfg Config) (*Server, error) {
 	if h == nil {
 		return nil, errors.New("dnsserver: nil handler")
 	}
@@ -69,45 +148,150 @@ func Listen(addr string, h Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: %w", err)
 	}
-	return &Server{conn: conn, handler: h}, nil
+	s := &Server{conn: conn, handler: h, cfg: cfg.withDefaults()}
+	s.udpConn, _ = conn.(*net.UDPConn)
+	s.bufPool.New = func() any {
+		b := make([]byte, maxPacketSize)
+		return &b
+	}
+	s.packPool.New = func() any {
+		b := make([]byte, 0, maxAdvertisedUDPSize)
+		return &b
+	}
+	s.msgPool.New = func() any { return &dnsmsg.Message{} }
+	return s, nil
 }
 
 // Addr returns the bound address, for clients to dial.
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Serve reads queries until the server is closed. Each query is handled on
-// its own goroutine, as the mapping decision may be slow relative to socket
-// reads. Serve returns nil after Close.
+// Serve reads queries until the server is closed, dispatching them to the
+// configured worker pool (or, in legacy mode, one goroutine per packet).
+// Serve returns nil after Close.
 func (s *Server) Serve() error {
-	buf := make([]byte, 65535)
+	if s.cfg.GoroutinePerPacket {
+		return s.servePerPacket()
+	}
+	// Close waits on wg, so it does not return until queued packets have
+	// drained and every worker has exited.
+	s.wg.Add(1)
+	defer s.wg.Done()
+	queue := make(chan packet, s.cfg.QueueDepth)
+
+	var workers sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for pkt := range queue {
+				s.handlePacket(pkt.raddr, (*pkt.buf)[:pkt.n])
+				s.bufPool.Put(pkt.buf)
+			}
+		}()
+	}
+
+	var readers sync.WaitGroup
+	errs := make(chan error, s.cfg.Readers)
+	for i := 0; i < s.cfg.Readers; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			errs <- s.readLoop(queue)
+		}()
+	}
+	readers.Wait()
+	close(queue)
+	workers.Wait()
+
+	var firstErr error
+	for i := 0; i < s.cfg.Readers; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// readLoop pulls datagrams off the socket into pooled buffers until the
+// socket errors (normally: is closed). It returns nil on clean shutdown.
+func (s *Server) readLoop(queue chan<- packet) error {
 	for {
-		n, remote, err := s.conn.ReadFrom(buf)
+		bp := s.bufPool.Get().(*[]byte)
+		n, raddr, err := s.readFrom(*bp)
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
+			s.bufPool.Put(bp)
+			if s.isClosed() {
 				return nil
 			}
 			return fmt.Errorf("dnsserver: read: %w", err)
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		raddr, ok := remoteAddrPort(remote)
-		if !ok {
+		if !raddr.IsValid() {
+			s.bufPool.Put(bp)
 			continue
 		}
+		queue <- packet{buf: bp, n: n, raddr: raddr}
+	}
+}
+
+// servePerPacket is the legacy serve loop: one buffer copy and one spawned
+// goroutine per datagram. Kept for baseline comparison benchmarks.
+func (s *Server) servePerPacket() error {
+	buf := make([]byte, maxPacketSize)
+	for {
+		n, raddr, err := s.readFrom(buf)
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("dnsserver: read: %w", err)
+		}
+		if !raddr.IsValid() {
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handlePacket(raddr, remote, pkt)
+			s.handlePacket(raddr, pkt)
 		}()
 	}
 }
 
-func (s *Server) handlePacket(raddr netip.AddrPort, remote net.Addr, pkt []byte) {
-	query, err := dnsmsg.Unpack(pkt)
-	if err != nil || query.Response {
+// readFrom reads one datagram, preferring the AddrPort-returning UDP path
+// that avoids a net.Addr allocation per packet.
+func (s *Server) readFrom(buf []byte) (int, netip.AddrPort, error) {
+	if s.udpConn != nil {
+		return s.udpConn.ReadFromUDPAddrPort(buf)
+	}
+	n, remote, err := s.conn.ReadFrom(buf)
+	if err != nil {
+		return 0, netip.AddrPort{}, err
+	}
+	raddr, _ := remoteAddrPort(remote)
+	return n, raddr, nil
+}
+
+// writeTo sends one response datagram.
+func (s *Server) writeTo(wire []byte, raddr netip.AddrPort) error {
+	if s.udpConn != nil {
+		_, err := s.udpConn.WriteToUDPAddrPort(wire, raddr)
+		return err
+	}
+	_, err := s.conn.WriteTo(wire, net.UDPAddrFromAddrPort(raddr))
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) handlePacket(raddr netip.AddrPort, pkt []byte) {
+	query := s.msgPool.Get().(*dnsmsg.Message)
+	defer s.msgPool.Put(query)
+	if err := dnsmsg.UnpackInto(query, pkt); err != nil || query.Response {
 		s.Metrics.Malformed.Add(1)
 		return
 	}
@@ -118,26 +302,37 @@ func (s *Server) handlePacket(raddr netip.AddrPort, remote net.Addr, pkt []byte)
 		return
 	}
 	// Respect the client's advertised UDP payload size (512 octets for
-	// non-EDNS queries, RFC 1035): oversized answers are truncated with
-	// TC=1 so the client retries over TCP.
+	// non-EDNS queries, RFC 1035), clamped to maxAdvertisedUDPSize per
+	// RFC 6891 §6.2.5 rather than trusting arbitrary advertised sizes:
+	// oversized answers are truncated with TC=1 so the client retries
+	// over TCP.
 	maxSize := 512
 	if query.EDNS {
 		maxSize = int(query.UDPSize)
 		if maxSize < 512 {
 			maxSize = 512
 		}
+		if maxSize > maxAdvertisedUDPSize {
+			maxSize = maxAdvertisedUDPSize
+		}
 	}
-	wire, err := TruncateFor(resp, maxSize)
+	wp := s.packPool.Get().(*[]byte)
+	defer func() {
+		*wp = (*wp)[:0]
+		s.packPool.Put(wp)
+	}()
+	wire, err := TruncateAppend((*wp)[:0], resp, maxSize)
 	if err != nil {
 		// A handler bug; answer SERVFAIL so the client doesn't hang.
 		servfail := query.Reply()
 		servfail.RCode = dnsmsg.RCodeServerFailure
-		if wire, err = servfail.Pack(); err != nil {
+		if wire, err = servfail.AppendPack((*wp)[:0]); err != nil {
 			s.Metrics.Dropped.Add(1)
 			return
 		}
 	}
-	if _, err := s.conn.WriteTo(wire, remote); err == nil {
+	*wp = wire[:0] // keep any growth for the next response
+	if err := s.writeTo(wire, raddr); err == nil {
 		s.Metrics.Responses.Add(1)
 	}
 }

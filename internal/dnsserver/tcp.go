@@ -156,7 +156,13 @@ func WriteTCPMessage(w io.Writer, msg []byte) error {
 // so the client retries over TCP (RFC 2181 §9 warns against partial
 // answer sets). It returns the packed wire form.
 func TruncateFor(resp *dnsmsg.Message, size int) ([]byte, error) {
-	wire, err := resp.Pack()
+	return TruncateAppend(nil, resp, size)
+}
+
+// TruncateAppend is TruncateFor packing into buf (which must be empty,
+// see dnsmsg.AppendPack), so servers can recycle response wire buffers.
+func TruncateAppend(buf []byte, resp *dnsmsg.Message, size int) ([]byte, error) {
+	wire, err := resp.AppendPack(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -168,5 +174,5 @@ func TruncateFor(resp *dnsmsg.Message, size int) ([]byte, error) {
 	truncated.Answers = nil
 	truncated.Authorities = nil
 	truncated.Additionals = nil
-	return truncated.Pack()
+	return truncated.AppendPack(wire[:0])
 }

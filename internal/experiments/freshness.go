@@ -57,7 +57,7 @@ func MeasurementFreshness(lab *Lab, scale Scale) ([]FreshnessRow, *Report) {
 			now := start.AddDate(0, 0, day)
 			if day%every == 0 {
 				probes += db.Sweep(now, lab.Platform, targets)
-				dbScorer.InvalidateBest()
+				dbScorer.Invalidate()
 			}
 			epoch := measure.EpochOf(now)
 			for i, b := range blocks {

@@ -30,7 +30,7 @@ func TestFailoverUnderMonitor(t *testing.T) {
 		faults.Add(s.ID, t0.Add(time.Minute), t0.Add(3*time.Minute))
 	}
 	mon, err := cdn.NewMonitor(platform, faults, 10*time.Second, func(*cdn.Deployment) {
-		sys.Scorer().InvalidateBest()
+		sys.Scorer().Invalidate()
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestChurnUnderRandomFaults(t *testing.T) {
 	platform := cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 100, NumDeployments: 40, ServersPerDeployment: 3})
 	sys := NewSystem(testW, platform, testNet, Config{Policy: EndUser, PingTargets: 200})
 	mon, err := cdn.NewMonitor(platform, &cdn.RandomFaults{P: 0.2, EpochLength: time.Minute, Seed: 3},
-		time.Minute, func(*cdn.Deployment) { sys.Scorer().InvalidateBest() })
+		time.Minute, func(*cdn.Deployment) { sys.Scorer().Invalidate() })
 	if err != nil {
 		t.Fatal(err)
 	}

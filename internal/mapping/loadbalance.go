@@ -2,7 +2,6 @@ package mapping
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -30,7 +29,10 @@ type LoadBalancer struct {
 	// best-score-first behaviour with hard capacity spill.
 	LoadPenalty float64
 
-	mu    sync.Mutex
+	// rings caches one consistent-hash ring per deployment. Reads (the
+	// per-query path) take the read lock; rings are only built once per
+	// deployment, so writer contention is a startup transient.
+	mu    sync.RWMutex
 	rings map[uint64]*ring // deployment ID -> server ring
 }
 
@@ -117,12 +119,18 @@ func (lb *LoadBalancer) PickServers(d *cdn.Deployment, domain string, demand flo
 }
 
 func (lb *LoadBalancer) ringFor(d *cdn.Deployment) *ring {
+	lb.mu.RLock()
+	r, ok := lb.rings[d.ID]
+	lb.mu.RUnlock()
+	if ok {
+		return r
+	}
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	if r, ok := lb.rings[d.ID]; ok {
 		return r
 	}
-	r := newRing(d, lb.VirtualNodes)
+	r = newRing(d, lb.VirtualNodes)
 	lb.rings[d.ID] = r
 	return r
 }
@@ -164,27 +172,46 @@ func newRing(d *cdn.Deployment, vnodes int) *ring {
 	return r
 }
 
-// pick returns up to n distinct live servers clockwise from key.
+// pick returns up to n distinct live servers clockwise from key. Answers
+// carry few servers (ServersPerAnswer, default 2), so distinctness is a
+// linear scan of the output rather than a per-query map allocation.
 func (r *ring) pick(key uint64, n int) []*cdn.Server {
 	if len(r.points) == 0 {
 		return nil
 	}
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= key })
-	var out []*cdn.Server
-	seen := map[uint64]bool{}
+	out := make([]*cdn.Server, 0, n)
+scan:
 	for i := 0; i < len(r.points) && len(out) < n; i++ {
 		s := r.servers[(start+i)%len(r.points)]
-		if seen[s.ID] || !s.Alive() {
+		if !s.Alive() {
 			continue
 		}
-		seen[s.ID] = true
+		for _, prev := range out {
+			if prev.ID == s.ID {
+				continue scan
+			}
+		}
 		out = append(out, s)
 	}
 	return out
 }
 
+// FNV-1a constants (hash/fnv), inlined so string hashing needs neither a
+// hash-object allocation nor a string-to-bytes conversion.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashString is FNV-1a over the string bytes, allocation-free. It
+// produces the same values as hash/fnv's New64a, preserving consistent-
+// hash ring placement across this change.
 func hashString(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }

@@ -1,8 +1,10 @@
 package mapping
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"eum/internal/cdn"
 	"eum/internal/geo"
@@ -19,6 +21,19 @@ type Prober interface {
 	PingMs(a, b netmodel.Endpoint) float64
 }
 
+// targetShardCount shards the endpoint->target index so concurrent
+// queries for distinct endpoints never contend on one lock. Must be a
+// power of two.
+const targetShardCount = 64
+
+// targetShard is one shard of the endpoint-ID -> target-index map.
+// Lookups take the read lock; the write lock is only taken the first time
+// a given endpoint is seen.
+type targetShard struct {
+	mu   sync.RWMutex
+	byID map[uint64]int
+}
+
 // Scorer evaluates which deployments serve a given network location best.
 // It reproduces the measurement methodology of §6: rather than measuring
 // every client block directly, blocks are clustered to a bounded set of
@@ -27,16 +42,25 @@ type Prober interface {
 // and a client inherits the measurements of its nearest target.
 //
 // Scores are ping milliseconds: lower is better. Rankings are computed
-// lazily per target and cached; the Scorer is safe for concurrent use.
+// lazily per target (or all at once via Precompute) and cached in
+// per-target atomic slots, so the query hot path reads them lock-free; the
+// Scorer is safe for concurrent use and concurrent queries never serialize
+// on a shared mutex.
 type Scorer struct {
 	platform *cdn.Platform
 	net      Prober
 	targets  []netmodel.Endpoint
 
-	mu         sync.Mutex
-	rankCache  map[int][]Ranked // target index -> deployments by score
-	bestCache  map[int]Ranked   // target index -> best live deployment
-	targetByID map[uint64]int   // endpoint ID -> target index
+	// gen counts invalidations; answer caches layered above compare it
+	// to decide whether their entries predate a liveness change.
+	gen atomic.Uint64
+
+	// rankCache and bestCache hold one atomic slot per ping target.
+	// A nil pointer means "not computed"; Invalidate stores nil.
+	rankCache []atomic.Pointer[[]Ranked]
+	bestCache []atomic.Pointer[Ranked]
+
+	targetShards [targetShardCount]targetShard
 }
 
 // Ranked is a deployment with its score for some target.
@@ -53,11 +77,11 @@ type Ranked struct {
 // directly (exact, but slower and unbounded).
 func NewScorer(w *world.World, p *cdn.Platform, net Prober, numTargets int) *Scorer {
 	s := &Scorer{
-		platform:   p,
-		net:        net,
-		rankCache:  map[int][]Ranked{},
-		bestCache:  map[int]Ranked{},
-		targetByID: map[uint64]int{},
+		platform: p,
+		net:      net,
+	}
+	for i := range s.targetShards {
+		s.targetShards[i].byID = map[uint64]int{}
 	}
 	if numTargets > 0 {
 		blocks := append([]*world.ClientBlock{}, w.Blocks...)
@@ -68,6 +92,8 @@ func NewScorer(w *world.World, p *cdn.Platform, net Prober, numTargets int) *Sco
 		for _, b := range blocks[:numTargets] {
 			s.targets = append(s.targets, b.Endpoint())
 		}
+		s.rankCache = make([]atomic.Pointer[[]Ranked], len(s.targets))
+		s.bestCache = make([]atomic.Pointer[Ranked], len(s.targets))
 	}
 	return s
 }
@@ -75,18 +101,24 @@ func NewScorer(w *world.World, p *cdn.Platform, net Prober, numTargets int) *Sco
 // Platform returns the scored platform.
 func (s *Scorer) Platform() *cdn.Platform { return s.platform }
 
+// Generation returns the invalidation counter: it increases every time
+// cached scoring state is dropped (liveness or measurement changes), so
+// layered caches can stamp entries and discard stale ones.
+func (s *Scorer) Generation() uint64 { return s.gen.Load() }
+
 // targetFor returns the index of the ping target standing in for ep, or -1
 // when clustering is disabled.
 func (s *Scorer) targetFor(ep netmodel.Endpoint) int {
 	if len(s.targets) == 0 {
 		return -1
 	}
-	s.mu.Lock()
-	if idx, ok := s.targetByID[ep.ID]; ok {
-		s.mu.Unlock()
+	sh := &s.targetShards[ep.ID&(targetShardCount-1)]
+	sh.mu.RLock()
+	idx, ok := sh.byID[ep.ID]
+	sh.mu.RUnlock()
+	if ok {
 		return idx
 	}
-	s.mu.Unlock()
 
 	best, bestD := 0, geo.Distance(ep.Loc, s.targets[0].Loc)
 	for i := 1; i < len(s.targets); i++ {
@@ -94,9 +126,9 @@ func (s *Scorer) targetFor(ep netmodel.Endpoint) int {
 			best, bestD = i, d
 		}
 	}
-	s.mu.Lock()
-	s.targetByID[ep.ID] = best
-	s.mu.Unlock()
+	sh.mu.Lock()
+	sh.byID[ep.ID] = best
+	sh.mu.Unlock()
 	return best
 }
 
@@ -110,46 +142,18 @@ func (s *Scorer) proxyEndpoint(ep netmodel.Endpoint) (netmodel.Endpoint, int) {
 	return s.targets[idx], idx
 }
 
-// Rank returns all live deployments ordered by ascending ping score for ep.
-// The slice is shared; callers must not modify it.
-func (s *Scorer) Rank(ep netmodel.Endpoint) []Ranked {
-	proxy, idx := s.proxyEndpoint(ep)
-	if idx >= 0 {
-		s.mu.Lock()
-		if r, ok := s.rankCache[idx]; ok {
-			s.mu.Unlock()
-			return r
-		}
-		s.mu.Unlock()
-	}
+// computeRank scores every deployment against proxy, best first.
+func (s *Scorer) computeRank(proxy netmodel.Endpoint) []Ranked {
 	r := make([]Ranked, 0, len(s.platform.Deployments))
 	for _, d := range s.platform.Deployments {
 		r = append(r, Ranked{Deployment: d, Score: s.net.PingMs(d.Endpoint(), proxy)})
 	}
 	sort.Slice(r, func(i, j int) bool { return r[i].Score < r[j].Score })
-	if idx >= 0 {
-		s.mu.Lock()
-		s.rankCache[idx] = r
-		s.mu.Unlock()
-	}
 	return r
 }
 
-// Best returns the live deployment with the lowest ping score for ep and
-// that score, skipping deployments with no live servers. It returns nil if
-// no deployment is alive. Results are cached per ping target; the cache
-// assumes liveness is stable during a scoring interval (call
-// InvalidateBest after failure injection).
-func (s *Scorer) Best(ep netmodel.Endpoint) (*cdn.Deployment, float64) {
-	proxy, idx := s.proxyEndpoint(ep)
-	if idx >= 0 {
-		s.mu.Lock()
-		if r, ok := s.bestCache[idx]; ok {
-			s.mu.Unlock()
-			return r.Deployment, r.Score
-		}
-		s.mu.Unlock()
-	}
+// computeBest finds the best-scoring live deployment for proxy, or nil.
+func (s *Scorer) computeBest(proxy netmodel.Endpoint) (*cdn.Deployment, float64) {
 	var best *cdn.Deployment
 	bestScore := 0.0
 	for _, d := range s.platform.Deployments {
@@ -161,20 +165,96 @@ func (s *Scorer) Best(ep netmodel.Endpoint) (*cdn.Deployment, float64) {
 			best, bestScore = d, sc
 		}
 	}
+	return best, bestScore
+}
+
+// Rank returns all deployments ordered by ascending ping score for ep.
+// The slice is shared; callers must not modify it.
+func (s *Scorer) Rank(ep netmodel.Endpoint) []Ranked {
+	proxy, idx := s.proxyEndpoint(ep)
+	if idx >= 0 {
+		if p := s.rankCache[idx].Load(); p != nil {
+			return *p
+		}
+	}
+	r := s.computeRank(proxy)
+	if idx >= 0 {
+		s.rankCache[idx].Store(&r)
+	}
+	return r
+}
+
+// Best returns the live deployment with the lowest ping score for ep and
+// that score, skipping deployments with no live servers. It returns nil if
+// no deployment is alive. Results are cached per ping target; the cache
+// assumes liveness is stable during a scoring interval (call Invalidate
+// after failure injection).
+func (s *Scorer) Best(ep netmodel.Endpoint) (*cdn.Deployment, float64) {
+	proxy, idx := s.proxyEndpoint(ep)
+	if idx >= 0 {
+		if r := s.bestCache[idx].Load(); r != nil {
+			return r.Deployment, r.Score
+		}
+	}
+	best, bestScore := s.computeBest(proxy)
 	if idx >= 0 && best != nil {
-		s.mu.Lock()
-		s.bestCache[idx] = Ranked{Deployment: best, Score: bestScore}
-		s.mu.Unlock()
+		s.bestCache[idx].Store(&Ranked{Deployment: best, Score: bestScore})
 	}
 	return best, bestScore
 }
 
-// InvalidateBest drops the cached best-deployment results, e.g. after
-// liveness changes.
-func (s *Scorer) InvalidateBest() {
-	s.mu.Lock()
-	s.bestCache = map[int]Ranked{}
-	s.mu.Unlock()
+// Invalidate drops all cached per-target results — both the liveness-
+// dependent best-deployment cache and the rank cache — and bumps the
+// generation counter. Call it after failure injection, recovery, or a
+// measurement refresh.
+func (s *Scorer) Invalidate() {
+	for i := range s.bestCache {
+		s.bestCache[i].Store(nil)
+	}
+	for i := range s.rankCache {
+		s.rankCache[i].Store(nil)
+	}
+	s.gen.Add(1)
+}
+
+// InvalidateBest is kept for older call sites; it now folds into
+// Invalidate so rank caches are also dropped after liveness changes.
+func (s *Scorer) InvalidateBest() { s.Invalidate() }
+
+// Precompute ranks every ping target up front, in parallel, so the first
+// query for any target hits a warm cache instead of paying the full
+// platform scan — the paper's mapping system likewise computes its scoring
+// tables ahead of the query path, not on it.
+func (s *Scorer) Precompute() {
+	n := len(s.targets)
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				proxy := s.targets[idx]
+				r := s.computeRank(proxy)
+				s.rankCache[idx].Store(&r)
+				if best, score := s.computeBest(proxy); best != nil {
+					s.bestCache[idx].Store(&Ranked{Deployment: best, Score: score})
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // BestWeighted returns the live deployment minimising the demand-weighted

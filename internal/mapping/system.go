@@ -3,6 +3,7 @@ package mapping
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"eum/internal/cdn"
@@ -77,6 +78,12 @@ type System struct {
 	scorer   *Scorer
 	lb       *LoadBalancer
 
+	// policy is the active routing policy, stored atomically so queries
+	// never take a lock to read it and SetPolicy can flip it live.
+	policy atomic.Int32
+	// policyGen counts policy flips; see Generation.
+	policyGen atomic.Uint64
+
 	blockByLeaf map[netip.Prefix]*world.ClientBlock // /24 (v4) or /48 (v6) -> block
 	unitRep     map[netip.Prefix]*world.ClientBlock // mapping unit -> representative block
 	ldnsBy      map[netip.Addr]*world.LDNS
@@ -105,6 +112,7 @@ func NewSystem(w *world.World, p *cdn.Platform, net Prober, cfg Config) *System 
 		unitRep:     map[netip.Prefix]*world.ClientBlock{},
 		ldnsBy:      make(map[netip.Addr]*world.LDNS, len(w.LDNSes)),
 	}
+	s.policy.Store(int32(cfg.Policy))
 	s.lb.LoadPenalty = cfg.LoadPenalty
 	for _, b := range w.Blocks {
 		s.blockByLeaf[b.Prefix] = b
@@ -120,11 +128,32 @@ func NewSystem(w *world.World, p *cdn.Platform, net Prober, cfg Config) *System 
 }
 
 // Policy returns the active routing policy.
-func (s *System) Policy() Policy { return s.cfg.Policy }
+func (s *System) Policy() Policy { return Policy(s.policy.Load()) }
 
 // SetPolicy switches the routing policy — how the roll-out was performed:
 // the same system serving the same domains flips from NS to EU mapping.
-func (s *System) SetPolicy(p Policy) { s.cfg.Policy = p }
+// The flip bumps the system generation so answer caches layered above
+// drop entries decided under the old policy.
+func (s *System) SetPolicy(p Policy) {
+	s.policy.Store(int32(p))
+	s.policyGen.Add(1)
+}
+
+// Generation identifies the decision epoch: it increases whenever the
+// policy flips or the scorer's caches are invalidated (liveness or
+// measurement changes). An answer cached under an older generation may no
+// longer match what Map would decide and must be discarded.
+func (s *System) Generation() uint64 {
+	// Both counters only increase, so their sum is strictly monotonic.
+	return s.policyGen.Load() + s.scorer.Generation()
+}
+
+// UnitFor returns the mapping unit (the granularity at which clients are
+// grouped, §5.1) for a client address — the scope at which answers for
+// that client may be shared.
+func (s *System) UnitFor(addr netip.Addr) netip.Prefix {
+	return s.cfg.Units.UnitFor(addr)
+}
 
 // Scorer exposes the scoring layer (for simulations and tests).
 func (s *System) Scorer() *Scorer { return s.scorer }
@@ -172,9 +201,10 @@ func (s *System) Map(req Request) (*Response, error) {
 	resp := &Response{TTL: s.cfg.TTL}
 
 	// Decide the endpoint(s) whose latency we optimise.
+	policy := s.Policy()
 	var candidates []Ranked
 	switch {
-	case s.cfg.Policy == EndUser && req.ClientSubnet.IsValid():
+	case policy == EndUser && req.ClientSubnet.IsValid():
 		unit := s.cfg.Units.UnitFor(req.ClientSubnet.Addr())
 		ep, known := s.clientEndpoint(unit, req.ClientSubnet)
 		candidates = s.scorer.Rank(ep)
@@ -190,7 +220,7 @@ func (s *System) Map(req Request) (*Response, error) {
 			}
 			resp.ScopePrefix = scope
 		}
-	case s.cfg.Policy == ClientAwareNS:
+	case policy == ClientAwareNS:
 		if l, ok := s.ldnsBy[req.LDNS]; ok && len(l.Blocks) > 0 {
 			eps := make([]netmodel.Endpoint, len(l.Blocks))
 			weights := make([]float64, len(l.Blocks))
@@ -237,7 +267,7 @@ func (s *System) clientEndpoint(unit, query netip.Prefix) (netmodel.Endpoint, bo
 			return b.Endpoint(), true
 		}
 	}
-	return netmodel.Endpoint{ID: hashString(query.String()), Loc: s.cfg.FallbackLoc,
+	return netmodel.Endpoint{ID: hashPrefix(query), Loc: s.cfg.FallbackLoc,
 		Access: netmodel.AccessCable}, false
 }
 
@@ -285,6 +315,23 @@ func leafBits(addr netip.Addr) int {
 	return 48
 }
 
+// hashAddr hashes an address by its 16-byte expanded form (FNV-1a),
+// avoiding the String() allocation the presentation form would cost on
+// every unknown-endpoint query.
 func hashAddr(a netip.Addr) uint64 {
-	return hashString(a.String())
+	b := a.As16()
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashPrefix hashes a prefix by its address bytes and bit length.
+func hashPrefix(p netip.Prefix) uint64 {
+	h := hashAddr(p.Addr())
+	h ^= uint64(uint8(p.Bits()))
+	h *= fnvPrime64
+	return h
 }

@@ -148,7 +148,7 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 	var monitor *cdn.Monitor
 	if cfg.Faults != nil {
 		m, err := cdn.NewMonitor(p, cfg.Faults, 12*time.Hour, func(*cdn.Deployment) {
-			sys.Scorer().InvalidateBest()
+			sys.Scorer().Invalidate()
 		})
 		if err != nil {
 			return nil, err
