@@ -3,7 +3,11 @@ GO ?= go
 # Hot-path micro-benchmarks (see DESIGN.md "Hot path & concurrency model").
 HOTBENCH = BenchmarkDNSMessagePack|BenchmarkDNSMessageUnpack|BenchmarkMappingMap|BenchmarkAuthorityServeDNS|BenchmarkEndToEndUDP|BenchmarkServerThroughput
 
-.PHONY: all check vet build test race bench bench-hot bench-figures
+# Serial-vs-parallel simulation benchmarks (see DESIGN.md "Parallel
+# simulation & determinism model"; numbers recorded in BENCH_sim.json).
+SIMBENCH = BenchmarkWorldGenerate|BenchmarkRolloutTimeline|BenchmarkFig25Sweep
+
+.PHONY: all check vet build test race bench bench-hot bench-sim bench-figures
 
 all: check
 
@@ -12,9 +16,11 @@ check: vet build race
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./cmd/...
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -26,8 +32,13 @@ race:
 bench-hot:
 	$(GO) test -run 'TestNone' -bench '$(HOTBENCH)' -benchmem .
 
+# Parallel simulation engine: serial vs parallel for world generation, the
+# roll-out timeline and the Fig 25 deployment sweep.
+bench-sim:
+	$(GO) test -run 'TestNone' -bench '$(SIMBENCH)' -benchmem .
+
 # Regenerate every paper figure as benchmarks (slow; see EXPERIMENTS.md).
 bench-figures:
 	$(GO) test -run 'TestNone' -bench . -benchmem .
 
-bench: bench-hot
+bench: bench-hot bench-sim

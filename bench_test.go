@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"eum/internal/experiments"
 	"eum/internal/geo"
 	"eum/internal/mapping"
+	"eum/internal/par"
 	"eum/internal/resolver"
 	"eum/internal/simulation"
 	"eum/internal/world"
@@ -634,6 +636,76 @@ func BenchmarkAblationTrafficClass(b *testing.B) {
 			b.ReportMetric(r.MeanLossPct, "app-loss-pct")
 		}
 	}
+}
+
+// --- Parallel simulation engine (internal/par) ---
+
+// workerSettings runs the body at one worker and at all cores; the pairing
+// both measures the fan-out speedup and exercises the determinism contract
+// (results must be identical at any setting — see the parallel_test.go
+// invariance tests).
+func workerSettings(b *testing.B, body func(b *testing.B)) {
+	b.Helper()
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			par.SetWorkers(tc.workers)
+			defer par.SetWorkers(0)
+			body(b)
+		})
+	}
+}
+
+// BenchmarkWorldGenerate measures full-world generation (per-country
+// fan-out plus the serial renumbering pass).
+func BenchmarkWorldGenerate(b *testing.B) {
+	workerSettings(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := world.MustGenerate(world.Config{Seed: 3, NumBlocks: 20000, IPv6Fraction: 0.15})
+			if len(w.Blocks) == 0 {
+				b.Fatal("empty world")
+			}
+		}
+	})
+}
+
+// BenchmarkRolloutTimeline measures the §4 roll-out simulation (day-sharded
+// fan-out).
+func BenchmarkRolloutTimeline(b *testing.B) {
+	l := benchLab(b)
+	cfg := simulation.DefaultRolloutConfig()
+	cfg.Start = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2014, 5, 10, 0, 0, 0, 0, time.UTC)
+	cfg.DailyMeasurements = 150
+	workerSettings(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := simulation.RunRollout(l.World, l.Platform, l.Net, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig25Sweep measures the §6 deployment sweep ((run, N) cells
+// fanned out, block sweeps sharded inside each cell).
+func BenchmarkFig25Sweep(b *testing.B) {
+	l := benchLab(b)
+	cfg := experiments.DefaultFig25Config(scale)
+	workerSettings(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pts, _ := experiments.Fig25DeploymentSweep(l, cfg)
+			if len(pts) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
 }
 
 // --- Micro-benchmarks of the hot paths ---

@@ -21,6 +21,7 @@ import (
 
 	"eum/internal/dnsclient"
 	"eum/internal/dnsmsg"
+	"eum/internal/par"
 	"eum/internal/world"
 )
 
@@ -56,7 +57,9 @@ func main() {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(wkr)))
+			// Split-mixed child seeds: worker streams stay decorrelated even
+			// for adjacent base seeds (seed+wkr collides across runs).
+			rng := rand.New(rand.NewSource(par.ChildSeed(*seed, uint64(wkr))))
 			c := &dnsclient.Client{Timeout: 2 * time.Second, Retries: 0}
 			for ctx.Err() == nil {
 				name := dnsmsg.Name(fmt.Sprintf("e%04d.b.%s", rng.Intn(*domains), *zone))

@@ -14,10 +14,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"eum/internal/experiments"
+	"eum/internal/par"
 )
 
 // writeCSV emits one report as CSV with a leading comment row naming it.
@@ -148,9 +151,12 @@ func main() {
 	fig := flag.String("fig", "all", "figure to reproduce (e.g. 5, 12-20, 25, 4.5, all)")
 	scaleName := flag.String("scale", "small", "small (seconds) or full (benchmark scale)")
 	seed := flag.Int64("seed", 1, "world generation seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker pool size for parallel sweeps (results are identical at any setting)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	if *list {
 		ids := make([]string, 0, len(figures))
@@ -168,8 +174,11 @@ func main() {
 	if strings.EqualFold(*scaleName, "full") {
 		scale = experiments.Full
 	}
-	fmt.Fprintf(os.Stderr, "building lab (scale=%s, seed=%d)...\n", *scaleName, *seed)
+	fmt.Fprintf(os.Stderr, "building lab (scale=%s, seed=%d, workers=%d)...\n",
+		*scaleName, *seed, par.Workers())
+	labStart := time.Now()
 	lab := experiments.NewLab(scale, *seed)
+	fmt.Fprintf(os.Stderr, "lab built in %v\n", time.Since(labStart).Round(time.Millisecond))
 
 	var ids []string
 	if *fig == "all" {
@@ -190,11 +199,13 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "running fig %s (%s)...\n", id, f.desc)
+		figStart := time.Now()
 		reps, err := f.run(lab, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "fig %s done in %v\n", id, time.Since(figStart).Round(time.Millisecond))
 		for _, rep := range reps {
 			if *csvOut {
 				if err := writeCSV(os.Stdout, rep); err != nil {

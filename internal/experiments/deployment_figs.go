@@ -8,6 +8,7 @@ import (
 
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
+	"eum/internal/par"
 	"eum/internal/stats"
 	"eum/internal/world"
 )
@@ -79,28 +80,22 @@ func Fig25DeploymentSweep(lab *Lab, cfg Fig25Config) ([]Fig25Point, *Report) {
 	}
 	blocks := topBlocks(lab.World, cfg.MaxBlocks)
 
+	// Every (run, N) cell is independent: its subset seed depends only on
+	// the run index, so cells can be scored concurrently and reduced in
+	// fixed run order afterwards.
+	pols := []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS}
 	type cell struct{ mean, p95, p99 float64 }
-	acc := map[string]*cell{}
-	key := func(n int, pol mapping.Policy) string { return fmt.Sprintf("%d/%d", n, pol) }
-
-	for run := 0; run < cfg.Runs; run++ {
-		seed := int64(run + 1)
-		for _, n := range cfg.Ns {
-			sub := lab.Platform.Subset(n, seed)
-			scorer := mapping.NewScorer(lab.World, sub, lab.Net, cfg.PingTargets)
-			for _, pol := range []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS} {
-				d := evalPolicy(lab, scorer, blocks, pol)
-				c := acc[key(n, pol)]
-				if c == nil {
-					c = &cell{}
-					acc[key(n, pol)] = c
-				}
-				c.mean += d.Mean()
-				c.p95 += d.Percentile(95)
-				c.p99 += d.Percentile(99)
-			}
+	cells := par.Map(cfg.Runs*len(cfg.Ns), func(i int) [3]cell {
+		run, nIdx := i/len(cfg.Ns), i%len(cfg.Ns)
+		sub := lab.Platform.Subset(cfg.Ns[nIdx], int64(run+1))
+		scorer := mapping.NewScorer(lab.World, sub, lab.Net, cfg.PingTargets)
+		var out [3]cell
+		for pi, pol := range pols {
+			d := evalPolicy(lab, scorer, blocks, pol)
+			out[pi] = cell{d.Mean(), d.Percentile(95), d.Percentile(99)}
 		}
-	}
+		return out
+	})
 
 	var out []Fig25Point
 	rep := &Report{
@@ -108,9 +103,15 @@ func Fig25DeploymentSweep(lab *Lab, cfg Fig25Config) ([]Fig25Point, *Report) {
 		Caption: "Ping latency vs number of deployment locations (NS / EU / CANS)",
 		Columns: []string{"deployments", "policy", "mean-ms", "p95-ms", "p99-ms"},
 	}
-	for _, n := range cfg.Ns {
-		for _, pol := range []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS} {
-			c := acc[key(n, pol)]
+	for nIdx, n := range cfg.Ns {
+		for pi, pol := range pols {
+			var c cell
+			for run := 0; run < cfg.Runs; run++ {
+				r := cells[run*len(cfg.Ns)+nIdx][pi]
+				c.mean += r.mean
+				c.p95 += r.p95
+				c.p99 += r.p99
+			}
 			p := Fig25Point{
 				Deployments: n,
 				Policy:      pol,
@@ -128,43 +129,76 @@ func Fig25DeploymentSweep(lab *Lab, cfg Fig25Config) ([]Fig25Point, *Report) {
 // evalPolicy maps every block under the policy and returns the
 // demand-weighted distribution of ping latency from the chosen deployment
 // to the client. NS and CANS decisions are computed once per LDNS, since
-// every client of an LDNS shares its assignment.
+// every client of an LDNS shares its assignment: those choices fan out
+// over the distinct LDNSes (in first-seen order) before the block sweep,
+// which shards the block list and merges the partial datasets in shard
+// order — reproducing the serial sample order bit for bit.
 func evalPolicy(lab *Lab, scorer *mapping.Scorer, blocks []*world.ClientBlock, pol mapping.Policy) *stats.Dataset {
-	d := &stats.Dataset{}
-	ldnsChoice := map[uint64]netmodel.Endpoint{}
-	for _, b := range blocks {
-		var depEp netmodel.Endpoint
-		switch pol {
-		case mapping.EndUser:
-			dep, _ := scorer.Best(b.Endpoint())
-			if dep == nil {
-				continue
+	var ldnsChoice map[uint64]netmodel.Endpoint
+	if pol != mapping.EndUser { // NSBased and ClientAwareNS share per-LDNS decisions
+		var ldnses []*world.LDNS
+		seen := map[uint64]bool{}
+		for _, b := range blocks {
+			if !seen[b.LDNS.ID] {
+				seen[b.LDNS.ID] = true
+				ldnses = append(ldnses, b.LDNS)
 			}
-			depEp = dep.Endpoint()
-		default: // NSBased and ClientAwareNS share per-LDNS decisions
-			ep, ok := ldnsChoice[b.LDNS.ID]
-			if !ok {
-				var dep *cdn.Deployment
-				if pol == mapping.ClientAwareNS {
-					eps := make([]netmodel.Endpoint, len(b.LDNS.Blocks))
-					weights := make([]float64, len(b.LDNS.Blocks))
-					for i, cb := range b.LDNS.Blocks {
-						eps[i] = cb.Endpoint()
-						weights[i] = cb.Demand
-					}
-					dep, _ = scorer.BestWeighted(eps, weights)
-				} else {
-					dep, _ = scorer.Best(b.LDNS.Endpoint())
+		}
+		type choice struct {
+			ep netmodel.Endpoint
+			ok bool
+		}
+		choices := par.Map(len(ldnses), func(i int) choice {
+			l := ldnses[i]
+			var dep *cdn.Deployment
+			if pol == mapping.ClientAwareNS {
+				eps := make([]netmodel.Endpoint, len(l.Blocks))
+				weights := make([]float64, len(l.Blocks))
+				for j, cb := range l.Blocks {
+					eps[j] = cb.Endpoint()
+					weights[j] = cb.Demand
 				}
+				dep, _ = scorer.BestWeighted(eps, weights)
+			} else {
+				dep, _ = scorer.Best(l.Endpoint())
+			}
+			if dep == nil {
+				return choice{}
+			}
+			return choice{ep: dep.Endpoint(), ok: true}
+		})
+		ldnsChoice = make(map[uint64]netmodel.Endpoint, len(ldnses))
+		for i, l := range ldnses {
+			if choices[i].ok {
+				ldnsChoice[l.ID] = choices[i].ep
+			}
+		}
+	}
+
+	parts := par.MapShards(len(blocks), func(_, lo, hi int) *stats.Dataset {
+		d := &stats.Dataset{}
+		for _, b := range blocks[lo:hi] {
+			var depEp netmodel.Endpoint
+			if pol == mapping.EndUser {
+				dep, _ := scorer.Best(b.Endpoint())
 				if dep == nil {
 					continue
 				}
-				ep = dep.Endpoint()
-				ldnsChoice[b.LDNS.ID] = ep
+				depEp = dep.Endpoint()
+			} else {
+				ep, ok := ldnsChoice[b.LDNS.ID]
+				if !ok {
+					continue
+				}
+				depEp = ep
 			}
-			depEp = ep
+			d.Add(lab.Net.PingMs(depEp, b.Endpoint()), b.Demand)
 		}
-		d.Add(lab.Net.PingMs(depEp, b.Endpoint()), b.Demand)
+		return d
+	})
+	d := &stats.Dataset{}
+	for _, p := range parts {
+		d.Merge(p)
 	}
 	return d
 }
@@ -204,28 +238,44 @@ func AdoptionExtrapolation(lab *Lab) ([]AdoptionBand, *Report) {
 		{DistanceLo: 100, DistanceHi: 500},
 		{DistanceLo: 0, DistanceHi: 100},
 	}
-	var totalNonPublic float64
 	type agg struct{ ns, eu, demand float64 }
-	accs := make([]agg, len(bands))
-	for _, b := range lab.World.Blocks {
-		if b.LDNS.IsPublic() {
-			continue
-		}
-		totalNonPublic += b.Demand
-		dist := b.ClientLDNSDistance()
-		for i := range bands {
-			if dist < bands[i].DistanceLo || dist >= bands[i].DistanceHi {
+	type adoptionPart struct {
+		accs           [4]agg
+		totalNonPublic float64
+	}
+	parts := par.MapShards(len(lab.World.Blocks), func(_, lo, hi int) *adoptionPart {
+		p := &adoptionPart{}
+		for _, b := range lab.World.Blocks[lo:hi] {
+			if b.LDNS.IsPublic() {
 				continue
 			}
-			nsDep, _ := scorer.Best(b.LDNS.Endpoint())
-			euDep, _ := scorer.Best(b.Endpoint())
-			if nsDep == nil || euDep == nil {
+			p.totalNonPublic += b.Demand
+			dist := b.ClientLDNSDistance()
+			for i := range bands {
+				if dist < bands[i].DistanceLo || dist >= bands[i].DistanceHi {
+					continue
+				}
+				nsDep, _ := scorer.Best(b.LDNS.Endpoint())
+				euDep, _ := scorer.Best(b.Endpoint())
+				if nsDep == nil || euDep == nil {
+					break
+				}
+				p.accs[i].ns += b.Demand * lab.Net.BaseRTTMs(nsDep.Endpoint(), b.Endpoint())
+				p.accs[i].eu += b.Demand * lab.Net.BaseRTTMs(euDep.Endpoint(), b.Endpoint())
+				p.accs[i].demand += b.Demand
 				break
 			}
-			accs[i].ns += b.Demand * lab.Net.BaseRTTMs(nsDep.Endpoint(), b.Endpoint())
-			accs[i].eu += b.Demand * lab.Net.BaseRTTMs(euDep.Endpoint(), b.Endpoint())
-			accs[i].demand += b.Demand
-			break
+		}
+		return p
+	})
+	var totalNonPublic float64
+	accs := make([]agg, len(bands))
+	for _, p := range parts {
+		totalNonPublic += p.totalNonPublic
+		for i := range accs {
+			accs[i].ns += p.accs[i].ns
+			accs[i].eu += p.accs[i].eu
+			accs[i].demand += p.accs[i].demand
 		}
 	}
 	rep := &Report{

@@ -5,19 +5,29 @@ import (
 	"math"
 
 	"eum/internal/geo"
+	"eum/internal/par"
 	"eum/internal/stats"
 	"eum/internal/world"
 )
 
 // distanceDataset builds demand-weighted client-LDNS distance data,
-// optionally restricted to public-resolver clients.
+// optionally restricted to public-resolver clients. Workers fill private
+// datasets over block shards; the shard-ordered merge reproduces the
+// serial sample order exactly.
 func distanceDataset(w *world.World, publicOnly bool) *stats.Dataset {
-	d := &stats.Dataset{}
-	for _, b := range w.Blocks {
-		if publicOnly && !b.LDNS.IsPublic() {
-			continue
+	parts := par.MapShards(len(w.Blocks), func(_, lo, hi int) *stats.Dataset {
+		d := &stats.Dataset{}
+		for _, b := range w.Blocks[lo:hi] {
+			if publicOnly && !b.LDNS.IsPublic() {
+				continue
+			}
+			d.Add(b.ClientLDNSDistance(), b.Demand)
 		}
-		d.Add(b.ClientLDNSDistance(), b.Demand)
+		return d
+	})
+	d := &stats.Dataset{}
+	for _, p := range parts {
+		d.Merge(p)
 	}
 	return d
 }
@@ -79,10 +89,11 @@ type CountryBox struct {
 	Demand  float64
 }
 
-// countryBoxes computes per-country distance box stats.
+// countryBoxes computes per-country distance box stats, one worker per
+// country.
 func countryBoxes(w *world.World, publicOnly bool) []CountryBox {
-	var out []CountryBox
-	for _, c := range w.Countries {
+	boxes := par.Map(len(w.Countries), func(i int) *CountryBox {
+		c := w.Countries[i]
 		var d stats.Dataset
 		var demand float64
 		for _, b := range c.Blocks {
@@ -93,9 +104,15 @@ func countryBoxes(w *world.World, publicOnly bool) []CountryBox {
 			demand += b.Demand
 		}
 		if d.Len() == 0 {
-			continue
+			return nil
 		}
-		out = append(out, CountryBox{Country: c.Code(), Box: d.BoxStats(), Demand: demand})
+		return &CountryBox{Country: c.Code(), Box: d.BoxStats(), Demand: demand}
+	})
+	var out []CountryBox
+	for _, b := range boxes {
+		if b != nil {
+			out = append(out, *b)
+		}
 	}
 	// Descending by median, as the paper's figures are ordered.
 	for i := 1; i < len(out); i++ {
@@ -139,17 +156,21 @@ func Fig08PublicByCountry(lab *Lab) ([]CountryBox, *Report) {
 // Fig09PublicAdoption reproduces Fig 9: the percent of client demand
 // originating from public resolvers, by country.
 func Fig09PublicAdoption(lab *Lab) (map[string]float64, *Report) {
-	adoption := map[string]float64{}
-	for _, c := range lab.World.Countries {
-		var pub, total float64
-		for _, b := range c.Blocks {
-			total += b.Demand
+	type share struct{ pub, total float64 }
+	shares := par.Map(len(lab.World.Countries), func(i int) share {
+		var s share
+		for _, b := range lab.World.Countries[i].Blocks {
+			s.total += b.Demand
 			if b.LDNS.IsPublic() {
-				pub += b.Demand
+				s.pub += b.Demand
 			}
 		}
-		if total > 0 {
-			adoption[c.Code()] = pub / total
+		return s
+	})
+	adoption := map[string]float64{}
+	for i, c := range lab.World.Countries {
+		if shares[i].total > 0 {
+			adoption[c.Code()] = shares[i].pub / shares[i].total
 		}
 	}
 	rep := &Report{
@@ -185,13 +206,19 @@ type ASSizeBucket struct {
 // a function of AS size (the AS's share of global demand), over buckets
 // 2^-10 .. 2^-1 as in the paper.
 func Fig10DistanceByASSize(lab *Lab) ([]ASSizeBucket, *Report) {
-	var out []ASSizeBucket
 	rep := &Report{
 		ID:      "fig10",
 		Caption: "Median client-LDNS distance vs AS size (share of demand)",
 		Columns: []string{"share-lo", "share-hi", "median-miles", "ases"},
 	}
-	for e := 10; e >= 1; e-- {
+	// One worker per exponent bucket; each bucket scans the AS list
+	// independently.
+	type bucket struct {
+		b ASSizeBucket
+		e int
+	}
+	buckets := par.Map(10, func(i int) *bucket {
+		e := 10 - i
 		lo := math.Pow(2, -float64(e+1))
 		hi := math.Pow(2, -float64(e))
 		var d stats.Dataset
@@ -206,12 +233,21 @@ func Fig10DistanceByASSize(lab *Lab) ([]ASSizeBucket, *Report) {
 			}
 		}
 		if d.Len() == 0 {
+			return nil
+		}
+		return &bucket{
+			b: ASSizeBucket{ShareLo: lo, ShareHi: hi, MedianDistance: d.Median(), NumASes: n},
+			e: e,
+		}
+	})
+	var out []ASSizeBucket
+	for _, bk := range buckets {
+		if bk == nil {
 			continue
 		}
-		b := ASSizeBucket{ShareLo: lo, ShareHi: hi, MedianDistance: d.Median(), NumASes: n}
-		out = append(out, b)
+		out = append(out, bk.b)
 		rep.Rows = append(rep.Rows, row(
-			fmt.Sprintf("2^-%d", e+1), fmt.Sprintf("2^-%d", e), b.MedianDistance, n))
+			fmt.Sprintf("2^-%d", bk.e+1), fmt.Sprintf("2^-%d", bk.e), bk.b.MedianDistance, bk.b.NumASes))
 	}
 	return out, rep
 }
@@ -231,28 +267,46 @@ type Fig11Result struct {
 // mean client-LDNS distance, for all LDNSes and for public resolvers,
 // weighted by LDNS demand.
 func Fig11ClusterRadius(lab *Lab) (*Fig11Result, *Report) {
-	var radAll, distAll, radPub, distPub stats.Dataset
-	var pubExceed, pubTotal float64
-	for _, l := range lab.World.LDNSes {
-		if len(l.Blocks) == 0 {
-			continue
-		}
-		pts := make([]geo.Weighted, 0, len(l.Blocks))
-		for _, b := range l.Blocks {
-			pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
-		}
-		radius := geo.Radius(pts)
-		meanDist := geo.MeanDistanceTo(pts, l.Loc)
-		radAll.Add(radius, l.Demand)
-		distAll.Add(meanDist, l.Demand)
-		if l.IsPublic() {
-			radPub.Add(radius, l.Demand)
-			distPub.Add(meanDist, l.Demand)
-			pubTotal += l.Demand
-			if meanDist > radius {
-				pubExceed += l.Demand
+	// The per-LDNS cluster geometry dominates; shard the LDNS list and
+	// merge the partial datasets in shard order.
+	type fig11Part struct {
+		radAll, distAll, radPub, distPub stats.Dataset
+		pubExceed, pubTotal              float64
+	}
+	parts := par.MapShards(len(lab.World.LDNSes), func(_, lo, hi int) *fig11Part {
+		p := &fig11Part{}
+		for _, l := range lab.World.LDNSes[lo:hi] {
+			if len(l.Blocks) == 0 {
+				continue
+			}
+			pts := make([]geo.Weighted, 0, len(l.Blocks))
+			for _, b := range l.Blocks {
+				pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
+			}
+			radius := geo.Radius(pts)
+			meanDist := geo.MeanDistanceTo(pts, l.Loc)
+			p.radAll.Add(radius, l.Demand)
+			p.distAll.Add(meanDist, l.Demand)
+			if l.IsPublic() {
+				p.radPub.Add(radius, l.Demand)
+				p.distPub.Add(meanDist, l.Demand)
+				p.pubTotal += l.Demand
+				if meanDist > radius {
+					p.pubExceed += l.Demand
+				}
 			}
 		}
+		return p
+	})
+	var radAll, distAll, radPub, distPub stats.Dataset
+	var pubExceed, pubTotal float64
+	for _, p := range parts {
+		radAll.Merge(&p.radAll)
+		distAll.Merge(&p.distAll)
+		radPub.Merge(&p.radPub)
+		distPub.Merge(&p.distPub)
+		pubExceed += p.pubExceed
+		pubTotal += p.pubTotal
 	}
 	res := &Fig11Result{
 		RadiusAll:    radAll.CDF(60),

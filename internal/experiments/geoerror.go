@@ -5,6 +5,7 @@ import (
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
 	"eum/internal/overlay"
+	"eum/internal/par"
 	"eum/internal/simulation"
 	"eum/internal/stats"
 )
@@ -54,19 +55,26 @@ func GeoErrorImpact(lab *Lab) ([]GeoErrorRow, *Report) {
 		// A fresh scorer per level: target assignment caches key on
 		// endpoint identity, and each level distorts locations differently.
 		scorer := mapping.NewScorer(lab.World, lab.Platform, lab.Net, 1000)
+		parts := par.MapShards(len(blocks), func(_, lo, hi int) *stats.Dataset {
+			d := &stats.Dataset{}
+			for _, b := range blocks[lo:hi] {
+				// The mapping system sees the database's view of the client.
+				seen := b.Endpoint()
+				if e, ok := db.Locate(b.Prefix.Addr()); ok {
+					seen.Loc = e.Loc
+				}
+				dep, _ := scorer.Best(seen)
+				if dep == nil {
+					continue
+				}
+				// The client's experience uses the true location.
+				d.Add(lab.Net.BaseRTTMs(dep.Endpoint(), b.Endpoint()), b.Demand)
+			}
+			return d
+		})
 		var rtt stats.Dataset
-		for _, b := range blocks {
-			// The mapping system sees the database's view of the client.
-			seen := b.Endpoint()
-			if e, ok := db.Locate(b.Prefix.Addr()); ok {
-				seen.Loc = e.Loc
-			}
-			dep, _ := scorer.Best(seen)
-			if dep == nil {
-				continue
-			}
-			// The client's experience uses the true location.
-			rtt.Add(lab.Net.BaseRTTMs(dep.Endpoint(), b.Endpoint()), b.Demand)
+		for _, p := range parts {
+			rtt.Merge(p)
 		}
 		r := GeoErrorRow{
 			MislocateFraction: lvl.frac,
@@ -170,17 +178,27 @@ func TrafficClasses(lab *Lab) ([]TrafficClassRow, *Report) {
 	}
 	for _, class := range []mapping.TrafficClass{mapping.ClassWeb, mapping.ClassVideo, mapping.ClassApplication} {
 		scorer := mapping.NewClassScorer(lab.World, lab.Platform, lab.Net, class, 800)
-		var ping, loss, tp stats.Dataset
-		for _, b := range blocks {
-			ep := b.Endpoint()
-			dep, _ := scorer.Best(ep)
-			if dep == nil {
-				continue
+		type classPart struct{ ping, loss, tp stats.Dataset }
+		parts := par.MapShards(len(blocks), func(_, lo, hi int) *classPart {
+			p := &classPart{}
+			for _, b := range blocks[lo:hi] {
+				ep := b.Endpoint()
+				dep, _ := scorer.Best(ep)
+				if dep == nil {
+					continue
+				}
+				de := dep.Endpoint()
+				p.ping.Add(lab.Net.PingMs(de, ep), b.Demand)
+				p.loss.Add(100*lab.Net.Loss(de, ep), b.Demand)
+				p.tp.Add(lab.Net.ThroughputMbps(de, ep, 0), b.Demand)
 			}
-			de := dep.Endpoint()
-			ping.Add(lab.Net.PingMs(de, ep), b.Demand)
-			loss.Add(100*lab.Net.Loss(de, ep), b.Demand)
-			tp.Add(lab.Net.ThroughputMbps(de, ep, 0), b.Demand)
+			return p
+		})
+		var ping, loss, tp stats.Dataset
+		for _, p := range parts {
+			ping.Merge(&p.ping)
+			loss.Merge(&p.loss)
+			tp.Merge(&p.tp)
 		}
 		r := TrafficClassRow{
 			Class:          class,

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eum/internal/par"
+)
+
+// sweepReports builds a lab and runs the full analysis sweep, returning
+// every report table concatenated. Building the lab inside the sweep makes
+// the check cover world/platform generation as well as the figures.
+func sweepReports(t *testing.T) string {
+	t.Helper()
+	l := NewLab(Small, 2)
+	var sb strings.Builder
+	add := func(rep *Report) { sb.WriteString(rep.Table()) }
+
+	_, rep := Fig05ClientLDNSHistogram(l)
+	add(rep)
+	_, rep = Fig06DistanceByCountry(l)
+	add(rep)
+	_, rep = Fig07PublicResolverHistogram(l)
+	add(rep)
+	_, rep = Fig08PublicByCountry(l)
+	add(rep)
+	_, rep = Fig09PublicAdoption(l)
+	add(rep)
+	_, rep = Fig10DistanceByASSize(l)
+	add(rep)
+	_, rep = Fig11ClusterRadius(l)
+	add(rep)
+	_, rep = Fig21MappingUnitCoverage(l)
+	add(rep)
+	_, rep = Fig22PrefixTradeoff(l)
+	add(rep)
+	_, rep = Fig25DeploymentSweep(l, Fig25Config{
+		Ns: []int{40, 80}, Runs: 2, PingTargets: 300, MaxBlocks: 800,
+	})
+	add(rep)
+	_, rep = AdoptionExtrapolation(l)
+	add(rep)
+	_, rep = TrafficClasses(l)
+	add(rep)
+	return sb.String()
+}
+
+// TestSweepWorkerCountInvariant is the package's determinism contract:
+// every figure report must be byte-identical whether the sweep ran on one
+// worker or eight.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep twice")
+	}
+	par.SetWorkers(1)
+	serial := sweepReports(t)
+	par.SetWorkers(8)
+	parallel := sweepReports(t)
+	par.SetWorkers(0)
+
+	if serial != parallel {
+		a, b := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("reports diverge at line %d:\n  workers=1: %s\n  workers=8: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("reports differ in length: %d vs %d lines", len(a), len(b))
+	}
+}

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"net/netip"
+	"sort"
 	"time"
 
 	"eum/internal/demand"
 	"eum/internal/geo"
 	"eum/internal/mapping"
+	"eum/internal/par"
 	"eum/internal/simulation"
 	"eum/internal/stats"
 )
@@ -92,33 +95,48 @@ type Fig22Row struct {
 // the number of mapping units but grow the cluster radius, costing
 // accuracy. It also reports the BGP-CIDR aggregation point of §5.1.
 func Fig22PrefixTradeoff(lab *Lab) ([]Fig22Row, *Report) {
-	var out []Fig22Row
 	rep := &Report{
 		ID:      "fig22",
 		Caption: "Mapping-unit trade-off per /x prefix length",
 		Columns: []string{"prefix", "units", "median-radius-mi", "pct-demand-radius<=100mi"},
 	}
-	for _, bits := range []int{8, 10, 12, 14, 16, 18, 20, 22, 24} {
+	// One worker per prefix length. Cluster keys are visited in sorted
+	// order, not map order, so the radius dataset's sample order (and thus
+	// its weighted percentiles) is deterministic.
+	lengths := []int{8, 10, 12, 14, 16, 18, 20, 22, 24}
+	out := par.Map(len(lengths), func(i int) Fig22Row {
+		bits := lengths[i]
 		u := mapping.PrefixUnits{X: uint8(bits)}
 		clusters := mapping.UnitClusters(lab.World, u)
+		keys := make([]netip.Prefix, 0, len(clusters))
+		for k := range clusters {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if c := keys[a].Addr().Compare(keys[b].Addr()); c != 0 {
+				return c < 0
+			}
+			return keys[a].Bits() < keys[b].Bits()
+		})
 		var radii stats.Dataset
-		for _, blocks := range clusters {
+		for _, k := range keys {
 			var pts []geo.Weighted
 			var w float64
-			for _, b := range blocks {
+			for _, b := range clusters[k] {
 				pts = append(pts, geo.Weighted{Point: b.Loc, Weight: b.Demand})
 				w += b.Demand
 			}
 			radii.Add(geo.Radius(pts), w)
 		}
-		r := Fig22Row{
+		return Fig22Row{
 			PrefixBits:  bits,
 			Units:       len(clusters),
 			RadiusP50:   radii.Median(),
 			Within100mi: radii.FractionAtOrBelow(100),
 		}
-		out = append(out, r)
-		rep.Rows = append(rep.Rows, row(fmt.Sprintf("/%d", bits), r.Units, r.RadiusP50, 100*r.Within100mi))
+	})
+	for _, r := range out {
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("/%d", r.PrefixBits), r.Units, r.RadiusP50, 100*r.Within100mi))
 	}
 	// BGP-CIDR aggregation of /24s (the §5.1 heuristic).
 	cidrUnits := mapping.NewCIDRUnits(mapping.PrefixUnits{X: 24}, lab.World.BGPCIDRs())

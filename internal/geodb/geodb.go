@@ -26,8 +26,12 @@ type Entry struct {
 
 // Options tunes database construction.
 type Options struct {
-	// Seed drives deterministic error injection.
+	// Seed drives deterministic error injection when Rand is nil.
 	Seed int64
+	// Rand, when set, is the explicit error-injection source; it takes
+	// precedence over Seed so callers can thread one RNG through several
+	// builds (or split seeds per shard with par.ChildSeed).
+	Rand *rand.Rand
 	// MislocateFraction of prefixes are displaced by ErrorMiles in a
 	// random direction.
 	MislocateFraction float64
@@ -48,7 +52,10 @@ type DB struct {
 // Build constructs a database from the world: one record per client block
 // (at its /24 or /48 prefix) and one per LDNS address (/32 or /128).
 func Build(w *world.World, opts Options) *DB {
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	db := &DB{entries: make(map[netip.Prefix]Entry, len(w.Blocks)+len(w.LDNSes))}
 
 	add := func(p netip.Prefix, e Entry) {

@@ -2,6 +2,7 @@ package geodb
 
 import (
 	"math"
+	"math/rand"
 	"net/netip"
 	"testing"
 
@@ -81,6 +82,30 @@ func TestBuildDeterministic(t *testing.T) {
 		e2, _ := db2.Locate(b.Prefix.Addr())
 		if e1.Loc != e2.Loc {
 			t.Fatal("same seed produced different errors")
+		}
+	}
+}
+
+func TestBuildInjectedRandEquivalentToSeed(t *testing.T) {
+	// An explicitly injected source seeded like Options.Seed must produce
+	// the identical database.
+	seeded := Build(testW, Options{Seed: 4, MislocateFraction: 0.3, ErrorMiles: 200, UnknownFraction: 0.1})
+	injected := Build(testW, Options{
+		Rand: rand.New(rand.NewSource(4)),
+		// Seed deliberately different: Rand must win.
+		Seed: 999, MislocateFraction: 0.3, ErrorMiles: 200, UnknownFraction: 0.1,
+	})
+	if seeded.Size() != injected.Size() ||
+		seeded.Mislocated() != injected.Mislocated() || seeded.Omitted() != injected.Omitted() {
+		t.Fatalf("size/mislocated/omitted differ: %d/%d/%d vs %d/%d/%d",
+			seeded.Size(), seeded.Mislocated(), seeded.Omitted(),
+			injected.Size(), injected.Mislocated(), injected.Omitted())
+	}
+	for _, b := range testW.Blocks {
+		e1, ok1 := seeded.Locate(b.Prefix.Addr())
+		e2, ok2 := injected.Locate(b.Prefix.Addr())
+		if ok1 != ok2 || e1 != e2 {
+			t.Fatalf("block %v differs: %+v/%v vs %+v/%v", b.Prefix, e1, ok1, e2, ok2)
 		}
 	}
 }

@@ -1,0 +1,167 @@
+// Package par is the deterministic parallel execution framework behind
+// every offline sweep in the reproduction: world generation, the figure
+// analyses, and the roll-out simulations all fan out through it.
+//
+// Two rules make parallel runs bit-identical to serial ones, regardless of
+// GOMAXPROCS or goroutine scheduling:
+//
+//  1. Work decomposition is a pure function of the input size. Map and
+//     ForEach operate on index ranges; MapShards splits [0, n) into
+//     NumShards(n) contiguous ranges that do not depend on the worker
+//     count. Workers claim items dynamically (so load balances), but every
+//     result lands at its input's index and callers reduce in index order.
+//  2. Randomness is split, never shared. A loop that needs random draws
+//     derives one child seed per shard with ChildSeed(seed, shard) and
+//     builds a private *rand.Rand from it, so the draw sequence seen by
+//     shard i is independent of how many workers ran or which worker
+//     executed it.
+//
+// The worker count is a process-global knob (SetWorkers) because — by the
+// rules above — it can only change how fast results arrive, never what
+// they are.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured worker count; 0 means "use GOMAXPROCS(0)".
+var workers atomic.Int64
+
+// Workers returns the effective worker count used by Map, ForEach and
+// MapShards.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the global worker count. n <= 0 restores the default
+// (GOMAXPROCS at call time). Changing the count never changes results —
+// only wall-clock time.
+func SetWorkers(n int) {
+	if n <= 0 {
+		workers.Store(0)
+		return
+	}
+	workers.Store(int64(n))
+}
+
+// ChildSeed derives a deterministic per-shard seed from a parent seed,
+// using the SplitMix64 finalizer (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators"). Distinct shards of the same parent get
+// well-separated seeds, and shard 0 never collides with the parent itself.
+func ChildSeed(seed int64, shard uint64) int64 {
+	z := uint64(seed) + (shard+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the worker pool. fn must not
+// depend on execution order; writes from distinct indices must go to
+// distinct locations.
+func ForEach(n int, fn func(i int)) {
+	run(n, fn)
+}
+
+// Map runs fn(i) for every i in [0, n) on the worker pool and returns the
+// results indexed by input position, so the output is identical to the
+// serial loop no matter how the work was scheduled.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	run(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// maxShards bounds range decomposition: enough shards that dynamic
+// claiming load-balances skewed work, few enough that per-shard state
+// (datasets, partial sums) stays cheap to merge.
+const maxShards = 64
+
+// NumShards returns the number of contiguous ranges MapShards splits
+// [0, n) into. It depends only on n — never on the worker count — which is
+// what keeps per-shard accumulation (and its floating-point rounding)
+// identical across runs.
+func NumShards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n < maxShards {
+		return n
+	}
+	return maxShards
+}
+
+// ShardRange returns the half-open range [lo, hi) of shard s of n items.
+func ShardRange(n, s int) (lo, hi int) {
+	k := NumShards(n)
+	return s * n / k, (s + 1) * n / k
+}
+
+// MapShards splits [0, n) into NumShards(n) contiguous ranges and runs
+// fn(shard, lo, hi) for each on the worker pool, returning the per-shard
+// results in shard order. Callers accumulate into a private value per
+// shard and merge the returned slice front to back ("shard-ordered
+// merge"), which fixes the floating-point reduction order.
+func MapShards[T any](n int, fn func(shard, lo, hi int) T) []T {
+	k := NumShards(n)
+	out := make([]T, k)
+	run(k, func(s int) {
+		lo, hi := ShardRange(n, s)
+		out[s] = fn(s, lo, hi)
+	})
+	return out
+}
+
+// run executes fn(i) for i in [0, n) on min(Workers(), n) goroutines with
+// an atomic claim counter. A panic in any item is re-raised on the caller's
+// goroutine after the pool drains.
+func run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+}

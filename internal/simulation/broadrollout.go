@@ -10,6 +10,7 @@ import (
 	"eum/internal/demand"
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
+	"eum/internal/par"
 	"eum/internal/resolver"
 	"eum/internal/rum"
 	"eum/internal/stats"
@@ -67,6 +68,18 @@ func RunBroadRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, seed 
 		{"universal", func(*world.LDNS) bool { return true }},
 	}
 
+	// Group block indices by LDNS (first-seen order): a resolver's cache
+	// sees only its own clients' queries, in block order, so groups replay
+	// concurrently and the per-group datasets merge in a fixed order.
+	var ldnsOrder []*world.LDNS
+	blocksByLDNS := map[uint64][]int{}
+	for i, b := range w.Blocks {
+		if _, ok := blocksByLDNS[b.LDNS.ID]; !ok {
+			ldnsOrder = append(ldnsOrder, b.LDNS)
+		}
+		blocksByLDNS[b.LDNS.ID] = append(blocksByLDNS[b.LDNS.ID], i)
+	}
+
 	res := &BroadRolloutResult{}
 	var baselineQPS float64
 	for _, stage := range stages {
@@ -82,22 +95,43 @@ func RunBroadRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, seed 
 			resolvers[l.ID] = r
 		}
 
-		// Performance: every block resolves once and is measured.
-		now := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
+		// Performance: every block resolves once and is measured, fanned
+		// out per resolver. Timestamps stay tied to block index, exactly as
+		// in a single serial pass over w.Blocks.
+		base := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
+		type groupPart struct {
+			rtt, dist stats.Dataset
+			err       error
+		}
+		parts := par.Map(len(ldnsOrder), func(gi int) *groupPart {
+			p := &groupPart{}
+			r := resolvers[ldnsOrder[gi].ID]
+			for _, bi := range blocksByLDNS[ldnsOrder[gi].ID] {
+				b := w.Blocks[bi]
+				now := base.Add(time.Duration(bi) * time.Second)
+				ans, err := r.Query(now, "broad.cdn.example.net", hostInBlock(b))
+				if err != nil {
+					p.err = err
+					return p
+				}
+				dep := depByAddr[ans.Servers[0]]
+				if dep == nil {
+					p.err = fmt.Errorf("simulation: unknown server %v", ans.Servers[0])
+					return p
+				}
+				p.rtt.Add(net.BaseRTTMs(b.Endpoint(), dep.Endpoint()), b.Demand)
+				m := rumModel.Measure(now, b, demand.Domain{Name: "broad", DynamicFraction: 0.5, PageBytes: 100_000}, dep, 1)
+				p.dist.Add(m.MappingDistance, b.Demand)
+			}
+			return p
+		})
 		var rtt, dist stats.Dataset
-		for _, b := range w.Blocks {
-			ans, err := resolvers[b.LDNS.ID].Query(now, "broad.cdn.example.net", hostInBlock(b))
-			if err != nil {
-				return nil, err
+		for _, p := range parts {
+			if p.err != nil {
+				return nil, p.err
 			}
-			dep := depByAddr[ans.Servers[0]]
-			if dep == nil {
-				return nil, fmt.Errorf("simulation: unknown server %v", ans.Servers[0])
-			}
-			rtt.Add(net.BaseRTTMs(b.Endpoint(), dep.Endpoint()), b.Demand)
-			m := rumModel.Measure(now, b, demand.Domain{Name: "broad", DynamicFraction: 0.5, PageBytes: 100_000}, dep, 1)
-			dist.Add(m.MappingDistance, b.Demand)
-			now = now.Add(time.Second)
+			rtt.Merge(&p.rtt)
+			dist.Merge(&p.dist)
 		}
 		for _, r := range resolvers {
 			r.Flush()
@@ -126,7 +160,9 @@ func RunBroadRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, seed 
 }
 
 // stageQueryRate replays a fixed dense workload through the resolvers and
-// returns the authoritative query rate.
+// returns the authoritative query rate. The event stream is drawn up front
+// (a pure function of the seed), then replayed per resolver concurrently:
+// each cache sees exactly its own slice of the stream, in time order.
 func stageQueryRate(w *world.World, resolvers map[uint64]*resolver.Resolver, seed int64) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	cat := demand.MustNewCatalogue(80, 1.35, seed)
@@ -142,10 +178,36 @@ func stageQueryRate(w *world.World, resolvers map[uint64]*resolver.Resolver, see
 	events := 60000
 	start := time.Date(2014, 7, 2, 0, 0, 0, 0, time.UTC)
 	step := window / time.Duration(events+1)
-	for i := 0; i < events; i++ {
-		blk := sampler.Sample(rng)
-		dom := cat.Sample(rng)
-		if _, err := resolvers[blk.LDNS.ID].Query(start.Add(time.Duration(i)*step), dom.Name, hostInBlock(blk)); err != nil {
+
+	type event struct {
+		blk *world.ClientBlock
+		dom demand.Domain
+	}
+	evs := make([]event, events)
+	for i := range evs {
+		evs[i] = event{sampler.Sample(rng), cat.Sample(rng)}
+	}
+	var order []uint64
+	byLDNS := map[uint64][]int{}
+	for i, ev := range evs {
+		id := ev.blk.LDNS.ID
+		if _, ok := byLDNS[id]; !ok {
+			order = append(order, id)
+		}
+		byLDNS[id] = append(byLDNS[id], i)
+	}
+	errs := par.Map(len(order), func(gi int) error {
+		r := resolvers[order[gi]]
+		for _, i := range byLDNS[order[gi]] {
+			now := start.Add(time.Duration(i) * step)
+			if _, err := r.Query(now, evs[i].dom.Name, hostInBlock(evs[i].blk)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
 			return 0, err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eum/internal/demand"
+	"eum/internal/par"
 	"eum/internal/resolver"
 	"eum/internal/world"
 )
@@ -104,92 +105,92 @@ func RunQueryRate(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([]
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	resolvers, enableDay, err := buildResolvers(w, cfg, up, rng)
-	if err != nil {
-		return nil, err
-	}
+	enableDay := drawEnableDays(w, cfg, rng)
 	sampler, err := demand.NewSampler(w, nil)
 	if err != nil {
 		return nil, err
 	}
 
+	// Days are independent: caches carry within a day's window but never
+	// across days (windows are a day apart, TTLs are seconds), and the old
+	// serial loop flushed them at each day's end. Each day therefore builds
+	// fresh resolvers — pre-set to that day's ECS state — samples its own
+	// child-seeded workload, and reads its own metrics from zero.
 	base := time.Date(2014, 1, 1, 12, 0, 0, 0, time.UTC)
-	var out []QueryRatePoint
-	for day := 0; day < cfg.Days; day++ {
-		// Enable ECS on public sites whose day has come.
-		for id, d := range enableDay {
-			if day >= d {
-				resolvers[id].SetECSEnabled(true)
+	type dayPart struct {
+		pt  QueryRatePoint
+		err error
+	}
+	parts := par.Map(cfg.Days, func(day int) dayPart {
+		resolvers := map[uint64]*resolver.Resolver{}
+		for _, l := range w.LDNSes {
+			ecs := false
+			if d, ok := enableDay[l.ID]; ok && day >= d {
+				ecs = true
 			}
+			r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: ecs, SourcePrefix: 24}, up)
+			if err != nil {
+				return dayPart{err: err}
+			}
+			resolvers[l.ID] = r
 		}
 		// Organic traffic growth over the period.
 		grow := 1 + 0.18*float64(day)/float64(cfg.Days)
 		events := int(float64(cfg.EventsPerWindow) * grow)
 
 		windowStart := base.AddDate(0, 0, day)
-		var authBefore, pubBefore uint64
-		for _, r := range resolvers {
-			authBefore += r.Metrics.UpstreamQueries
-		}
-		for _, l := range w.LDNSes {
-			if l.IsPublic() {
-				pubBefore += resolvers[l.ID].Metrics.UpstreamQueries
-			}
-		}
-
+		dayRNG := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, uint64(day))))
 		step := cfg.WindowPerDay / time.Duration(events+1)
 		for i := 0; i < events; i++ {
 			now := windowStart.Add(time.Duration(i) * step)
-			blk := sampler.Sample(rng)
-			dom := cfg.Catalogue.Sample(rng)
+			blk := sampler.Sample(dayRNG)
+			dom := cfg.Catalogue.Sample(dayRNG)
 			if _, err := resolvers[blk.LDNS.ID].Query(now, dom.Name, hostInBlock(blk)); err != nil {
-				return nil, err
+				return dayPart{err: err}
 			}
 		}
 
-		var authAfter, pubAfter uint64
-		for _, r := range resolvers {
-			authAfter += r.Metrics.UpstreamQueries
-		}
+		var auth, pub uint64
 		for _, l := range w.LDNSes {
+			n := resolvers[l.ID].Metrics.UpstreamQueries
+			auth += n
 			if l.IsPublic() {
-				pubAfter += resolvers[l.ID].Metrics.UpstreamQueries
+				pub += n
 			}
 		}
 		secs := cfg.WindowPerDay.Seconds()
-		out = append(out, QueryRatePoint{
+		return dayPart{pt: QueryRatePoint{
 			Day:           day,
 			ClientQPS:     float64(events) / secs,
-			AuthQPS:       float64(authAfter-authBefore) / secs,
-			PublicAuthQPS: float64(pubAfter-pubBefore) / secs,
-		})
-		// Caches carry within a day's window but not across days
-		// (windows are far apart relative to TTL); flush to bound memory.
-		for _, r := range resolvers {
-			r.Flush()
+			AuthQPS:       float64(auth) / secs,
+			PublicAuthQPS: float64(pub) / secs,
+		}}
+	})
+	out := make([]QueryRatePoint, 0, cfg.Days)
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
 		}
+		out = append(out, p.pt)
 	}
 	return out, nil
 }
 
-func buildResolvers(w *world.World, cfg QueryRateConfig, up resolver.Upstream, rng *rand.Rand) (map[uint64]*resolver.Resolver, map[uint64]int, error) {
-	resolvers := map[uint64]*resolver.Resolver{}
+// drawEnableDays assigns each public site its ECS enable day, in world
+// LDNS order so the schedule is a pure function of the seed.
+func drawEnableDays(w *world.World, cfg QueryRateConfig, rng *rand.Rand) map[uint64]int {
 	enableDay := map[uint64]int{}
 	for _, l := range w.LDNSes {
-		r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: false, SourcePrefix: 24}, up)
-		if err != nil {
-			return nil, nil, err
+		if !l.IsPublic() {
+			continue
 		}
-		resolvers[l.ID] = r
-		if l.IsPublic() {
-			span := cfg.RolloutEndDay - cfg.RolloutStartDay
-			if span < 1 {
-				span = 1
-			}
-			enableDay[l.ID] = cfg.RolloutStartDay + rng.Intn(span)
+		span := cfg.RolloutEndDay - cfg.RolloutStartDay
+		if span < 1 {
+			span = 1
 		}
+		enableDay[l.ID] = cfg.RolloutStartDay + rng.Intn(span)
 	}
-	return resolvers, enableDay, nil
+	return enableDay
 }
 
 // PopularityBucket is one bar of Fig 24: (domain, LDNS) pairs bucketed by
@@ -229,38 +230,64 @@ func RunPopularity(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([
 		ldns   uint64
 		domain string
 	}
+
+	// Precompute the client workload once with the config seed: both the
+	// pre and post replay must see the identical query stream.
+	sampler, err := demand.NewSampler(w, func(b *world.ClientBlock) bool { return b.LDNS.IsPublic() })
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type event struct {
+		blk *world.ClientBlock
+		dom demand.Domain
+	}
+	events := make([]event, cfg.EventsPerWindow)
+	for i := range events {
+		events[i] = event{sampler.Sample(rng), cfg.Catalogue.Sample(rng)}
+	}
+	// Bucket event indices by resolver (first-seen order). A resolver's
+	// cache evolution depends only on its own queries in time order, which
+	// bucketing preserves — so buckets can replay concurrently.
+	var order []*world.LDNS
+	byLDNS := map[uint64][]int{}
+	for i, ev := range events {
+		id := ev.blk.LDNS.ID
+		if _, ok := byLDNS[id]; !ok {
+			order = append(order, ev.blk.LDNS)
+		}
+		byLDNS[id] = append(byLDNS[id], i)
+	}
+
 	run := func(ecs bool) (map[pairKey]uint64, error) {
-		rng := rand.New(rand.NewSource(cfg.Seed)) // identical workload both runs
-		resolvers := map[uint64]*resolver.Resolver{}
-		for _, l := range w.LDNSes {
-			if !l.IsPublic() {
-				continue
-			}
-			r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: ecs, SourcePrefix: 24}, up)
-			if err != nil {
-				return nil, err
-			}
-			r.TrackDomains()
-			resolvers[l.ID] = r
-		}
-		sampler, err := demand.NewSampler(w, func(b *world.ClientBlock) bool { return b.LDNS.IsPublic() })
-		if err != nil {
-			return nil, err
-		}
 		base := time.Date(2014, 3, 1, 12, 0, 0, 0, time.UTC)
 		step := cfg.WindowPerDay / time.Duration(cfg.EventsPerWindow+1)
-		for i := 0; i < cfg.EventsPerWindow; i++ {
-			now := base.Add(time.Duration(i) * step)
-			blk := sampler.Sample(rng)
-			dom := cfg.Catalogue.Sample(rng)
-			if _, err := resolvers[blk.LDNS.ID].Query(now, dom.Name, hostInBlock(blk)); err != nil {
-				return nil, err
-			}
+		type bucketPart struct {
+			counts map[string]uint64
+			err    error
 		}
+		parts := par.Map(len(order), func(gi int) bucketPart {
+			l := order[gi]
+			r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: ecs, SourcePrefix: 24}, up)
+			if err != nil {
+				return bucketPart{err: err}
+			}
+			r.TrackDomains()
+			for _, i := range byLDNS[l.ID] {
+				now := base.Add(time.Duration(i) * step)
+				if _, err := r.Query(now, events[i].dom.Name, hostInBlock(events[i].blk)); err != nil {
+					return bucketPart{err: err}
+				}
+			}
+			return bucketPart{counts: r.PerDomainUpstream}
+		})
 		counts := map[pairKey]uint64{}
-		for id, r := range resolvers {
-			for dom, n := range r.PerDomainUpstream {
-				counts[pairKey{id, dom}] = n
+		for gi, p := range parts {
+			if p.err != nil {
+				return nil, p.err
+			}
+			for dom, n := range p.counts {
+				counts[pairKey{order[gi].ID, dom}] = n
 			}
 		}
 		return counts, nil
@@ -286,7 +313,20 @@ func RunPopularity(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([
 	}
 	buckets := make([]agg, nBuckets)
 	var totalPre uint64
-	for k, preN := range pre {
+	// Visit pairs in sorted order: factorSum is a float accumulation, so
+	// map-iteration order would make the bucket means run-dependent.
+	keys := make([]pairKey, 0, len(pre))
+	for k := range pre {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ldns != keys[j].ldns {
+			return keys[i].ldns < keys[j].ldns
+		}
+		return keys[i].domain < keys[j].domain
+	})
+	for _, k := range keys {
+		preN := pre[k]
 		if preN == 0 {
 			continue
 		}

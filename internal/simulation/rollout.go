@@ -14,6 +14,7 @@ import (
 	"eum/internal/demand"
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
+	"eum/internal/par"
 	"eum/internal/resolver"
 	"eum/internal/rum"
 	"eum/internal/stats"
@@ -70,6 +71,12 @@ func (g *GroupSeries) Series(high bool) *stats.TimeSeries {
 	return &g.Low
 }
 
+// merge appends the other group's observations (shard-ordered reduction).
+func (g *GroupSeries) merge(o *GroupSeries) {
+	g.High.Merge(&o.High)
+	g.Low.Merge(&o.Low)
+}
+
 // RolloutResult holds the four §4.1 metrics for qualified clients (those
 // using public resolvers) over the simulation period.
 type RolloutResult struct {
@@ -114,19 +121,14 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 	sys := mapping.NewSystem(w, p, net, mapping.Config{Policy: mapping.EndUser, PingTargets: cfg.PingTargets})
 	up := &resolver.SystemUpstream{System: sys}
 
-	// One simulated resolver per public site, with a per-site enable day.
-	resolvers := map[uint64]*resolver.Resolver{}
+	// Per-site enable days, drawn up front so the schedule does not depend
+	// on how the day loop is executed.
 	enableAt := map[uint64]time.Time{}
 	window := cfg.RolloutEnd.Sub(cfg.RolloutStart)
 	for _, l := range w.LDNSes {
 		if !l.IsPublic() {
 			continue
 		}
-		r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: false, SourcePrefix: 24}, up)
-		if err != nil {
-			return nil, err
-		}
-		resolvers[l.ID] = r
 		enableAt[l.ID] = cfg.RolloutStart.Add(time.Duration(rng.Int63n(int64(window))))
 	}
 
@@ -156,28 +158,38 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 		monitor = m
 	}
 
-	res := &RolloutResult{RolloutStart: cfg.RolloutStart, RolloutEnd: cfg.RolloutEnd}
 	totalDays := int(cfg.End.Sub(cfg.Start).Hours() / 24)
-	for day := 0; day < totalDays; day++ {
+
+	// runDay simulates one day's RUM beacons into a private result. Days are
+	// independent: each gets a child RNG derived from (Seed, day) and fresh
+	// public-site resolvers, pre-set to the site's ECS state at dawn. The
+	// beacon spacing (minutes) far exceeds the answer TTL (seconds), so
+	// cached answers never carry between measurements anyway and fresh
+	// per-day caches change nothing.
+	runDay := func(day int) (*RolloutResult, error) {
+		dayRes := &RolloutResult{}
 		dayStart := cfg.Start.AddDate(0, 0, day)
-		if monitor != nil {
-			monitor.Tick(dayStart)
+		dayRNG := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, uint64(day))))
+		resolvers := map[uint64]*resolver.Resolver{}
+		for _, l := range w.LDNSes {
+			if !l.IsPublic() {
+				continue
+			}
+			r, err := resolver.New(resolver.Config{
+				Addr: l.Addr, ECSEnabled: !dayStart.Before(enableAt[l.ID]), SourcePrefix: 24,
+			}, up)
+			if err != nil {
+				return nil, err
+			}
+			resolvers[l.ID] = r
 		}
 		// Volume grows ~1.75x across the period (Fig 12).
 		grow := 1 + 0.75*float64(day)/float64(totalDays)
 		n := int(float64(cfg.DailyMeasurements) * grow)
-
-		// Flip resolvers whose enable date has arrived.
-		for id, at := range enableAt {
-			if !dayStart.Before(at) {
-				resolvers[id].SetECSEnabled(true)
-			}
-		}
-
 		for i := 0; i < n; i++ {
 			now := dayStart.Add(time.Duration(i) * (24 * time.Hour / time.Duration(n+1)))
-			blk := sampler.Sample(rng)
-			dom := cfg.Catalogue.Sample(rng)
+			blk := sampler.Sample(dayRNG)
+			dom := cfg.Catalogue.Sample(dayRNG)
 			clientAddr := hostInBlock(blk)
 			r := resolvers[blk.LDNS.ID]
 			ans, err := r.Query(now, dom.Name, clientAddr)
@@ -191,11 +203,49 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 			m := rumModel.Measure(now, blk, dom, dep, uint64(day))
 			high := highExp[blk.Country.Code()]
 			weight := blk.Demand
-			res.MappingDistance.Series(high).Add(now, m.MappingDistance, weight)
-			res.RTT.Series(high).Add(now, m.RTTMs, weight)
-			res.TTFB.Series(high).Add(now, m.TTFBMs, weight)
-			res.Download.Series(high).Add(now, m.DownloadMs, weight)
+			dayRes.MappingDistance.Series(high).Add(now, m.MappingDistance, weight)
+			dayRes.RTT.Series(high).Add(now, m.RTTMs, weight)
+			dayRes.TTFB.Series(high).Add(now, m.TTFBMs, weight)
+			dayRes.Download.Series(high).Add(now, m.DownloadMs, weight)
 		}
+		return dayRes, nil
+	}
+
+	res := &RolloutResult{RolloutStart: cfg.RolloutStart, RolloutEnd: cfg.RolloutEnd}
+	merge := func(day *RolloutResult) {
+		res.MappingDistance.merge(&day.MappingDistance)
+		res.RTT.merge(&day.RTT)
+		res.TTFB.merge(&day.TTFB)
+		res.Download.merge(&day.Download)
+	}
+
+	if monitor != nil {
+		// Fault injection mutates platform state day by day; the timeline
+		// is causal and must run serially.
+		for day := 0; day < totalDays; day++ {
+			monitor.Tick(cfg.Start.AddDate(0, 0, day))
+			dayRes, err := runDay(day)
+			if err != nil {
+				return nil, err
+			}
+			merge(dayRes)
+		}
+		return res, nil
+	}
+
+	type dayPart struct {
+		r   *RolloutResult
+		err error
+	}
+	parts := par.Map(totalDays, func(day int) dayPart {
+		r, err := runDay(day)
+		return dayPart{r, err}
+	})
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		merge(p.r)
 	}
 	return res, nil
 }

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMergeEquivalentToSequentialAdds is the contract parallel sweeps rely
+// on: merge(a, b) must be indistinguishable — bit for bit — from adding
+// a's samples then b's samples to one dataset.
+func TestMergeEquivalentToSequentialAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	type obs struct{ v, w float64 }
+	mkObs := func(n int) []obs {
+		out := make([]obs, n)
+		for i := range out {
+			out[i] = obs{rng.NormFloat64() * 100, rng.Float64() * 3}
+		}
+		return out
+	}
+	a, b := mkObs(500), mkObs(700)
+
+	var merged, direct Dataset
+	for _, o := range a {
+		merged.Add(o.v, o.w)
+		direct.Add(o.v, o.w)
+	}
+	var part Dataset
+	for _, o := range b {
+		part.Add(o.v, o.w)
+		direct.Add(o.v, o.w)
+	}
+	merged.Merge(&part)
+
+	if merged.Len() != direct.Len() {
+		t.Fatalf("Len: merged %d vs direct %d", merged.Len(), direct.Len())
+	}
+	if math.Float64bits(merged.TotalWeight()) != math.Float64bits(direct.TotalWeight()) {
+		t.Errorf("TotalWeight differs bitwise: %v vs %v", merged.TotalWeight(), direct.TotalWeight())
+	}
+	for _, p := range []float64{0, 1, 5, 25, 50, 75, 95, 99, 100} {
+		if got, want := merged.Percentile(p), direct.Percentile(p); got != want {
+			t.Errorf("P%.0f: merged %v vs direct %v", p, got, want)
+		}
+	}
+	if got, want := merged.Mean(), direct.Mean(); got != want {
+		t.Errorf("Mean: merged %v vs direct %v", got, want)
+	}
+	if got, want := merged.FractionAtOrBelow(0), direct.FractionAtOrBelow(0); got != want {
+		t.Errorf("FractionAtOrBelow: merged %v vs direct %v", got, want)
+	}
+}
+
+func TestMergeWeightedPercentiles(t *testing.T) {
+	// Two halves of a known weighted distribution: values 1..10, value v
+	// carrying weight v, split across two datasets.
+	var a, b, whole Dataset
+	for v := 1; v <= 10; v++ {
+		whole.Add(float64(v), float64(v))
+		if v%2 == 0 {
+			a.Add(float64(v), float64(v))
+		} else {
+			b.Add(float64(v), float64(v))
+		}
+	}
+	a.Merge(&b)
+	if a.TotalWeight() != 55 {
+		t.Fatalf("merged total weight %v, want 55", a.TotalWeight())
+	}
+	for _, p := range []float64{10, 50, 90} {
+		if got, want := a.Percentile(p), whole.Percentile(p); got != want {
+			t.Errorf("P%.0f after merge = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	var d Dataset
+	d.Add(1, 1)
+	d.Merge(nil)
+	d.Merge(&Dataset{})
+	if d.Len() != 1 || d.TotalWeight() != 1 {
+		t.Fatalf("merge of empty changed dataset: len %d total %v", d.Len(), d.TotalWeight())
+	}
+	var empty Dataset
+	empty.Merge(&d)
+	if empty.Len() != 1 || empty.Median() != 1 {
+		t.Fatalf("merge into empty: len %d median %v", empty.Len(), empty.Median())
+	}
+}
+
+func TestMergeAfterQuerying(t *testing.T) {
+	// Querying sorts lazily; a merge afterwards must invalidate the cached
+	// order so later percentiles see the combined data.
+	var a, b Dataset
+	a.Add(10, 1)
+	a.Add(20, 1)
+	if a.Median() != 10 {
+		t.Fatalf("pre-merge median %v", a.Median())
+	}
+	b.Add(1, 10)
+	a.Merge(&b)
+	if got := a.Median(); got != 1 {
+		t.Errorf("post-merge median %v, want 1", got)
+	}
+}
+
+func TestTimeSeriesMerge(t *testing.T) {
+	base := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	var a, b, whole TimeSeries
+	for i := 0; i < 48; i++ {
+		at := base.Add(time.Duration(i) * time.Hour)
+		v, w := float64(i), 1+float64(i%3)
+		whole.Add(at, v, w)
+		if i%2 == 0 {
+			a.Add(at, v, w)
+		} else {
+			b.Add(at, v, w)
+		}
+	}
+	a.Merge(&b)
+	if a.Len() != whole.Len() {
+		t.Fatalf("merged len %d, want %d", a.Len(), whole.Len())
+	}
+	got, want := a.DailyMeans(), whole.DailyMeans()
+	if len(got) != len(want) {
+		t.Fatalf("daily buckets %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Start.Equal(want[i].Start) || got[i].Mean != want[i].Mean || got[i].Weight != want[i].Weight {
+			t.Errorf("bucket %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	gw, ww := a.Window(base, base.AddDate(0, 0, 1)), whole.Window(base, base.AddDate(0, 0, 1))
+	if gw.Len() != ww.Len() || gw.Mean() != ww.Mean() {
+		t.Errorf("window after merge: len %d mean %v, want len %d mean %v",
+			gw.Len(), gw.Mean(), ww.Len(), ww.Mean())
+	}
+}

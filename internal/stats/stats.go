@@ -41,6 +41,23 @@ func (d *Dataset) Add(value, weight float64) {
 // AddUnweighted appends a sample with weight 1.
 func (d *Dataset) AddUnweighted(value float64) { d.Add(value, 1) }
 
+// Merge appends every sample of other to d, leaving other unchanged.
+// Merging per-shard datasets in shard order is how parallel sweeps combine
+// worker-private accumulations (see internal/par); the result is exactly
+// the dataset produced by issuing the same Adds to d directly — the total
+// is re-accumulated sample by sample so even its floating-point rounding
+// matches sequential insertion.
+func (d *Dataset) Merge(other *Dataset) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, other.samples...)
+	for _, s := range other.samples {
+		d.total += s.Weight
+	}
+	d.sorted = false
+}
+
 // Len returns the number of retained samples.
 func (d *Dataset) Len() int { return len(d.samples) }
 

@@ -30,6 +30,16 @@ func (ts *TimeSeries) Add(at time.Time, value, weight float64) {
 // Len returns the number of retained observations.
 func (ts *TimeSeries) Len() int { return len(ts.obs) }
 
+// Merge appends every observation of other to ts, leaving other unchanged.
+// Like Dataset.Merge, merging per-shard series in shard order yields the
+// same series as sequential Adds in that order.
+func (ts *TimeSeries) Merge(other *TimeSeries) {
+	if other == nil {
+		return
+	}
+	ts.obs = append(ts.obs, other.obs...)
+}
+
 // BucketPoint is one aggregated point of a bucketed time series.
 type BucketPoint struct {
 	Start  time.Time // inclusive start of the bucket

@@ -20,6 +20,7 @@ import (
 
 	"eum/internal/geo"
 	"eum/internal/netmodel"
+	"eum/internal/par"
 )
 
 // Config parameterises world generation. The zero value is not useful;
@@ -171,7 +172,11 @@ type World struct {
 }
 
 // Generate builds a world from the configuration. Generation is
-// deterministic in cfg.Seed.
+// deterministic in cfg.Seed, and bit-identical regardless of the par
+// worker count: each country is generated on its own worker from a child
+// seed (par.ChildSeed(cfg.Seed, countryIndex)) with country-local
+// identifier, ASN and address counters, and the results are renumbered
+// into the global namespaces serially in country order.
 func Generate(cfg Config) (*World, error) {
 	if cfg.NumBlocks <= 0 {
 		return nil, fmt.Errorf("world: NumBlocks must be positive, got %d", cfg.NumBlocks)
@@ -184,7 +189,6 @@ func Generate(cfg Config) (*World, error) {
 		publicSites: map[string][]*LDNS{},
 		nextV6:      0x260000000000, // 2600::/24-style synthetic space
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	w.createPublicResolverSites()
 
@@ -193,20 +197,84 @@ func Generate(cfg Config) (*World, error) {
 		totalShare += cs.DemandShare
 	}
 
-	var ipBase uint32 = 0x01000000 // 1.0.0.0
-	for _, cs := range Countries {
+	gens := par.Map(len(Countries), func(i int) *countryGen {
+		cs := Countries[i]
 		c := &Country{Spec: cs, Demand: cs.DemandShare / totalShare}
 		nBlocks := int(math.Round(c.Demand * float64(cfg.NumBlocks)))
 		if nBlocks < 8 {
 			nBlocks = 8
 		}
-		w.generateCountry(c, nBlocks, &ipBase, rng)
-		w.Countries = append(w.Countries, c)
+		g := &countryGen{
+			cfg:         cfg,
+			providers:   w.Providers,
+			publicSites: w.publicSites,
+			c:           c,
+			rng:         rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, uint64(i)))),
+		}
+		g.generate(nBlocks)
+		return g
+	})
+
+	var ipBase uint32 = 0x01000000 // 1.0.0.0
+	for _, g := range gens {
+		w.adopt(g, &ipBase)
 	}
+
+	// BGP aggregation reads the final (renumbered) prefixes; each AS is
+	// independent.
+	par.ForEach(len(w.ASes), func(i int) {
+		as := w.ASes[i]
+		as.CIDRs = aggregateCIDRs(as.Blocks)
+	})
 
 	w.normaliseDemand()
 	w.fillLDNSClusters()
 	return w, nil
+}
+
+// adopt renumbers one country's locally-generated entities into the global
+// namespaces and appends them to the world. It must run serially, in
+// country order: the global offsets it hands out are what keep IDs, ASNs
+// and addresses unique and deterministic.
+func (w *World) adopt(g *countryGen, ipBase *uint32) {
+	idBase := w.nextID
+	w.nextID += g.nextID
+	asnBase := w.nextASN
+	w.nextASN += g.nextASN
+
+	// Keep the country's IPv4 allocation on a /20 boundary. Local
+	// addressing started at 0 on the same alignment, so every run and
+	// boundary decision the worker made is preserved by the shift.
+	if *ipBase%(16*256) != 0 {
+		*ipBase += 16*256 - *ipBase%(16*256)
+	}
+	ipOff := *ipBase
+	*ipBase += g.ipBase
+	v6Off := w.nextV6
+	w.nextV6 += g.nextV6
+
+	for _, as := range g.c.ASes {
+		as.ASN += asnBase
+		w.ASes = append(w.ASes, as)
+	}
+	for _, b := range g.c.Blocks {
+		b.ID += idBase
+		if b.Prefix.Addr().Is4() {
+			a := b.Prefix.Addr().As4()
+			local := uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8
+			b.Prefix = netip.PrefixFrom(ipFromUint32(local+ipOff), 24)
+		} else {
+			b.Prefix = netip.PrefixFrom(ipFromV6Net(v6NetOf(b.Prefix.Addr())+v6Off), 48)
+		}
+		w.Blocks = append(w.Blocks, b)
+	}
+	for _, l := range g.ldnses {
+		l.ID += idBase
+		l.ASN += asnBase
+		l.Addr = ipFromUint32(0xB4000000 + uint32(len(w.LDNSes))) // 180.0.0.0+
+		w.LDNSes = append(w.LDNSes, l)
+	}
+	w.Countries = append(w.Countries, g.c)
 }
 
 // MustGenerate is Generate that panics on error, for tests and examples.
@@ -245,7 +313,34 @@ func (w *World) createPublicResolverSites() {
 	}
 }
 
-func (w *World) generateCountry(c *Country, nBlocks int, ipBase *uint32, rng *rand.Rand) {
+// countryGen generates one country in isolation so countries can run on
+// parallel workers. All identifiers are country-local — IDs and ASNs count
+// from zero, IPv4 addresses from 0.0.0.0 (on the same /20 alignment as the
+// global space), IPv6 /48s from network 0 — and (*World).adopt later shifts
+// them into the global namespaces. Only read-only world state is shared:
+// the config, the provider specs and the public resolver sites.
+type countryGen struct {
+	cfg         Config
+	providers   []ProviderSpec
+	publicSites map[string][]*LDNS
+
+	c   *Country
+	rng *rand.Rand
+
+	nextID  uint64
+	nextASN uint32
+	ipBase  uint32  // local IPv4 offset; starts at 0, /20-aligned
+	nextV6  uint64  // local /48 count
+	ldnses  []*LDNS // ISP LDNSes in creation order
+}
+
+func (g *countryGen) id() uint64 {
+	g.nextID++
+	return g.nextID
+}
+
+func (g *countryGen) generate(nBlocks int) {
+	c, rng := g.c, g.rng
 	// --- Autonomous systems: Zipf-sized, top ~20% are "large" ISPs. ---
 	nAS := nBlocks / 50
 	if nAS < 4 {
@@ -258,9 +353,9 @@ func (w *World) generateCountry(c *Country, nBlocks int, ipBase *uint32, rng *ra
 		wSum += weights[i]
 	}
 	for i := 0; i < nAS; i++ {
-		w.nextASN++
+		g.nextASN++
 		as := &AS{
-			ASN:     w.nextASN,
+			ASN:     g.nextASN,
 			Country: c,
 			Large:   i < (nAS+4)/5,
 			ldns:    map[string]*LDNS{},
@@ -320,8 +415,8 @@ func (w *World) generateCountry(c *Country, nBlocks int, ipBase *uint32, rng *ra
 		as := c.ASes[asIdx]
 		// Align the AS's allocation to a /20 boundary so aggregates can
 		// form (real registries allocate aligned ranges).
-		if count > 1 && *ipBase%(16*256) != 0 {
-			*ipBase += 16*256 - *ipBase%(16*256)
+		if count > 1 && g.ipBase%(16*256) != 0 {
+			g.ipBase += 16*256 - g.ipBase%(16*256)
 		}
 		// Choose each block's city up front and group the allocation by
 		// city: ISPs number regions out of contiguous ranges, so /24s
@@ -336,23 +431,24 @@ func (w *World) generateCountry(c *Country, nBlocks int, ipBase *uint32, rng *ra
 			ci := cityOf[k]
 			// Start each regional (per-city) range on a /20 boundary, as
 			// registries hand ISPs aligned per-region allocations.
-			if k > 0 && cityOf[k] != cityOf[k-1] && *ipBase%(16*256) != 0 {
-				*ipBase += 16*256 - *ipBase%(16*256)
+			if k > 0 && cityOf[k] != cityOf[k-1] && g.ipBase%(16*256) != 0 {
+				g.ipBase += 16*256 - g.ipBase%(16*256)
 			}
 			loc := scatter(rng, cities[ci].Loc, 18, 60)
 
 			var prefix netip.Prefix
-			if w.Config.IPv6Fraction > 0 && rng.Float64() < w.Config.IPv6Fraction {
-				// An IPv6 /48 client block.
-				prefix = netip.PrefixFrom(ipFromV6Net(w.nextV6), 48)
-				w.nextV6++
+			if g.cfg.IPv6Fraction > 0 && rng.Float64() < g.cfg.IPv6Fraction {
+				// An IPv6 /48 client block (local network number; adopt
+				// shifts it into the global 2600::-style space).
+				prefix = netip.PrefixFrom(ipFromV6Net(g.nextV6), 48)
+				g.nextV6++
 			} else {
-				prefix = netip.PrefixFrom(ipFromUint32(*ipBase), 24)
-				*ipBase += 256
+				prefix = netip.PrefixFrom(ipFromUint32(g.ipBase), 24)
+				g.ipBase += 256
 			}
 
 			blk := &ClientBlock{
-				ID:      w.id(),
+				ID:      g.id(),
 				Prefix:  prefix,
 				Loc:     loc,
 				Country: c,
@@ -366,31 +462,30 @@ func (w *World) generateCountry(c *Country, nBlocks int, ipBase *uint32, rng *ra
 			// probability, otherwise the ISP LDNS per the country
 			// placement profile.
 			if rng.Float64() < adopt[asIdx] {
-				blk.LDNS = w.pickPublicResolver(rng, blk)
+				blk.LDNS = g.pickPublicResolver(blk)
 			} else {
-				blk.LDNS = w.ispLDNS(rng, blk, hubs)
+				blk.LDNS = g.ispLDNS(blk, hubs)
 			}
 
 			as.Blocks = append(as.Blocks, blk)
 			c.Blocks = append(c.Blocks, blk)
-			w.Blocks = append(w.Blocks, blk)
 		}
 	}
 
-	// --- Per-AS demand and BGP CIDR aggregation. ---
+	// --- Per-AS demand. (BGP CIDR aggregation waits for the final
+	// renumbered prefixes; see Generate.) ---
 	for _, as := range c.ASes {
 		for _, blk := range as.Blocks {
 			as.Demand += blk.Demand
 		}
-		as.CIDRs = aggregateCIDRs(as.Blocks)
-		w.ASes = append(w.ASes, as)
 	}
 }
 
 // ispLDNS returns (creating on first use) the ISP LDNS serving blk, placed
 // per the country's LDNS profile. Small ASes skew away from metro
 // placement: they centralise or offshore their DNS (paper Fig 10).
-func (w *World) ispLDNS(rng *rand.Rand, blk *ClientBlock, hubs []CitySpec) *LDNS {
+func (g *countryGen) ispLDNS(blk *ClientBlock, hubs []CitySpec) *LDNS {
+	rng := g.rng
 	c := blk.Country
 	p := c.Spec.Profile
 	if !blk.AS.Large {
@@ -427,8 +522,10 @@ func (w *World) ispLDNS(rng *rand.Rand, blk *ClientBlock, hubs []CitySpec) *LDNS
 		return l
 	}
 	l := &LDNS{
-		ID:   w.id(),
-		Addr: ipFromUint32(0xB4000000 + uint32(len(w.LDNSes))), // 180.0.0.0+
+		ID: g.id(),
+		// Addr is assigned from the global 180.0.0.0+ pool when the
+		// country is adopted; until then it is a local placeholder.
+		Addr: ipFromUint32(uint32(len(g.ldnses))),
 		Loc:  scatter(rng, loc, 3, 10),
 		Kind: kind,
 		ASN:  blk.AS.ASN,
@@ -438,26 +535,27 @@ func (w *World) ispLDNS(rng *rand.Rand, blk *ClientBlock, hubs []CitySpec) *LDNS
 		SupportsECS: false,
 	}
 	blk.AS.ldns[key] = l
-	w.LDNSes = append(w.LDNSes, l)
+	g.ldnses = append(g.ldnses, l)
 	return l
 }
 
 // pickPublicResolver anycast-routes blk to a provider site: usually the
 // nearest site, sometimes (MisrouteProb, or systematically for unlucky
 // origin networks) a farther one — IP anycast follows BGP, not geography.
-func (w *World) pickPublicResolver(rng *rand.Rand, blk *ClientBlock) *LDNS {
+func (g *countryGen) pickPublicResolver(blk *ClientBlock) *LDNS {
+	rng := g.rng
 	// Provider by share.
 	u := rng.Float64()
 	var spec ProviderSpec
 	var acc float64
-	for _, p := range w.Providers {
+	for _, p := range g.providers {
 		acc += p.Share
-		if u <= acc || p.Name == w.Providers[len(w.Providers)-1].Name {
+		if u <= acc || p.Name == g.providers[len(g.providers)-1].Name {
 			spec = p
 			break
 		}
 	}
-	sites := w.publicSites[spec.Name]
+	sites := g.publicSites[spec.Name]
 	// Sort sites by distance from the client block.
 	ordered := make([]*LDNS, len(sites))
 	copy(ordered, sites)
