@@ -7,7 +7,12 @@ HOTBENCH = BenchmarkDNSMessagePack|BenchmarkDNSMessageUnpack|BenchmarkMappingMap
 # simulation & determinism model"; numbers recorded in BENCH_sim.json).
 SIMBENCH = BenchmarkWorldGenerate|BenchmarkRolloutTimeline|BenchmarkFig25Sweep
 
-.PHONY: all check vet build test race bench bench-hot bench-sim bench-figures
+# Control-plane/data-plane benchmarks: snapshot publish latency and serving
+# under map churn, snapshot-swap vs the old generation-invalidation design
+# (see DESIGN.md "Control plane / data plane"; numbers in BENCH_map.json).
+SNAPBENCH = BenchmarkSnapshotSwap|BenchmarkServingUnderMapChurn
+
+.PHONY: all check vet build test race bench bench-hot bench-sim bench-snapshot bench-figures
 
 all: check
 
@@ -36,6 +41,10 @@ bench-hot:
 # roll-out timeline and the Fig 25 deployment sweep.
 bench-sim:
 	$(GO) test -run 'TestNone' -bench '$(SIMBENCH)' -benchmem .
+
+# Snapshot publish latency and churn serving comparison.
+bench-snapshot:
+	$(GO) test -run 'TestNone' -bench '$(SNAPBENCH)' -benchmem .
 
 # Regenerate every paper figure as benchmarks (slow; see EXPERIMENTS.md).
 bench-figures:

@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"eum/internal/dnsserver"
 	"eum/internal/experiments"
 	"eum/internal/geo"
+	"eum/internal/mapmaker"
 	"eum/internal/mapping"
 	"eum/internal/par"
 	"eum/internal/resolver"
@@ -705,6 +707,144 @@ func BenchmarkFig25Sweep(b *testing.B) {
 				b.Fatal("empty sweep")
 			}
 		}
+	})
+}
+
+// --- Control plane / data plane (internal/mapmaker; BENCH_map.json) ---
+
+// BenchmarkSnapshotSwap measures the control plane's publish latency: one
+// full pipeline pass (snapshot build + atomic install). "warm" reuses the
+// scorer's cached rank tables — the health/policy/periodic republish case;
+// "measurement" invalidates them first, so every table recomputes — the
+// sweep-refresh case.
+func BenchmarkSnapshotSwap(b *testing.B) {
+	l := benchLab(b)
+	sys := mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+		Policy: mapping.EndUser, PingTargets: 800,
+	})
+	mm := mapmaker.New(sys, mapmaker.Config{})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mm.Publish()
+		}
+	})
+	b.Run("measurement", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mm.Notify(mapmaker.ReasonMeasurement)
+			mm.Sync()
+		}
+	})
+}
+
+// BenchmarkServingUnderMapChurn compares the two architectures for serving
+// queries while the map changes underneath. "snapshot-swap" is the current
+// design: a background MapMaker republishes complete snapshots and the
+// query path only loads the installed pointer. "generation-invalidation"
+// emulates the pre-split design: every change drops the scorer's cached
+// rank tables, and the query path re-ranks lazily against the platform on
+// the first miss. Both paths end in the same load-balancer picks, so the
+// difference is purely who pays for a map change — the control plane
+// (bounded, off the query path) or the queries that hit cold caches. The
+// mean barely moves (recomputes amortise); the worst-op metric is the
+// point: an unlucky query on the lazy path absorbs a full platform
+// re-rank, while on the snapshot path no query ever computes anything.
+func BenchmarkServingUnderMapChurn(b *testing.B) {
+	l := benchLab(b)
+	const churnEvery = 5 * time.Millisecond
+
+	// A spread of client blocks so the query stream touches many rank
+	// tables, as a real server's mix of resolvers does.
+	blocks := make([]*world.ClientBlock, 0, 64)
+	for i := 0; i < 64; i++ {
+		blocks = append(blocks, l.World.Blocks[(i*131)%len(l.World.Blocks)])
+	}
+
+	churn := func(change func()) (stop func()) {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(churnEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					change()
+				}
+			}
+		}()
+		return func() { close(done); wg.Wait() }
+	}
+
+	// recordMax tracks the slowest single query across all workers.
+	recordMax := func(m *atomic.Int64, ns int64) {
+		for {
+			cur := m.Load()
+			if ns <= cur || m.CompareAndSwap(cur, ns) {
+				return
+			}
+		}
+	}
+
+	b.Run("snapshot-swap", func(b *testing.B) {
+		sys := mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+			Policy: mapping.EndUser, PingTargets: 800,
+		})
+		mm := mapmaker.New(sys, mapmaker.Config{})
+		stop := churn(func() { mm.Publish() })
+		defer stop()
+		var maxNs atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				blk := blocks[i%len(blocks)]
+				i++
+				req := mapping.Request{Domain: "churn.net", LDNS: blk.LDNS.Addr, ClientSubnet: blk.Prefix}
+				start := time.Now()
+				if _, err := sys.Map(req); err != nil {
+					b.Error(err)
+					return
+				}
+				recordMax(&maxNs, time.Since(start).Nanoseconds())
+			}
+		})
+		b.ReportMetric(float64(maxNs.Load()), "worst-op-ns")
+	})
+
+	b.Run("generation-invalidation", func(b *testing.B) {
+		sc := mapping.NewScorer(l.World, l.Platform, l.Net, 800)
+		lb := mapping.NewLoadBalancer()
+		stop := churn(func() { sc.Invalidate() })
+		defer stop()
+		var maxNs atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				blk := blocks[i%len(blocks)]
+				i++
+				start := time.Now()
+				d, err := lb.PickDeployment(sc.Rank(blk.Endpoint()), 0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := lb.PickServers(d, "churn.net", 0); err != nil {
+					b.Error(err)
+					return
+				}
+				recordMax(&maxNs, time.Since(start).Nanoseconds())
+			}
+		})
+		b.ReportMetric(float64(maxNs.Load()), "worst-op-ns")
 	})
 }
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,12 +24,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"eum/internal/authority"
 	"eum/internal/cdn"
 	"eum/internal/config"
 	"eum/internal/dnsmsg"
 	"eum/internal/dnsserver"
+	"eum/internal/mapmaker"
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
 	"eum/internal/world"
@@ -42,6 +45,8 @@ func main() {
 	blocks := flag.Int("blocks", 8000, "synthetic world size in /24 client blocks")
 	deployments := flag.Int("deployments", 600, "CDN deployment locations")
 	seed := flag.Int64("seed", 1, "generation seed")
+	mapRefresh := flag.Duration("map-refresh", 10*time.Second,
+		"MapMaker publish cadence (0 disables the background refresh loop)")
 	verbose := flag.Bool("verbose", false, "log every query (structured JSON on stderr)")
 	flag.Parse()
 
@@ -78,6 +83,21 @@ func main() {
 		PingTargets: cfg.World.Blocks / 10,
 	})
 
+	// Control plane: a background MapMaker republishes the map on a cadence
+	// (and on change-feed signals); the serving path below only ever reads
+	// the currently installed snapshot.
+	refresh := *mapRefresh
+	if *configPath != "" {
+		refresh = time.Duration(cfg.MapRefreshSeconds) * time.Second
+	}
+	mm := mapmaker.New(system, mapmaker.Config{Interval: refresh})
+	ctx, stopMapMaker := context.WithCancel(context.Background())
+	defer stopMapMaker()
+	if refresh > 0 {
+		go mm.Run(ctx)
+		log.Printf("map maker publishing every %v", refresh)
+	}
+
 	handler, described, err := buildHandler(cfg, system, platform)
 	if err != nil {
 		log.Fatal(err)
@@ -111,6 +131,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("shutting down")
+		stopMapMaker()
 		_ = srv.Close()
 		_ = tcpSrv.Close()
 	}()

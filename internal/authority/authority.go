@@ -154,30 +154,10 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 		}
 	}
 
-	var decision *mapping.Response
-	if a.cache != nil {
-		key := a.cacheKey(req)
-		gen := a.system.Generation()
-		now := a.nowNanos()
-		if decision = a.cache.get(key, gen, now); decision != nil {
-			a.CacheHits.Add(1)
-		} else {
-			var err error
-			decision, err = a.system.Map(req)
-			if err != nil {
-				resp.RCode = dnsmsg.RCodeServerFailure
-				return resp
-			}
-			a.CacheMisses.Add(1)
-			a.cache.put(key, gen, now, now+decision.TTL.Nanoseconds(), decision)
-		}
-	} else {
-		var err error
-		decision, err = a.system.Map(req)
-		if err != nil {
-			resp.RCode = dnsmsg.RCodeServerFailure
-			return resp
-		}
+	decision, err := a.decide(req)
+	if err != nil {
+		resp.RCode = dnsmsg.RCodeServerFailure
+		return resp
 	}
 	ttl := uint32(decision.TTL.Seconds())
 	for _, srv := range decision.Servers {
@@ -201,13 +181,43 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 	return resp
 }
 
+// decide resolves a mapping request against the snapshot published right
+// now, consulting the per-scope answer cache first. The snapshot is loaded
+// once — one atomic pointer read — and both the cache lookup (keyed by its
+// epoch) and a cache-miss computation (MapAt against it) use that same
+// snapshot, so the decision's epoch always matches the map it was derived
+// from and a concurrent snapshot swap can never mix an old answer with a
+// new epoch or vice versa.
+func (a *Authority) decide(req mapping.Request) (*mapping.Response, error) {
+	snap := a.system.Current()
+	if a.cache == nil {
+		return a.system.MapAt(snap, req)
+	}
+	key := a.cacheKey(snap, req)
+	epoch := snap.Epoch()
+	now := a.nowNanos()
+	if decision := a.cache.get(key, epoch, now); decision != nil {
+		a.CacheHits.Add(1)
+		return decision, nil
+	}
+	decision, err := a.system.MapAt(snap, req)
+	if err != nil {
+		return nil, err
+	}
+	a.CacheMisses.Add(1)
+	a.cache.put(key, epoch, now, now+decision.TTL.Nanoseconds(), decision)
+	return decision, nil
+}
+
 // cacheKey derives the answer-cache key for a mapping request: under the
 // EU policy with a client subnet, answers are shared at mapping-unit
 // granularity (with the ECS scope clamp folded in so narrower queries do
 // not inherit a wider answer's scope field); every other decision depends
-// only on the resolver, so it is keyed by the LDNS address.
-func (a *Authority) cacheKey(req mapping.Request) answerKey {
-	if a.system.Policy() == mapping.EndUser && req.ClientSubnet.IsValid() {
+// only on the resolver, so it is keyed by the LDNS address. The policy
+// comes from the same snapshot the decision will be made against, so the
+// key can never disagree with the decision's policy mid-swap.
+func (a *Authority) cacheKey(snap *mapping.Snapshot, req mapping.Request) answerKey {
+	if snap.Policy() == mapping.EndUser && req.ClientSubnet.IsValid() {
 		unit := a.system.UnitFor(req.ClientSubnet.Addr())
 		clamp := uint8(unit.Bits())
 		if int(clamp) > req.ClientSubnet.Bits() {

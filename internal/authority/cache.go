@@ -24,11 +24,11 @@ import (
 //     cached EU answer is only ever reused for queries in the same
 //     mapping unit — the exact granularity at which the mapping system
 //     itself considers clients interchangeable.
-//   - Freshness: entries carry the system generation at decision time and
-//     an expiry one TTL after. A policy flip or a liveness invalidation
-//     bumps the generation, orphaning every older entry; expiry bounds
-//     staleness to the same window a downstream resolver would cache the
-//     answer for anyway.
+//   - Freshness: entries carry the snapshot epoch the decision was made
+//     under and an expiry one TTL after. Publishing a new snapshot (a
+//     policy flip, a health event, the MapMaker's cadence) orphans every
+//     entry from older epochs; expiry bounds staleness to the same window
+//     a downstream resolver would cache the answer for anyway.
 
 // answerShardCount shards the cache so concurrent queries rarely contend
 // on one lock. Must be a power of two.
@@ -55,8 +55,8 @@ type answerKey struct {
 // answerEntry is one cached decision.
 type answerEntry struct {
 	decision *mapping.Response
-	gen      uint64
-	expires  int64 // unix nanoseconds
+	epoch    uint64 // snapshot epoch the decision was made under
+	expires  int64  // unix nanoseconds
 }
 
 type answerShard struct {
@@ -64,7 +64,7 @@ type answerShard struct {
 	entries map[answerKey]answerEntry
 }
 
-// answerCache is a sharded, TTL- and generation-checked decision cache.
+// answerCache is a sharded, TTL- and epoch-checked decision cache.
 type answerCache struct {
 	shards [answerShardCount]answerShard
 }
@@ -99,14 +99,14 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-// get returns the cached decision for key if it is from the current
-// generation and unexpired, else nil.
-func (c *answerCache) get(key answerKey, gen uint64, now int64) *mapping.Response {
+// get returns the cached decision for key if it was made under the given
+// snapshot epoch and is unexpired, else nil.
+func (c *answerCache) get(key answerKey, epoch uint64, now int64) *mapping.Response {
 	sh := c.shardFor(key)
 	sh.mu.RLock()
 	e, ok := sh.entries[key]
 	sh.mu.RUnlock()
-	if !ok || e.gen != gen || now >= e.expires {
+	if !ok || e.epoch != epoch || now >= e.expires {
 		return nil
 	}
 	return e.decision
@@ -115,14 +115,14 @@ func (c *answerCache) get(key answerKey, gen uint64, now int64) *mapping.Respons
 // put files a decision under key. Concurrent puts for the same key are
 // idempotent enough: both decisions are valid for the window, last write
 // wins.
-func (c *answerCache) put(key answerKey, gen uint64, now, expires int64, d *mapping.Response) {
+func (c *answerCache) put(key answerKey, epoch uint64, now, expires int64, d *mapping.Response) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if len(sh.entries) >= maxEntriesPerShard {
 		sh.evictLocked(now)
 	}
-	sh.entries[key] = answerEntry{decision: d, gen: gen, expires: expires}
+	sh.entries[key] = answerEntry{decision: d, epoch: epoch, expires: expires}
 }
 
 // evictLocked reclaims space: drop everything expired, then, if the shard

@@ -192,7 +192,8 @@ func TestAnswerCacheLivenessInvalidation(t *testing.T) {
 	}
 
 	// Kill the deployment the cached answer points at, as failure
-	// injection would, and invalidate the scorer.
+	// injection would, and publish a fresh snapshot — the control-plane
+	// reaction a health event triggers through the MapMaker.
 	firstAddrs := answerAddrs(first)
 	var killed bool
 	for _, d := range testP.Deployments {
@@ -214,9 +215,9 @@ func TestAnswerCacheLivenessInvalidation(t *testing.T) {
 				s.SetAlive(true)
 			}
 		}
-		a.system.Scorer().Invalidate()
+		a.system.Rebuild()
 	}()
-	a.system.Scorer().Invalidate()
+	a.system.Rebuild()
 
 	after := q()
 	if hits := a.CacheHits.Load(); hits != 1 {

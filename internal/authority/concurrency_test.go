@@ -87,9 +87,9 @@ func TestAuthorityConcurrentQueries(t *testing.T) {
 }
 
 // TestAuthorityConcurrentInvalidation interleaves queries with policy
-// flips and scorer invalidations from other goroutines. Responses may
+// flips and snapshot republications from other goroutines. Responses may
 // reflect either policy mid-flip; the test asserts they stay well-formed
-// and, under -race, that invalidation does not race the serving path.
+// and, under -race, that publishing does not race the serving path.
 func TestAuthorityConcurrentInvalidation(t *testing.T) {
 	a := newAuthority(t, mapping.EndUser)
 
@@ -135,7 +135,7 @@ func TestAuthorityConcurrentInvalidation(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < flips; i++ {
-			a.system.Scorer().Invalidate()
+			a.system.Rebuild()
 		}
 	}()
 	wg.Wait()
@@ -150,5 +150,76 @@ func TestAuthorityConcurrentInvalidation(t *testing.T) {
 	}
 	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits+misses != total {
 		t.Errorf("CacheHits+CacheMisses = %d, want %d", hits+misses, total)
+	}
+}
+
+// TestAuthorityEpochHammer swaps snapshots as fast as the control plane
+// can build them while 12 goroutines resolve mapping requests, and asserts
+// no stale-epoch answer is ever served: every decision's epoch lies
+// between the epoch published before the call and the one published after
+// it. Because decide() loads the snapshot exactly once and keys both the
+// cache lookup and the computation by it, an answer cached under an
+// orphaned epoch can never come back — this test is the regression guard
+// for that invariant under continuous publication.
+func TestAuthorityEpochHammer(t *testing.T) {
+	a := newAuthority(t, mapping.EndUser)
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				a.system.Rebuild()
+			}
+		}
+	}()
+
+	const (
+		goroutines = 12
+		perG       = 300
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				req := mapping.Request{
+					Domain: "img.cdn.example.net",
+					LDNS:   netip.AddrFrom4([4]byte{198, 51, 100, byte(g + 1)}),
+				}
+				if (g+i)%2 == 0 {
+					req.ClientSubnet = testW.Blocks[(g*perG+i*3)%len(testW.Blocks)].Prefix
+				}
+				before := a.system.Current().Epoch()
+				decision, err := a.decide(req)
+				after := a.system.Current().Epoch()
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d query %d: %v", g, i, err)
+					return
+				}
+				if decision.Epoch < before || decision.Epoch > after {
+					errs <- fmt.Errorf("goroutine %d query %d: stale epoch %d served outside window [%d, %d]",
+						g, i, decision.Epoch, before, after)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits+misses != goroutines*perG {
+		t.Errorf("CacheHits+CacheMisses = %d, want %d", hits+misses, goroutines*perG)
 	}
 }

@@ -24,6 +24,10 @@ type Config struct {
 	Policy string `json:"policy,omitempty"`
 	// TTLSeconds is the DNS answer TTL (default 20).
 	TTLSeconds int `json:"ttl_seconds,omitempty"`
+	// MapRefreshSeconds is the MapMaker's periodic publish cadence — how
+	// often the control plane rebuilds and swaps in a fresh map snapshot
+	// even without health or policy signals (default 10).
+	MapRefreshSeconds int `json:"map_refresh_seconds,omitempty"`
 
 	// World parameterises the synthetic Internet.
 	World WorldConfig `json:"world"`
@@ -65,11 +69,12 @@ type SiteConfig struct {
 // Default returns a runnable default configuration.
 func Default() Config {
 	return Config{
-		Zone:       "cdn.example.net",
-		Policy:     "eu",
-		TTLSeconds: 20,
-		World:      WorldConfig{Seed: 1, Blocks: 8000},
-		Platform:   PlatformConfig{Seed: 1, Deployments: 600},
+		Zone:              "cdn.example.net",
+		Policy:            "eu",
+		TTLSeconds:        20,
+		MapRefreshSeconds: 10,
+		World:             WorldConfig{Seed: 1, Blocks: 8000},
+		Platform:          PlatformConfig{Seed: 1, Deployments: 600},
 	}
 }
 
@@ -107,6 +112,9 @@ func (c Config) Validate() error {
 	}
 	if c.TTLSeconds < 0 {
 		return fmt.Errorf("config: negative ttl_seconds")
+	}
+	if c.MapRefreshSeconds < 0 {
+		return fmt.Errorf("config: negative map_refresh_seconds")
 	}
 	if c.World.Blocks <= 0 {
 		return fmt.Errorf("config: world.blocks must be positive")

@@ -82,16 +82,21 @@ func Fig25DeploymentSweep(lab *Lab, cfg Fig25Config) ([]Fig25Point, *Report) {
 
 	// Every (run, N) cell is independent: its subset seed depends only on
 	// the run index, so cells can be scored concurrently and reduced in
-	// fixed run order afterwards.
+	// fixed run order afterwards. Each cell runs its own one-shot control
+	// plane: a SnapshotBuilder publishes a single deterministic epoch
+	// (numbered by cell index) and all three schemes read that snapshot —
+	// the rank tables are policy-independent, so building under CANS also
+	// populates the candidate lists the CANS column needs.
 	pols := []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS}
 	type cell struct{ mean, p95, p99 float64 }
 	cells := par.Map(cfg.Runs*len(cfg.Ns), func(i int) [3]cell {
 		run, nIdx := i/len(cfg.Ns), i%len(cfg.Ns)
 		sub := lab.Platform.Subset(cfg.Ns[nIdx], int64(run+1))
-		scorer := mapping.NewScorer(lab.World, sub, lab.Net, cfg.PingTargets)
+		builder := mapping.NewSnapshotBuilder(lab.World, sub, lab.Net, mapping.Config{PingTargets: cfg.PingTargets})
+		snap := builder.Build(uint64(i+1), mapping.ClientAwareNS)
 		var out [3]cell
 		for pi, pol := range pols {
-			d := evalPolicy(lab, scorer, blocks, pol)
+			d := evalPolicy(lab, snap, blocks, pol)
 			out[pi] = cell{d.Mean(), d.Percentile(95), d.Percentile(99)}
 		}
 		return out
@@ -126,51 +131,35 @@ func Fig25DeploymentSweep(lab *Lab, cfg Fig25Config) ([]Fig25Point, *Report) {
 	return out, rep
 }
 
-// evalPolicy maps every block under the policy and returns the
-// demand-weighted distribution of ping latency from the chosen deployment
-// to the client. NS and CANS decisions are computed once per LDNS, since
-// every client of an LDNS shares its assignment: those choices fan out
-// over the distinct LDNSes (in first-seen order) before the block sweep,
-// which shards the block list and merges the partial datasets in shard
+// evalPolicy maps every block under the policy by reading a published
+// snapshot — the same data-plane lookups the authority performs — and
+// returns the demand-weighted distribution of ping latency from the chosen
+// deployment to the client. NS and CANS decisions are resolved once per
+// LDNS, since every client of an LDNS shares its assignment; the block
+// sweep shards the block list and merges the partial datasets in shard
 // order — reproducing the serial sample order bit for bit.
-func evalPolicy(lab *Lab, scorer *mapping.Scorer, blocks []*world.ClientBlock, pol mapping.Policy) *stats.Dataset {
+func evalPolicy(lab *Lab, snap *mapping.Snapshot, blocks []*world.ClientBlock, pol mapping.Policy) *stats.Dataset {
 	var ldnsChoice map[uint64]netmodel.Endpoint
 	if pol != mapping.EndUser { // NSBased and ClientAwareNS share per-LDNS decisions
-		var ldnses []*world.LDNS
-		seen := map[uint64]bool{}
+		ldnsChoice = make(map[uint64]netmodel.Endpoint)
 		for _, b := range blocks {
-			if !seen[b.LDNS.ID] {
-				seen[b.LDNS.ID] = true
-				ldnses = append(ldnses, b.LDNS)
+			id := b.LDNS.Endpoint().ID
+			if _, ok := ldnsChoice[id]; ok {
+				continue
 			}
-		}
-		type choice struct {
-			ep netmodel.Endpoint
-			ok bool
-		}
-		choices := par.Map(len(ldnses), func(i int) choice {
-			l := ldnses[i]
 			var dep *cdn.Deployment
 			if pol == mapping.ClientAwareNS {
-				eps := make([]netmodel.Endpoint, len(l.Blocks))
-				weights := make([]float64, len(l.Blocks))
-				for j, cb := range l.Blocks {
-					eps[j] = cb.Endpoint()
-					weights[j] = cb.Demand
+				for _, r := range snap.CANSCandidates(id) {
+					if r.Deployment.Alive() {
+						dep = r.Deployment
+						break
+					}
 				}
-				dep, _ = scorer.BestWeighted(eps, weights)
 			} else {
-				dep, _ = scorer.Best(l.Endpoint())
+				dep, _ = snap.Best(id, false)
 			}
-			if dep == nil {
-				return choice{}
-			}
-			return choice{ep: dep.Endpoint(), ok: true}
-		})
-		ldnsChoice = make(map[uint64]netmodel.Endpoint, len(ldnses))
-		for i, l := range ldnses {
-			if choices[i].ok {
-				ldnsChoice[l.ID] = choices[i].ep
+			if dep != nil {
+				ldnsChoice[id] = dep.Endpoint()
 			}
 		}
 	}
@@ -180,13 +169,13 @@ func evalPolicy(lab *Lab, scorer *mapping.Scorer, blocks []*world.ClientBlock, p
 		for _, b := range blocks[lo:hi] {
 			var depEp netmodel.Endpoint
 			if pol == mapping.EndUser {
-				dep, _ := scorer.Best(b.Endpoint())
+				dep, _ := snap.Best(b.Endpoint().ID, true)
 				if dep == nil {
 					continue
 				}
 				depEp = dep.Endpoint()
 			} else {
-				ep, ok := ldnsChoice[b.LDNS.ID]
+				ep, ok := ldnsChoice[b.LDNS.Endpoint().ID]
 				if !ok {
 					continue
 				}

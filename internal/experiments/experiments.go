@@ -102,11 +102,18 @@ func row(cells ...any) []string {
 }
 
 // sortedCountries returns the lab's countries ordered by descending value.
+// Ties break on the country code: the input is a map, so without a total
+// order equal-valued countries would come out in random iteration order.
 func sortedCountries(vals map[string]float64) []string {
 	keys := make([]string, 0, len(vals))
 	for k := range vals {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return vals[keys[i]] > vals[keys[j]] })
+	sort.Slice(keys, func(i, j int) bool {
+		if vals[keys[i]] != vals[keys[j]] {
+			return vals[keys[i]] > vals[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
 	return keys
 }

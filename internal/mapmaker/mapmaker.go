@@ -1,0 +1,184 @@
+// Package mapmaker is the control plane of the mapping stack: the
+// background pipeline that turns health and measurement signals into
+// published maps. It reproduces the paper's map-making architecture
+// (§3–§5): topology discovery and scoring feed a MapMaker that builds a
+// fresh map on a cadence, and the authoritative name servers (the data
+// plane) only ever read the currently published, epoch-numbered
+// mapping.Snapshot.
+//
+// Signals arrive through a coalescing change feed: the CDN health monitor
+// reports deployment state flips (OnDeploymentChange), operators flip the
+// routing policy (SetPolicy), and measurement sweeps mark the scoring
+// tables dirty (Notify with ReasonMeasurement). The feed never builds
+// anything itself — it marks reasons dirty and wakes the pipeline, which
+// folds however many signals accumulated into one rebuild. Simulations
+// drive the pipeline deterministically with Sync/Publish instead of the
+// wall-clock Run loop, so snapshot epochs are a pure function of the
+// simulated event sequence.
+package mapmaker
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/mapping"
+)
+
+// Reason classifies why the map must be rebuilt. Reasons are a bitmask so
+// the change feed can coalesce any number of pending signals into one
+// build.
+type Reason uint32
+
+const (
+	// ReasonHealth: a deployment's liveness changed (health monitor).
+	ReasonHealth Reason = 1 << iota
+	// ReasonPolicy: the routing policy was flipped.
+	ReasonPolicy
+	// ReasonMeasurement: new measurements arrived; scoring tables must be
+	// recomputed, not just re-published.
+	ReasonMeasurement
+	// ReasonPeriodic: the refresh cadence elapsed.
+	ReasonPeriodic
+)
+
+// Config parameterises a MapMaker.
+type Config struct {
+	// Interval is the publish cadence of the Run loop — how often a fresh
+	// snapshot goes out even without signals, mirroring the paper's
+	// periodic map publication. Default 10s.
+	Interval time.Duration
+}
+
+// MapMaker owns map publication for one mapping.System. All builds go
+// through it (or through System.Rebuild in standalone setups); the data
+// plane never builds.
+type MapMaker struct {
+	sys      *mapping.System
+	interval time.Duration
+
+	// dirty accumulates Reasons since the last build; the feed is
+	// coalescing, so a burst of signals costs one rebuild.
+	dirty atomic.Uint32
+	// wake nudges the Run loop; buffered so signal producers never block.
+	wake chan struct{}
+
+	published atomic.Uint64 // snapshots built and installed
+	buildNs   atomic.Int64  // duration of the last build, nanoseconds
+}
+
+// New creates a MapMaker over a system. The system already serves its
+// initial snapshot (published by NewSystem); the MapMaker takes over from
+// there.
+func New(sys *mapping.System, cfg Config) *MapMaker {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	return &MapMaker{
+		sys:      sys,
+		interval: cfg.Interval,
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// System returns the system whose maps this MapMaker publishes.
+func (m *MapMaker) System() *mapping.System { return m.sys }
+
+// Notify marks the map dirty for the given reasons and wakes the pipeline.
+// It never blocks and never builds; any number of notifications between
+// builds fold into one.
+func (m *MapMaker) Notify(r Reason) {
+	// CAS loop instead of atomic.Uint32.Or, which needs go1.23.
+	for {
+		old := m.dirty.Load()
+		if m.dirty.CompareAndSwap(old, old|uint32(r)) {
+			break
+		}
+	}
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// OnDeploymentChange adapts the MapMaker to the cdn health monitor's
+// callback: wire it as the Monitor's onChange so liveness flips flow
+// through the change feed instead of invalidating scorer caches from the
+// probe path.
+func (m *MapMaker) OnDeploymentChange(*cdn.Deployment) { m.Notify(ReasonHealth) }
+
+// SetPolicy records the desired routing policy and feeds the flip through
+// the change feed. The flip takes effect at the next build (Sync, Publish
+// or the Run loop) — policy is part of the published map, not of the query
+// path.
+func (m *MapMaker) SetPolicy(p mapping.Policy) {
+	m.sys.SetDesiredPolicy(p)
+	m.Notify(ReasonPolicy)
+}
+
+// takeDirty atomically claims and clears the pending reasons.
+func (m *MapMaker) takeDirty() Reason {
+	return Reason(m.dirty.Swap(0))
+}
+
+// build runs one pipeline pass for the claimed reasons: a measurement
+// refresh drops the scoring tables first (so the build recomputes them),
+// then a snapshot is built at the next epoch and installed.
+func (m *MapMaker) build(r Reason) *mapping.Snapshot {
+	if r&ReasonMeasurement != 0 {
+		m.sys.Scorer().Invalidate()
+	}
+	start := time.Now()
+	sn := m.sys.Rebuild()
+	m.buildNs.Store(int64(time.Since(start)))
+	m.published.Add(1)
+	return sn
+}
+
+// Sync publishes a fresh snapshot if any signals are pending, else returns
+// the current one unchanged. Deterministic drivers (simulations) call it
+// at fixed points — e.g. once per simulated day after ticking the health
+// monitor — so the epoch sequence depends only on the event sequence,
+// never on wall-clock timing or worker count.
+func (m *MapMaker) Sync() *mapping.Snapshot {
+	if r := m.takeDirty(); r != 0 {
+		return m.build(r)
+	}
+	return m.sys.Current()
+}
+
+// Publish unconditionally builds and installs a fresh snapshot, folding in
+// any pending signals.
+func (m *MapMaker) Publish() *mapping.Snapshot {
+	return m.build(m.takeDirty() | ReasonPeriodic)
+}
+
+// Run is the production pipeline loop: it publishes on the configured
+// cadence and additionally whenever the change feed wakes it, until ctx is
+// cancelled. Start it as a goroutine next to the DNS servers.
+func (m *MapMaker) Run(ctx context.Context) {
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Publish()
+		case <-m.wake:
+			m.Sync()
+		}
+	}
+}
+
+// Current returns the currently published snapshot.
+func (m *MapMaker) Current() *mapping.Snapshot { return m.sys.Current() }
+
+// Published returns how many snapshots this MapMaker has built.
+func (m *MapMaker) Published() uint64 { return m.published.Load() }
+
+// LastBuildDuration returns how long the most recent snapshot build took.
+func (m *MapMaker) LastBuildDuration() time.Duration {
+	return time.Duration(m.buildNs.Load())
+}

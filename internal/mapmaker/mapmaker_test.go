@@ -1,0 +1,183 @@
+package mapmaker
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+var (
+	testW   = world.MustGenerate(world.Config{Seed: 7, NumBlocks: 600})
+	testNet = netmodel.NewDefault()
+)
+
+func newMapMaker(t testing.TB, pol mapping.Policy) (*MapMaker, *cdn.Platform) {
+	t.Helper()
+	p := cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 7, NumDeployments: 40, ServersPerDeployment: 4})
+	sys := mapping.NewSystem(testW, p, testNet, mapping.Config{Policy: pol, PingTargets: 100})
+	return New(sys, Config{}), p
+}
+
+// TestPublishEpochsMonotonic: every Publish installs a strictly newer
+// epoch.
+func TestPublishEpochsMonotonic(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.EndUser)
+	last := mm.Current().Epoch()
+	for i := 0; i < 5; i++ {
+		sn := mm.Publish()
+		if sn.Epoch() <= last {
+			t.Fatalf("publish %d: epoch %d did not advance past %d", i, sn.Epoch(), last)
+		}
+		if mm.Current() != sn {
+			t.Fatalf("publish %d: published snapshot is not current", i)
+		}
+		last = sn.Epoch()
+	}
+	if mm.Published() != 5 {
+		t.Fatalf("Published = %d, want 5", mm.Published())
+	}
+	if mm.LastBuildDuration() <= 0 {
+		t.Fatal("LastBuildDuration not recorded")
+	}
+}
+
+// TestSyncCoalesces: any number of signals between builds fold into one
+// rebuild, and a Sync with no pending signals publishes nothing.
+func TestSyncCoalesces(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.EndUser)
+	e0 := mm.Current().Epoch()
+
+	for i := 0; i < 10; i++ {
+		mm.Notify(ReasonHealth)
+	}
+	sn := mm.Sync()
+	if sn.Epoch() != e0+1 {
+		t.Fatalf("10 notifications cost %d epochs, want 1", sn.Epoch()-e0)
+	}
+	if again := mm.Sync(); again != sn {
+		t.Fatalf("clean Sync rebuilt: epoch %d -> %d", sn.Epoch(), again.Epoch())
+	}
+	if mm.Published() != 1 {
+		t.Fatalf("Published = %d, want 1", mm.Published())
+	}
+}
+
+// TestHealthSignalFlow wires a health monitor's change callback into the
+// change feed and checks the loop end to end: an outage makes the feed
+// dirty, Sync publishes a fresh epoch, and the data plane routes the
+// client around the dead deployment.
+func TestHealthSignalFlow(t *testing.T) {
+	mm, p := newMapMaker(t, mapping.EndUser)
+	sys := mm.System()
+
+	blk := testW.Blocks[0]
+	req := mapping.Request{Domain: "health.net", LDNS: blk.LDNS.Addr, ClientSubnet: blk.Prefix}
+	before, err := sys.Map(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := before.Deployment
+
+	t0 := time.Date(2014, 4, 1, 0, 0, 0, 0, time.UTC)
+	faults := &cdn.ScheduledFaults{}
+	for _, s := range home.Servers {
+		faults.Add(s.ID, t0.Add(time.Minute), t0.Add(3*time.Minute))
+	}
+	mon, err := cdn.NewMonitor(p, faults, 10*time.Second, mm.OnDeploymentChange)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon.Tick(t0)
+	e0 := mm.Sync().Epoch()
+
+	if changed, _ := mon.Tick(t0.Add(time.Minute)); changed != 1 {
+		t.Fatalf("outage not detected: changed=%d", changed)
+	}
+	sn := mm.Sync()
+	if sn.Epoch() <= e0 {
+		t.Fatalf("health event did not publish: epoch %d after %d", sn.Epoch(), e0)
+	}
+	after, err := sys.Map(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Deployment == home {
+		t.Fatal("client still mapped to dead deployment")
+	}
+	if after.Epoch != sn.Epoch() {
+		t.Fatalf("decision epoch %d, want published %d", after.Epoch, sn.Epoch())
+	}
+}
+
+// TestSetPolicyFlowsThroughFeed: the flip is recorded immediately but the
+// served policy only changes when the pipeline publishes.
+func TestSetPolicyFlowsThroughFeed(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.NSBased)
+	sys := mm.System()
+
+	mm.SetPolicy(mapping.EndUser)
+	if got := sys.Policy(); got != mapping.NSBased {
+		t.Fatalf("policy flipped before publish: %v", got)
+	}
+	sn := mm.Sync()
+	if sn.Policy() != mapping.EndUser || sys.Policy() != mapping.EndUser {
+		t.Fatalf("policy after Sync = %v (snapshot %v), want EU", sys.Policy(), sn.Policy())
+	}
+}
+
+// TestMeasurementRefreshRecomputes: a measurement signal must drop the
+// scoring tables so the next build recomputes them, visible as a scorer
+// generation bump.
+func TestMeasurementRefreshRecomputes(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.EndUser)
+	sc := mm.System().Scorer()
+	g0 := sc.Generation()
+
+	mm.Notify(ReasonHealth)
+	mm.Sync()
+	if sc.Generation() != g0 {
+		t.Fatal("health-only publish must not recompute scoring tables")
+	}
+
+	mm.Notify(ReasonMeasurement)
+	sn := mm.Sync()
+	if sc.Generation() != g0+1 {
+		t.Fatalf("measurement publish: scorer generation %d, want %d", sc.Generation(), g0+1)
+	}
+	if mm.Current() != sn {
+		t.Fatal("measurement publish not installed")
+	}
+}
+
+// TestRunPublishesOnCadence: the production loop publishes periodically
+// and reacts to the change feed, then stops with its context.
+func TestRunPublishesOnCadence(t *testing.T) {
+	p := cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 7, NumDeployments: 40, ServersPerDeployment: 4})
+	sys := mapping.NewSystem(testW, p, testNet, mapping.Config{Policy: mapping.EndUser, PingTargets: 100})
+	mm := New(sys, Config{Interval: 5 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		mm.Run(ctx)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for mm.Published() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	mm.Notify(ReasonHealth)
+	cancel()
+	<-done
+
+	if mm.Published() < 3 {
+		t.Fatalf("Published = %d after cadence window, want >= 3", mm.Published())
+	}
+}

@@ -9,8 +9,11 @@ import (
 
 // TestFailoverUnderMonitor drives the full liveness loop: a scheduled
 // outage takes down the deployment a client maps to; the health monitor
-// detects it and invalidates scoring caches; mapping fails the client over
-// to the next cluster; recovery restores the original assignment.
+// detects it and the control plane republishes the map; mapping fails the
+// client over to the next cluster; recovery restores the original
+// assignment. (Failover itself does not even need the republish — the
+// data plane skips dead deployments at read time — but the fresh epoch is
+// what orphans answer caches layered above.)
 func TestFailoverUnderMonitor(t *testing.T) {
 	// A private platform: this test mutates liveness.
 	platform := cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 99, NumDeployments: 80, ServersPerDeployment: 4})
@@ -30,7 +33,7 @@ func TestFailoverUnderMonitor(t *testing.T) {
 		faults.Add(s.ID, t0.Add(time.Minute), t0.Add(3*time.Minute))
 	}
 	mon, err := cdn.NewMonitor(platform, faults, 10*time.Second, func(*cdn.Deployment) {
-		sys.Scorer().Invalidate()
+		sys.Rebuild()
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +85,7 @@ func TestChurnUnderRandomFaults(t *testing.T) {
 	platform := cdn.MustGenerateUniverse(testW, cdn.Config{Seed: 100, NumDeployments: 40, ServersPerDeployment: 3})
 	sys := NewSystem(testW, platform, testNet, Config{Policy: EndUser, PingTargets: 200})
 	mon, err := cdn.NewMonitor(platform, &cdn.RandomFaults{P: 0.2, EpochLength: time.Minute, Seed: 3},
-		time.Minute, func(*cdn.Deployment) { sys.Scorer().Invalidate() })
+		time.Minute, func(*cdn.Deployment) { sys.Rebuild() })
 	if err != nil {
 		t.Fatal(err)
 	}

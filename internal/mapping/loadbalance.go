@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"eum/internal/cdn"
 )
@@ -29,9 +30,16 @@ type LoadBalancer struct {
 	// best-score-first behaviour with hard capacity spill.
 	LoadPenalty float64
 
-	// rings caches one consistent-hash ring per deployment. Reads (the
-	// per-query path) take the read lock; rings are only built once per
-	// deployment, so writer contention is a startup transient.
+	// prepared holds the consistent-hash rings built eagerly by Prepare
+	// for every deployment of the served platform. The map pointed to is
+	// immutable — InvalidateRing replaces the whole map (copy-on-write) —
+	// so the query hot path reads it with one atomic load and no lock.
+	prepared atomic.Pointer[map[uint64]*ring]
+
+	// rings lazily caches rings for deployments outside the prepared set
+	// (foreign platforms, standalone use). Reads take the read lock;
+	// rings are only built once per deployment, so writer contention is a
+	// startup transient.
 	mu    sync.RWMutex
 	rings map[uint64]*ring // deployment ID -> server ring
 }
@@ -39,6 +47,19 @@ type LoadBalancer struct {
 // NewLoadBalancer returns a load balancer with default settings.
 func NewLoadBalancer() *LoadBalancer {
 	return &LoadBalancer{ServersPerAnswer: 2, VirtualNodes: 32, rings: map[uint64]*ring{}}
+}
+
+// Prepare eagerly builds the consistent-hash ring for every deployment of
+// the platform, so the per-query path never takes the ring lock. Call it
+// once before serving; server membership changes in prepared deployments
+// still go through InvalidateRing, which rebuilds the affected ring into
+// a fresh map.
+func (lb *LoadBalancer) Prepare(p *cdn.Platform) {
+	prepared := make(map[uint64]*ring, len(p.Deployments))
+	for _, d := range p.Deployments {
+		prepared[d.ID] = newRing(d, lb.VirtualNodes)
+	}
+	lb.prepared.Store(&prepared)
 }
 
 // PickDeployment walks candidates (ordered best-first) and returns the
@@ -119,6 +140,12 @@ func (lb *LoadBalancer) PickServers(d *cdn.Deployment, domain string, demand flo
 }
 
 func (lb *LoadBalancer) ringFor(d *cdn.Deployment) *ring {
+	// Fast path: the prepared, immutable ring set — no lock.
+	if pm := lb.prepared.Load(); pm != nil {
+		if r, ok := (*pm)[d.ID]; ok {
+			return r
+		}
+	}
 	lb.mu.RLock()
 	r, ok := lb.rings[d.ID]
 	lb.mu.RUnlock()
@@ -136,11 +163,23 @@ func (lb *LoadBalancer) ringFor(d *cdn.Deployment) *ring {
 }
 
 // InvalidateRing drops the cached ring for a deployment (e.g. after server
-// membership changes). Liveness changes alone do not require invalidation:
-// dead servers are skipped at pick time.
+// membership changes). For prepared deployments the ring is rebuilt into a
+// fresh copy of the prepared map and swapped in atomically. Liveness
+// changes alone do not require invalidation: dead servers are skipped at
+// pick time.
 func (lb *LoadBalancer) InvalidateRing(d *cdn.Deployment) {
 	lb.mu.Lock()
 	delete(lb.rings, d.ID)
+	if pm := lb.prepared.Load(); pm != nil {
+		if _, ok := (*pm)[d.ID]; ok {
+			next := make(map[uint64]*ring, len(*pm))
+			for k, v := range *pm {
+				next[k] = v
+			}
+			next[d.ID] = newRing(d, lb.VirtualNodes)
+			lb.prepared.Store(&next)
+		}
+	}
 	lb.mu.Unlock()
 }
 

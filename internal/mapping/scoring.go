@@ -205,8 +205,9 @@ func (s *Scorer) Best(ep netmodel.Endpoint) (*cdn.Deployment, float64) {
 
 // Invalidate drops all cached per-target results — both the liveness-
 // dependent best-deployment cache and the rank cache — and bumps the
-// generation counter. Call it after failure injection, recovery, or a
-// measurement refresh.
+// generation counter, so the next snapshot Build recomputes its tables.
+// The MapMaker calls it on a measurement refresh; it has no effect on
+// already-published snapshots.
 func (s *Scorer) Invalidate() {
 	for i := range s.bestCache {
 		s.bestCache[i].Store(nil)
@@ -217,9 +218,20 @@ func (s *Scorer) Invalidate() {
 	s.gen.Add(1)
 }
 
-// InvalidateBest is kept for older call sites; it now folds into
-// Invalidate so rank caches are also dropped after liveness changes.
-func (s *Scorer) InvalidateBest() { s.Invalidate() }
+// Targeted reports whether clustering is on (a bounded ping-target set).
+func (s *Scorer) Targeted() bool { return len(s.targets) > 0 }
+
+// rankTarget returns ping target idx's rank table, computing and caching
+// it if the slot is cold. The snapshot builder assembles published maps
+// from these tables.
+func (s *Scorer) rankTarget(idx int) []Ranked {
+	if p := s.rankCache[idx].Load(); p != nil {
+		return *p
+	}
+	r := s.computeRank(s.targets[idx])
+	s.rankCache[idx].Store(&r)
+	return r
+}
 
 // Precompute ranks every ping target up front, in parallel, so the first
 // query for any target hits a warm cache instead of paying the full

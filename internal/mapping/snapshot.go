@@ -1,0 +1,285 @@
+package mapping
+
+import (
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/geo"
+	"eum/internal/netmodel"
+	"eum/internal/par"
+	"eum/internal/world"
+)
+
+// Reserved endpoint IDs for the shared fallback rank tables. World IDs are
+// allocated from a small counter, so the top of the ID space is free.
+const (
+	fallbackLDNSID   = ^uint64(0)
+	fallbackClientID = ^uint64(0) - 1
+)
+
+// Snapshot is one published map: an immutable, epoch-numbered set of rank
+// tables covering every endpoint the data plane can be asked about, plus
+// the policy and TTL the map was built under. The control plane (the
+// MapMaker) builds snapshots in the background and installs them with a
+// single atomic pointer swap; the query hot path only ever reads the
+// currently installed snapshot — it never computes scores, takes locks, or
+// invalidates anything.
+//
+// This is the paper's two-plane architecture (§3–§5): topology discovery
+// and scoring feed a map-making pipeline that publishes maps on a cadence,
+// and the authoritative name servers serve whichever map is current.
+type Snapshot struct {
+	epoch  uint64
+	policy Policy
+	ttl    time.Duration
+
+	// tables holds the rank tables, each ordered best (lowest ping) first.
+	// byID maps an endpoint ID (client block or LDNS) to its table. With
+	// clustering, table i is ping target i's table and many endpoints share
+	// it; without, each distinct endpoint gets its own.
+	tables [][]Ranked
+	byID   map[uint64]int32
+
+	// fallbackLDNS / fallbackClient index the tables used for endpoints
+	// the map was not built for (a lab resolver, a never-seen prefix):
+	// they rank from the builder's fallback location. -1 when absent.
+	fallbackLDNS   int32
+	fallbackClient int32
+
+	// cans maps an LDNS ID to its precomputed ClientAwareNS candidate
+	// list: the traffic-weighted winner first, then the LDNS's own rank
+	// table for capacity spill, deduplicated at build time. Only populated
+	// when the snapshot's policy is ClientAwareNS.
+	cans map[uint64][]Ranked
+}
+
+// Epoch returns the snapshot's publication number. Epochs are strictly
+// increasing; answer caches key entries by epoch so a swap orphans them.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Policy returns the routing policy the snapshot was built under.
+func (sn *Snapshot) Policy() Policy { return sn.policy }
+
+// TTL returns the answer TTL the snapshot carries.
+func (sn *Snapshot) TTL() time.Duration { return sn.ttl }
+
+// Tables returns the number of rank tables in the snapshot.
+func (sn *Snapshot) Tables() int { return len(sn.tables) }
+
+// rankByID returns the rank table for a known endpoint ID, or nil.
+func (sn *Snapshot) rankByID(id uint64) []Ranked {
+	if i, ok := sn.byID[id]; ok {
+		return sn.tables[i]
+	}
+	return nil
+}
+
+// fallbackTable returns the shared table for endpoints the map does not
+// cover; client selects the client-side fallback (access network, client
+// fallback location) over the resolver-side one.
+func (sn *Snapshot) fallbackTable(client bool) []Ranked {
+	i := sn.fallbackLDNS
+	if client {
+		i = sn.fallbackClient
+	}
+	if i < 0 || int(i) >= len(sn.tables) {
+		return nil
+	}
+	return sn.tables[i]
+}
+
+// RankOf returns the rank table serving endpoint id, falling back to the
+// shared fallback table when the map does not cover it. The slice is
+// immutable; callers must not modify it.
+func (sn *Snapshot) RankOf(id uint64, client bool) []Ranked {
+	if r := sn.rankByID(id); r != nil {
+		return r
+	}
+	return sn.fallbackTable(client)
+}
+
+// Best returns the best-ranked deployment for endpoint id that is live
+// right now, with its score. Liveness is read at query time, so a snapshot
+// built before a failure still routes around it; the epoch bump on the
+// next publish is only needed to orphan cached answers.
+func (sn *Snapshot) Best(id uint64, client bool) (*cdn.Deployment, float64) {
+	for _, r := range sn.RankOf(id, client) {
+		if r.Deployment.Alive() {
+			return r.Deployment, r.Score
+		}
+	}
+	return nil, 0
+}
+
+// CANSCandidates returns the precomputed ClientAwareNS candidate list for
+// an LDNS ID, or nil when the snapshot has none (wrong policy, or an LDNS
+// with no discovered client blocks).
+func (sn *Snapshot) CANSCandidates(id uint64) []Ranked { return sn.cans[id] }
+
+// SnapshotBuilder assembles snapshots. It is the control plane's compute
+// stage: it owns a Scorer (measurement + clustering) and, per Build,
+// produces a complete immutable map for one (epoch, policy) pair. The same
+// builder is reused across epochs so the scorer's clustering index and
+// cached rank tables persist; after a measurement refresh the caller
+// invalidates the scorer and the next Build recomputes.
+//
+// A builder is safe for concurrent Build calls, but the intended use is a
+// single MapMaker goroutine building sequentially.
+type SnapshotBuilder struct {
+	world       *world.World
+	scorer      *Scorer
+	ttl         time.Duration
+	fallbackLoc geo.Point
+	extra       []netmodel.Endpoint
+}
+
+// NewSnapshotBuilder creates a standalone builder over the world and
+// platform, applying the same Config defaults as NewSystem. Experiments
+// that evaluate policies without a full System (e.g. the Fig 25 deployment
+// sweep) use this directly.
+func NewSnapshotBuilder(w *world.World, p *cdn.Platform, net Prober, cfg Config) *SnapshotBuilder {
+	if cfg.TTL == 0 {
+		cfg.TTL = 20 * time.Second
+	}
+	if (cfg.FallbackLoc == geo.Point{}) {
+		cfg.FallbackLoc = geo.Point{Lat: 40.71, Lon: -74.01}
+	}
+	return newSnapshotBuilder(w, NewScorer(w, p, net, cfg.PingTargets), cfg)
+}
+
+// newSnapshotBuilder wires a builder around an existing scorer; cfg must
+// already have defaults applied.
+func newSnapshotBuilder(w *world.World, scorer *Scorer, cfg Config) *SnapshotBuilder {
+	return &SnapshotBuilder{
+		world:       w,
+		scorer:      scorer,
+		ttl:         cfg.TTL,
+		fallbackLoc: cfg.FallbackLoc,
+	}
+}
+
+// Scorer returns the builder's scoring stage (to invalidate after a
+// measurement refresh, or to share with a System).
+func (b *SnapshotBuilder) Scorer() *Scorer { return b.scorer }
+
+// AddClientEndpoints extends the set of client endpoints the snapshot will
+// cover beyond the world's blocks (e.g. a sampled block universe an
+// experiment replays).
+func (b *SnapshotBuilder) AddClientEndpoints(eps ...netmodel.Endpoint) {
+	b.extra = append(b.extra, eps...)
+}
+
+// fallbackEndpoints returns the two synthetic endpoints standing in for
+// anything the map was not built for. All unknowns share them (and hence
+// one rank table per kind), anchored at the configured fallback location.
+func (b *SnapshotBuilder) fallbackEndpoints() (ldns, client netmodel.Endpoint) {
+	ldns = netmodel.Endpoint{ID: fallbackLDNSID, Loc: b.fallbackLoc, Access: netmodel.AccessBackbone}
+	client = netmodel.Endpoint{ID: fallbackClientID, Loc: b.fallbackLoc, Access: netmodel.AccessCable}
+	return ldns, client
+}
+
+// Build produces the snapshot for one epoch under the given policy. The
+// endpoint universe is every world LDNS, every client block, any extra
+// endpoints, and the two fallbacks. The result is a pure function of
+// (world, platform liveness, measurements, policy) — par fan-out inside is
+// index-deterministic — so simulation epochs are reproducible regardless
+// of worker count.
+func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
+	sn := &Snapshot{
+		epoch:        epoch,
+		policy:       policy,
+		ttl:          b.ttl,
+		fallbackLDNS: -1, fallbackClient: -1,
+	}
+	w, sc := b.world, b.scorer
+
+	universe := make([]netmodel.Endpoint, 0, len(w.LDNSes)+len(w.Blocks)+len(b.extra))
+	for _, l := range w.LDNSes {
+		universe = append(universe, l.Endpoint())
+	}
+	for _, blk := range w.Blocks {
+		universe = append(universe, blk.Endpoint())
+	}
+	universe = append(universe, b.extra...)
+	fLDNS, fClient := b.fallbackEndpoints()
+
+	if sc.Targeted() {
+		// Clustered: one table per ping target; endpoints inherit their
+		// nearest target's table. Tables not recomputed since the last
+		// scorer invalidation are reused as-is.
+		idx := par.Map(len(universe), func(i int) int { return sc.targetFor(universe[i]) })
+		sn.byID = make(map[uint64]int32, len(universe))
+		for i, ep := range universe {
+			sn.byID[ep.ID] = int32(idx[i])
+		}
+		sn.tables = par.Map(len(sc.targets), func(i int) []Ranked { return sc.rankTarget(i) })
+		sn.fallbackLDNS = int32(sc.targetFor(fLDNS))
+		sn.fallbackClient = int32(sc.targetFor(fClient))
+	} else {
+		// Unclustered: exact per-endpoint tables, one per distinct ID, in
+		// universe order; the fallbacks get their own.
+		sn.byID = make(map[uint64]int32, len(universe))
+		distinct := make([]netmodel.Endpoint, 0, len(universe)+2)
+		for _, ep := range universe {
+			if _, ok := sn.byID[ep.ID]; !ok {
+				sn.byID[ep.ID] = int32(len(distinct))
+				distinct = append(distinct, ep)
+			}
+		}
+		sn.fallbackLDNS = int32(len(distinct))
+		distinct = append(distinct, fLDNS)
+		sn.fallbackClient = int32(len(distinct))
+		distinct = append(distinct, fClient)
+		sn.tables = par.Map(len(distinct), func(i int) []Ranked { return sc.computeRank(distinct[i]) })
+		delete(sn.byID, fLDNS.ID)
+		delete(sn.byID, fClient.ID)
+	}
+
+	if policy == ClientAwareNS {
+		sn.cans = b.buildCANS(sn)
+	}
+	return sn
+}
+
+// buildCANS precomputes the ClientAwareNS candidate list for every LDNS
+// with discovered client blocks: the deployment minimising the
+// traffic-weighted mean ping to the LDNS's clients (§6's CANS objective)
+// first, then the LDNS's own NS rank table for capacity spill — with the
+// winner deduplicated out of the spill list, so no deployment appears
+// twice in the candidates handed to the load balancer.
+func (b *SnapshotBuilder) buildCANS(sn *Snapshot) map[uint64][]Ranked {
+	ldnses := b.world.LDNSes
+	sc := b.scorer
+	lists := par.Map(len(ldnses), func(i int) []Ranked {
+		l := ldnses[i]
+		if len(l.Blocks) == 0 {
+			return nil
+		}
+		eps := make([]netmodel.Endpoint, len(l.Blocks))
+		weights := make([]float64, len(l.Blocks))
+		for j, blk := range l.Blocks {
+			eps[j] = blk.Endpoint()
+			weights[j] = blk.Demand
+		}
+		win, score := sc.BestWeighted(eps, weights)
+		if win == nil {
+			return nil
+		}
+		ns := sn.RankOf(l.Endpoint().ID, false)
+		out := make([]Ranked, 0, len(ns)+1)
+		out = append(out, Ranked{Deployment: win, Score: score})
+		for _, r := range ns {
+			if r.Deployment != win {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+	cans := make(map[uint64][]Ranked, len(ldnses))
+	for i, l := range ldnses {
+		if lists[i] != nil {
+			cans[l.Endpoint().ID] = lists[i]
+		}
+	}
+	return cans
+}

@@ -1,0 +1,181 @@
+package mapping
+
+import (
+	"testing"
+
+	"eum/internal/netmodel"
+)
+
+// TestSnapshotCANSDedupe is the regression test for the CANS duplicate-
+// candidate bug: the old lazy path appended the full NS ranking after the
+// BestWeighted winner, so the winning deployment appeared twice in the
+// candidate list handed to the load balancer. Snapshot CANS lists must
+// start with the weighted winner and contain each deployment exactly once.
+func TestSnapshotCANSDedupe(t *testing.T) {
+	sys := newSystem(t, ClientAwareNS)
+	sn := sys.Current()
+	if sn.Policy() != ClientAwareNS {
+		t.Fatalf("snapshot policy = %v, want CANS", sn.Policy())
+	}
+
+	checked := 0
+	for _, l := range testW.LDNSes {
+		cands := sn.CANSCandidates(l.Endpoint().ID)
+		if cands == nil {
+			if len(l.Blocks) > 0 {
+				t.Fatalf("LDNS %v has %d blocks but no CANS candidates", l.Addr, len(l.Blocks))
+			}
+			continue
+		}
+		checked++
+		seen := make(map[uint64]bool, len(cands))
+		for _, c := range cands {
+			if seen[c.Deployment.ID] {
+				t.Fatalf("LDNS %v: deployment %s appears twice in CANS candidates", l.Addr, c.Deployment.Name)
+			}
+			seen[c.Deployment.ID] = true
+		}
+		// The winner leads, and it is the traffic-weighted optimum.
+		eps := make([]netmodel.Endpoint, len(l.Blocks))
+		weights := make([]float64, len(l.Blocks))
+		for i, b := range l.Blocks {
+			eps[i] = b.Endpoint()
+			weights[i] = b.Demand
+		}
+		win, _ := sys.Scorer().BestWeighted(eps, weights)
+		if cands[0].Deployment != win {
+			t.Fatalf("LDNS %v: candidate[0] = %s, want weighted winner %s",
+				l.Addr, cands[0].Deployment.Name, win.Name)
+		}
+		// Every platform deployment is reachable for capacity spill.
+		if len(cands) != len(testP.Deployments) {
+			t.Fatalf("LDNS %v: %d candidates, want %d (winner + deduped NS rank)",
+				l.Addr, len(cands), len(testP.Deployments))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no LDNS with CANS candidates")
+	}
+}
+
+// TestSnapshotMatchesScorer checks the published tables against the
+// scoring layer they were built from: for a sample of blocks and LDNSes,
+// the snapshot's rank table must be the scorer's ranking for the same
+// endpoint.
+func TestSnapshotMatchesScorer(t *testing.T) {
+	sys := newSystem(t, EndUser)
+	sn := sys.Current()
+	sc := sys.Scorer()
+
+	for i := 0; i < len(testW.Blocks); i += 257 {
+		b := testW.Blocks[i]
+		got := sn.RankOf(b.ID, true)
+		want := sc.Rank(b.Endpoint())
+		if len(got) != len(want) {
+			t.Fatalf("block %v: %d ranked, want %d", b.Prefix, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Deployment != want[j].Deployment || got[j].Score != want[j].Score {
+				t.Fatalf("block %v rank %d: %s/%g, want %s/%g", b.Prefix, j,
+					got[j].Deployment.Name, got[j].Score, want[j].Deployment.Name, want[j].Score)
+			}
+		}
+	}
+	for i := 0; i < len(testW.LDNSes); i += 61 {
+		l := testW.LDNSes[i]
+		got := sn.RankOf(l.Endpoint().ID, false)
+		want := sc.Rank(l.Endpoint())
+		if len(got) == 0 || got[0].Deployment != want[0].Deployment {
+			t.Fatalf("LDNS %v: top-ranked mismatch", l.Addr)
+		}
+	}
+}
+
+// TestSnapshotFallbackTables: endpoints the map was not built for share
+// the per-kind fallback table anchored at the fallback location.
+func TestSnapshotFallbackTables(t *testing.T) {
+	sys := newSystem(t, EndUser)
+	sn := sys.Current()
+	if sn.RankOf(^uint64(0)-7, false) == nil {
+		t.Fatal("unknown LDNS endpoint has no fallback table")
+	}
+	if sn.RankOf(^uint64(0)-7, true) == nil {
+		t.Fatal("unknown client endpoint has no fallback table")
+	}
+	if d, _ := sn.Best(^uint64(0)-7, true); d == nil {
+		t.Fatal("no live deployment for the fallback table")
+	}
+}
+
+// TestSnapshotInstallOrdering: an older build can never clobber a newer
+// published map, no matter the install order.
+func TestSnapshotInstallOrdering(t *testing.T) {
+	sys := newSystem(t, EndUser)
+	older := sys.Builder().Build(sys.Current().Epoch(), EndUser)
+	if sys.Install(older) {
+		t.Fatal("installed a snapshot at the already-current epoch")
+	}
+	cur := sys.Current()
+	newer := sys.Rebuild()
+	if sys.Current() != newer {
+		t.Fatal("rebuild did not install the newer snapshot")
+	}
+	if newer.Epoch() <= cur.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", cur.Epoch(), newer.Epoch())
+	}
+	if sys.Install(cur) {
+		t.Fatal("reinstalled an orphaned older snapshot")
+	}
+}
+
+// TestMapEpochPinned: MapAt against a pinned snapshot keeps answering at
+// that epoch while the system publishes newer maps — the contract both
+// the answer cache and the deterministic simulations rely on.
+func TestMapEpochPinned(t *testing.T) {
+	sys := newSystem(t, EndUser)
+	pinned := sys.Current()
+	blk := publicBlock(t)
+	req := Request{Domain: "pin.net", LDNS: blk.LDNS.Addr, ClientSubnet: blk.Prefix}
+
+	sys.Rebuild()
+	sys.Rebuild()
+	r, err := sys.MapAt(pinned, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != pinned.Epoch() {
+		t.Fatalf("pinned decision epoch = %d, want %d", r.Epoch, pinned.Epoch())
+	}
+	cur, err := sys.Map(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Epoch != sys.Current().Epoch() {
+		t.Fatalf("current decision epoch = %d, want %d", cur.Epoch, sys.Current().Epoch())
+	}
+	if cur.Epoch <= r.Epoch {
+		t.Fatalf("current epoch %d not newer than pinned %d", cur.Epoch, r.Epoch)
+	}
+}
+
+// TestMapCANSNoDuplicateCandidates exercises the full Map path under the
+// CANS policy for every known LDNS — the load balancer must receive the
+// deduped list and answer successfully.
+func TestMapCANSNoDuplicateCandidates(t *testing.T) {
+	sys := newSystem(t, ClientAwareNS)
+	served := 0
+	for i := 0; i < len(testW.LDNSes); i += 17 {
+		l := testW.LDNSes[i]
+		r, err := sys.Map(Request{Domain: "cans.net", LDNS: l.Addr})
+		if err != nil {
+			t.Fatalf("LDNS %v: %v", l.Addr, err)
+		}
+		if r.Deployment == nil || len(r.Servers) == 0 {
+			t.Fatalf("LDNS %v: empty decision", l.Addr)
+		}
+		served++
+	}
+	if served == 0 {
+		t.Fatal("no LDNS served")
+	}
+}

@@ -69,20 +69,31 @@ type Config struct {
 
 // System is the mapping system: it answers "which servers should this
 // client download from" for every DNS query the CDN's authoritative name
-// servers receive. It composes the scorer (measurement + topology), the
-// unit policy, and the two-level load balancer.
+// servers receive. It is split into two planes:
+//
+//   - The data plane — Map / MapAt — is a pure reader of the currently
+//     published Snapshot: one atomic pointer load per query, then lock-free
+//     table lookups and the load balancer's prepared rings. It never scores,
+//     never takes a lock, never invalidates.
+//   - The control plane — Rebuild / Install, normally driven by a
+//     mapmaker.MapMaker — consumes health and measurement signals and
+//     publishes fresh epoch-numbered snapshots in the background.
 type System struct {
 	cfg      Config
 	world    *world.World
 	platform *cdn.Platform
 	scorer   *Scorer
 	lb       *LoadBalancer
+	builder  *SnapshotBuilder
 
-	// policy is the active routing policy, stored atomically so queries
-	// never take a lock to read it and SetPolicy can flip it live.
-	policy atomic.Int32
-	// policyGen counts policy flips; see Generation.
-	policyGen atomic.Uint64
+	// desiredPolicy is the policy the next published snapshot is built
+	// under; the active policy is whatever the current snapshot carries.
+	desiredPolicy atomic.Int32
+	// epoch allocates strictly increasing snapshot numbers.
+	epoch atomic.Uint64
+	// snap is the currently published map. Installed by a single pointer
+	// swap; non-nil from NewSystem on.
+	snap atomic.Pointer[Snapshot]
 
 	blockByLeaf map[netip.Prefix]*world.ClientBlock // /24 (v4) or /48 (v6) -> block
 	unitRep     map[netip.Prefix]*world.ClientBlock // mapping unit -> representative block
@@ -112,7 +123,7 @@ func NewSystem(w *world.World, p *cdn.Platform, net Prober, cfg Config) *System 
 		unitRep:     map[netip.Prefix]*world.ClientBlock{},
 		ldnsBy:      make(map[netip.Addr]*world.LDNS, len(w.LDNSes)),
 	}
-	s.policy.Store(int32(cfg.Policy))
+	s.desiredPolicy.Store(int32(cfg.Policy))
 	s.lb.LoadPenalty = cfg.LoadPenalty
 	for _, b := range w.Blocks {
 		s.blockByLeaf[b.Prefix] = b
@@ -124,29 +135,68 @@ func NewSystem(w *world.World, p *cdn.Platform, net Prober, cfg Config) *System 
 	for _, l := range w.LDNSes {
 		s.ldnsBy[l.Addr] = l
 	}
+	s.builder = newSnapshotBuilder(w, s.scorer, cfg)
+	// Prepare the load balancer's rings and publish the first map before
+	// serving, so the data plane never computes anything on the hot path.
+	s.lb.Prepare(p)
+	s.Rebuild()
 	return s
 }
 
-// Policy returns the active routing policy.
-func (s *System) Policy() Policy { return Policy(s.policy.Load()) }
+// Policy returns the routing policy of the currently published snapshot.
+func (s *System) Policy() Policy { return s.Current().Policy() }
 
-// SetPolicy switches the routing policy — how the roll-out was performed:
-// the same system serving the same domains flips from NS to EU mapping.
-// The flip bumps the system generation so answer caches layered above
-// drop entries decided under the old policy.
+// SetDesiredPolicy records the policy the next published snapshot will be
+// built under without publishing one. The MapMaker uses this, then
+// publishes on its own cadence.
+func (s *System) SetDesiredPolicy(p Policy) { s.desiredPolicy.Store(int32(p)) }
+
+// DesiredPolicy returns the policy the next snapshot will be built under.
+func (s *System) DesiredPolicy() Policy { return Policy(s.desiredPolicy.Load()) }
+
+// SetPolicy switches the routing policy and synchronously publishes a
+// snapshot built under it — how the roll-out was performed: the same
+// system serving the same domains flips from NS to EU mapping. The epoch
+// bump orphans answers cached under the old policy. Under a MapMaker,
+// prefer its SetPolicy so the flip flows through the change feed.
 func (s *System) SetPolicy(p Policy) {
-	s.policy.Store(int32(p))
-	s.policyGen.Add(1)
+	s.desiredPolicy.Store(int32(p))
+	s.Rebuild()
 }
 
-// Generation identifies the decision epoch: it increases whenever the
-// policy flips or the scorer's caches are invalidated (liveness or
-// measurement changes). An answer cached under an older generation may no
-// longer match what Map would decide and must be discarded.
-func (s *System) Generation() uint64 {
-	// Both counters only increase, so their sum is strictly monotonic.
-	return s.policyGen.Load() + s.scorer.Generation()
+// Current returns the published snapshot the data plane is serving from.
+// It is never nil after NewSystem.
+func (s *System) Current() *Snapshot { return s.snap.Load() }
+
+// Install publishes a snapshot if it is newer than the current one,
+// reporting whether it was installed. Concurrent rebuilds may race; the
+// epoch order decides, so an older build can never clobber a newer map.
+func (s *System) Install(sn *Snapshot) bool {
+	for {
+		cur := s.snap.Load()
+		if cur != nil && cur.epoch >= sn.epoch {
+			return false
+		}
+		if s.snap.CompareAndSwap(cur, sn) {
+			return true
+		}
+	}
 }
+
+// Rebuild builds a snapshot at the next epoch under the desired policy and
+// installs it. This is the control plane's one entry point: the MapMaker
+// calls it on its cadence and when health or measurement signals arrive;
+// standalone users (tests, examples) call it directly after mutating the
+// platform.
+func (s *System) Rebuild() *Snapshot {
+	sn := s.builder.Build(s.epoch.Add(1), s.DesiredPolicy())
+	s.Install(sn)
+	return sn
+}
+
+// Builder exposes the snapshot builder (the control plane's compute
+// stage).
+func (s *System) Builder() *SnapshotBuilder { return s.builder }
 
 // UnitFor returns the mapping unit (the granularity at which clients are
 // grouped, §5.1) for a client address — the scope at which answers for
@@ -188,27 +238,44 @@ type Response struct {
 	ScopePrefix uint8
 	// TTL is the answer TTL.
 	TTL time.Duration
+	// Epoch is the snapshot epoch the decision was made under. Answer
+	// caches key entries by it, so a snapshot swap orphans them.
+	Epoch uint64
 	// UsedClientSubnet reports whether the client subnet (rather than
 	// the LDNS) determined the decision.
 	UsedClientSubnet bool
 }
 
-// Map answers a mapping request under the active policy.
+// Map answers a mapping request against the currently published snapshot.
 func (s *System) Map(req Request) (*Response, error) {
+	return s.MapAt(s.snap.Load(), req)
+}
+
+// MapAt answers a mapping request against a specific snapshot (nil means
+// the current one). It is the data plane: a pure reader — rank tables and
+// the CANS candidate lists come precomputed from the snapshot, liveness
+// and load are read per server at pick time, and nothing on this path
+// scores, locks, or invalidates. Callers that must keep a set of
+// decisions mutually consistent (an answer cache, a deterministic
+// simulation day) pin one snapshot and pass it for every request.
+func (s *System) MapAt(sn *Snapshot, req Request) (*Response, error) {
 	if req.Domain == "" {
 		return nil, fmt.Errorf("mapping: empty domain")
 	}
-	resp := &Response{TTL: s.cfg.TTL}
+	if sn == nil {
+		sn = s.snap.Load()
+	}
+	resp := &Response{TTL: sn.ttl, Epoch: sn.epoch}
 
-	// Decide the endpoint(s) whose latency we optimise.
-	policy := s.Policy()
+	// Decide the candidate list for the endpoint whose latency the
+	// snapshot's policy optimises.
 	var candidates []Ranked
 	switch {
-	case policy == EndUser && req.ClientSubnet.IsValid():
+	case sn.policy == EndUser && req.ClientSubnet.IsValid():
 		unit := s.cfg.Units.UnitFor(req.ClientSubnet.Addr())
-		ep, known := s.clientEndpoint(unit, req.ClientSubnet)
-		candidates = s.scorer.Rank(ep)
+		id, known := s.clientEndpointID(unit, req.ClientSubnet)
 		if known {
+			candidates = sn.RankOf(id, true)
 			resp.UsedClientSubnet = true
 			// Answer scope: the mapping-unit granularity for this
 			// address family (CIDR units may be coarser), never more
@@ -219,26 +286,18 @@ func (s *System) Map(req Request) (*Response, error) {
 				scope = uint8(req.ClientSubnet.Bits())
 			}
 			resp.ScopePrefix = scope
+		} else {
+			candidates = sn.fallbackTable(true)
 		}
-	case policy == ClientAwareNS:
-		if l, ok := s.ldnsBy[req.LDNS]; ok && len(l.Blocks) > 0 {
-			eps := make([]netmodel.Endpoint, len(l.Blocks))
-			weights := make([]float64, len(l.Blocks))
-			for i, b := range l.Blocks {
-				eps[i] = b.Endpoint()
-				weights[i] = b.Demand
-			}
-			if d, _ := s.scorer.BestWeighted(eps, weights); d != nil {
-				candidates = []Ranked{{Deployment: d}}
-				// Fall back to NS ranking for capacity spill.
-				candidates = append(candidates, s.scorer.Rank(s.ldnsEndpoint(req.LDNS))...)
-			}
+	case sn.policy == ClientAwareNS:
+		if l, ok := s.ldnsBy[req.LDNS]; ok {
+			candidates = sn.CANSCandidates(l.Endpoint().ID)
 		}
 		if candidates == nil {
-			candidates = s.scorer.Rank(s.ldnsEndpoint(req.LDNS))
+			candidates = s.ldnsCandidates(sn, req.LDNS)
 		}
 	default:
-		candidates = s.scorer.Rank(s.ldnsEndpoint(req.LDNS))
+		candidates = s.ldnsCandidates(sn, req.LDNS)
 	}
 
 	d, err := s.lb.PickDeployment(candidates, req.Demand)
@@ -254,21 +313,30 @@ func (s *System) Map(req Request) (*Response, error) {
 	return resp, nil
 }
 
-// clientEndpoint resolves a mapping unit to the network endpoint scored on
-// its behalf: the unit's highest-demand known block, the exact /24 when
-// known, or (for never-seen prefixes) a synthetic endpoint at the fallback
-// location. The bool reports whether the prefix was recognised.
-func (s *System) clientEndpoint(unit, query netip.Prefix) (netmodel.Endpoint, bool) {
+// ldnsCandidates returns the snapshot rank table for a resolver address:
+// its measured endpoint's table, or the resolver fallback table.
+func (s *System) ldnsCandidates(sn *Snapshot, addr netip.Addr) []Ranked {
+	if l, ok := s.ldnsBy[addr]; ok {
+		return sn.RankOf(l.Endpoint().ID, false)
+	}
+	return sn.fallbackTable(false)
+}
+
+// clientEndpointID resolves a mapping unit to the endpoint ID scored on
+// its behalf: the unit's highest-demand known block, or the exact leaf
+// block when the unit itself is unknown. The bool reports whether the
+// prefix was recognised; unknown prefixes use the snapshot's client
+// fallback table.
+func (s *System) clientEndpointID(unit, query netip.Prefix) (uint64, bool) {
 	if b, ok := s.unitRep[unit]; ok {
-		return b.Endpoint(), true
+		return b.ID, true
 	}
 	if leaf, err := query.Addr().Unmap().Prefix(leafBits(query.Addr())); err == nil {
 		if b, ok := s.blockByLeaf[leaf]; ok {
-			return b.Endpoint(), true
+			return b.ID, true
 		}
 	}
-	return netmodel.Endpoint{ID: hashPrefix(query), Loc: s.cfg.FallbackLoc,
-		Access: netmodel.AccessCable}, false
+	return 0, false
 }
 
 // ldnsEndpoint resolves a resolver address to its measured endpoint, or a
@@ -325,13 +393,5 @@ func hashAddr(a netip.Addr) uint64 {
 		h ^= uint64(c)
 		h *= fnvPrime64
 	}
-	return h
-}
-
-// hashPrefix hashes a prefix by its address bytes and bit length.
-func hashPrefix(p netip.Prefix) uint64 {
-	h := hashAddr(p.Addr())
-	h ^= uint64(uint8(p.Bits()))
-	h *= fnvPrime64
 	return h
 }

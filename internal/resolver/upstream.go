@@ -10,6 +10,12 @@ import (
 // simulated LDNSes resolve against the real mapping code path.
 type SystemUpstream struct {
 	System *mapping.System
+	// Snapshot, when non-nil, pins every resolution to one published map
+	// epoch; nil resolves against whatever the system currently serves.
+	// Deterministic simulations pin the epoch their day was scheduled
+	// under, so answers are a pure function of (epoch, request) no matter
+	// how day shards interleave with control-plane publishes.
+	Snapshot *mapping.Snapshot
 	// Demand, if positive, is charged to the chosen servers per
 	// resolution (load accounting).
 	Demand float64
@@ -17,7 +23,7 @@ type SystemUpstream struct {
 
 // Resolve implements Upstream.
 func (u *SystemUpstream) Resolve(domain string, ldns netip.Addr, clientSubnet netip.Prefix) (Answer, error) {
-	resp, err := u.System.Map(mapping.Request{
+	resp, err := u.System.MapAt(u.Snapshot, mapping.Request{
 		Domain:       domain,
 		LDNS:         ldns,
 		ClientSubnet: clientSubnet,

@@ -48,7 +48,10 @@ type BroadRolloutStage struct {
 // from replaying an identical dense query workload through the caches.
 func RunBroadRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, seed int64) (*BroadRolloutResult, error) {
 	sys := mapping.NewSystem(w, p, net, mapping.Config{Policy: mapping.EndUser, PingTargets: len(w.Blocks) / 10})
-	up := &resolver.SystemUpstream{System: sys}
+	// Pin all three adoption stages to the initially published map: the
+	// platform does not change mid-comparison, so every stage must read
+	// the same epoch.
+	up := &resolver.SystemUpstream{System: sys, Snapshot: sys.Current()}
 	rumModel := rum.NewModel(net)
 	_ = rumModel
 

@@ -104,6 +104,7 @@ func RunQueryRate(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([]
 		cfg.Catalogue = demand.MustNewCatalogue(120, 1.35, cfg.Seed)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	up = pinUpstream(up)
 
 	enableDay := drawEnableDays(w, cfg, rng)
 	sampler, err := demand.NewSampler(w, nil)
@@ -176,6 +177,19 @@ func RunQueryRate(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([]
 	return out, nil
 }
 
+// pinUpstream pins a mapping-system upstream to the snapshot published
+// when the simulation starts, so every parallel day shard resolves against
+// the same map epoch even if a control plane publishes concurrently.
+// Other upstream kinds (and already-pinned ones) pass through unchanged.
+func pinUpstream(up resolver.Upstream) resolver.Upstream {
+	if su, ok := up.(*resolver.SystemUpstream); ok && su.Snapshot == nil {
+		pinned := *su
+		pinned.Snapshot = su.System.Current()
+		return &pinned
+	}
+	return up
+}
+
 // drawEnableDays assigns each public site its ECS enable day, in world
 // LDNS order so the schedule is a pure function of the seed.
 func drawEnableDays(w *world.World, cfg QueryRateConfig, rng *rand.Rand) map[uint64]int {
@@ -225,6 +239,7 @@ func RunPopularity(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([
 	if cfg.Catalogue == nil {
 		cfg.Catalogue = demand.MustNewCatalogue(120, 1.35, cfg.Seed)
 	}
+	up = pinUpstream(up)
 
 	type pairKey struct {
 		ldns   uint64

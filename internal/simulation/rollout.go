@@ -12,6 +12,7 @@ import (
 
 	"eum/internal/cdn"
 	"eum/internal/demand"
+	"eum/internal/mapmaker"
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
 	"eum/internal/par"
@@ -119,7 +120,7 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 		cfg.PingTargets = len(w.Blocks) / 25
 	}
 	sys := mapping.NewSystem(w, p, net, mapping.Config{Policy: mapping.EndUser, PingTargets: cfg.PingTargets})
-	up := &resolver.SystemUpstream{System: sys}
+	mm := mapmaker.New(sys, mapmaker.Config{})
 
 	// Per-site enable days, drawn up front so the schedule does not depend
 	// on how the day loop is executed.
@@ -149,9 +150,11 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 
 	var monitor *cdn.Monitor
 	if cfg.Faults != nil {
-		m, err := cdn.NewMonitor(p, cfg.Faults, 12*time.Hour, func(*cdn.Deployment) {
-			sys.Scorer().Invalidate()
-		})
+		// Health events flow through the MapMaker's change feed; the
+		// serial day loop publishes (Sync) after each probe tick, so the
+		// snapshot epoch sequence is a pure function of the fault
+		// schedule.
+		m, err := cdn.NewMonitor(p, cfg.Faults, 12*time.Hour, mm.OnDeploymentChange)
 		if err != nil {
 			return nil, err
 		}
@@ -170,6 +173,11 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 		dayRes := &RolloutResult{}
 		dayStart := cfg.Start.AddDate(0, 0, day)
 		dayRNG := rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, uint64(day))))
+		// Pin the day to the snapshot published at its dawn: without
+		// faults the epoch never moves and parallel day shards all read
+		// the same map; with faults the serial loop publishes before each
+		// day, so the pinned epoch is deterministic either way.
+		up := &resolver.SystemUpstream{System: sys, Snapshot: sys.Current()}
 		resolvers := map[uint64]*resolver.Resolver{}
 		for _, l := range w.LDNSes {
 			if !l.IsPublic() {
@@ -224,6 +232,7 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 		// is causal and must run serially.
 		for day := 0; day < totalDays; day++ {
 			monitor.Tick(cfg.Start.AddDate(0, 0, day))
+			mm.Sync()
 			dayRes, err := runDay(day)
 			if err != nil {
 				return nil, err
