@@ -12,12 +12,13 @@ SIMBENCH = BenchmarkWorldGenerate|BenchmarkRolloutTimeline|BenchmarkFig25Sweep
 # (see DESIGN.md "Control plane / data plane"; numbers in BENCH_map.json).
 SNAPBENCH = BenchmarkSnapshotSwap|BenchmarkServingUnderMapChurn
 
-.PHONY: all check vet build test race bench bench-hot bench-sim bench-snapshot bench-figures
+.PHONY: all check vet build test race chaos bench bench-hot bench-sim bench-snapshot bench-figures
 
 all: check
 
-# The full verification gate: vet, build, tests with the race detector.
-check: vet build race
+# The full verification gate: vet, build, tests with the race detector,
+# then the chaos harness (faultnet integration tests, also under -race).
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +33,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos harness: the full UDP serving plane under injected packet loss,
+# duplication, reordering, latency jitter, server outages and MapMaker
+# build crashes (see DESIGN.md "Failure model & degradation ladder").
+# -v so the shed/stale/RRL counter log lines land in CI output.
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestEndToEndThroughFaults' ./internal/faultnet/
 
 # Hot-path benchmarks with allocation counts.
 bench-hot:

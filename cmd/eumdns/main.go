@@ -47,6 +47,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	mapRefresh := flag.Duration("map-refresh", 10*time.Second,
 		"MapMaker publish cadence (0 disables the background refresh loop)")
+	queueDepth := flag.Int("queue-depth", 0, "pending-query queue bound (0 = 4x workers)")
+	shed := flag.String("shed", "block", "overload policy when the queue is full: block, drop or refuse")
+	serveDeadline := flag.Duration("serve-deadline", 0,
+		"drop queued queries older than this before serving (0 disables)")
+	rrlRate := flag.Float64("rrl-rate", 0,
+		"response-rate limit per source prefix, responses/second (0 disables)")
+	rrlBurst := flag.Int("rrl-burst", 0, "response-rate limiter burst allowance (0 = default 8)")
+	staleMaxAge := flag.Duration("stale-max-age", 30*time.Second,
+		"serve-stale watchdog: map age entering degraded answers (0 disables)")
 	verbose := flag.Bool("verbose", false, "log every query (structured JSON on stderr)")
 	flag.Parse()
 
@@ -55,6 +64,13 @@ func main() {
 	cfg.Policy = strings.ToLower(*policyName)
 	cfg.World = config.WorldConfig{Seed: *seed, Blocks: *blocks}
 	cfg.Platform = config.PlatformConfig{Seed: *seed, Deployments: *deployments}
+	cfg.QueueDepth = *queueDepth
+	cfg.ShedPolicy = *shed
+	cfg.ServeDeadlineMillis = int(serveDeadline.Milliseconds())
+	cfg.RRLRate = *rrlRate
+	cfg.RRLBurst = *rrlBurst
+	cfg.StaleMaxAgeSeconds = int(staleMaxAge.Seconds())
+	cfg.MapRefreshSeconds = int(mapRefresh.Seconds())
 	if *configPath != "" {
 		var err error
 		if cfg, err = config.Load(*configPath); err != nil {
@@ -106,7 +122,11 @@ func main() {
 		handler = dnsserver.WithLogging(handler, slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 	}
 
-	srv, err := dnsserver.Listen(*addr, handler)
+	serverCfg, err := cfg.ServerConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := dnsserver.ListenConfig(*addr, handler, serverCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +170,10 @@ func buildHandler(cfg config.Config, system *mapping.System, platform *cdn.Platf
 		if err != nil {
 			return nil, "", err
 		}
+		// Arm the serve-stale watchdog: if the MapMaker stalls or dies, the
+		// authority degrades answers instead of serving an ancient map as
+		// fresh (see authority.DegradeConfig).
+		a.SetDegradeConfig(cfg.DegradeConfig())
 		return a, "authoritative for " + string(a.Zone()), nil
 	}
 	tl, err := authority.NewTopLevel(dnsmsg.Name(cfg.Zone), system)

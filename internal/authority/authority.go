@@ -11,8 +11,10 @@
 package authority
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -20,6 +22,81 @@ import (
 	"eum/internal/dnsmsg"
 	"eum/internal/mapping"
 )
+
+// DegradeLevel is a rung on the authority's degradation ladder, derived
+// from the age of the last successful map publish. The mapping system must
+// never be the reason a user gets no answer (§2.2, §6): as the control
+// plane falls further behind, the authority trades answer quality for
+// availability, and only refuses service when the map is so old that any
+// answer would be a guess about a world it no longer knows.
+type DegradeLevel int32
+
+const (
+	// DegradeFresh: the map is within its staleness budget; serve normally.
+	DegradeFresh DegradeLevel = iota
+	// DegradeStale: the map missed its refresh cadence. Serve the last
+	// good snapshot anyway, with the answer TTL clamped down (RFC 8767's
+	// serve-stale posture) so clients re-query soon after recovery.
+	DegradeStale
+	// DegradeFallback: the map is old enough that per-client measurements
+	// are distrusted; serve from the snapshot's generic fallback tables.
+	DegradeFallback
+	// DegradeServfail: the map is beyond salvage; answer SERVFAIL so
+	// clients fail over to another authority.
+	DegradeServfail
+)
+
+// String names the ladder rung.
+func (l DegradeLevel) String() string {
+	switch l {
+	case DegradeFresh:
+		return "fresh"
+	case DegradeStale:
+		return "stale"
+	case DegradeFallback:
+		return "fallback"
+	case DegradeServfail:
+		return "servfail"
+	}
+	return fmt.Sprintf("DegradeLevel(%d)", int32(l))
+}
+
+// DegradeConfig parameterises the staleness watchdog. The zero value
+// disables it (the authority serves whatever snapshot is current forever).
+// Thresholds are ages of the last successful snapshot publish.
+type DegradeConfig struct {
+	// StaleAfter enters serve-stale (clamped TTL). Deployments derive it
+	// from the MapMaker cadence — a few missed refreshes, e.g. 3x
+	// map_refresh_seconds. Zero disables the whole watchdog.
+	StaleAfter time.Duration
+	// FallbackAfter switches to the snapshot's fallback tables.
+	// Default 4x StaleAfter.
+	FallbackAfter time.Duration
+	// ServfailAfter refuses service. Default 16x StaleAfter.
+	ServfailAfter time.Duration
+	// StaleTTL is the answer-TTL ceiling once degraded (default 5s).
+	StaleTTL time.Duration
+}
+
+// withDefaults fills the derived thresholds.
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.StaleAfter <= 0 {
+		return DegradeConfig{}
+	}
+	if c.FallbackAfter <= 0 {
+		c.FallbackAfter = 4 * c.StaleAfter
+	}
+	if c.ServfailAfter <= 0 {
+		c.ServfailAfter = 16 * c.StaleAfter
+	}
+	if c.StaleTTL <= 0 {
+		c.StaleTTL = 5 * time.Second
+	}
+	return c
+}
+
+// errStaleMap aborts a mapping decision when the map aged past the ladder.
+var errStaleMap = errors.New("authority: map too stale to serve")
 
 // Authority answers DNS queries for one CDN zone using a mapping system.
 // It implements dnsserver.Handler and is safe for concurrent use.
@@ -36,6 +113,15 @@ type Authority struct {
 	// nowNanos is the cache clock, overridable in tests.
 	nowNanos func() int64
 
+	// degrade is the staleness watchdog configuration (see DegradeConfig);
+	// the zero value disables it. Set before serving begins.
+	degrade DegradeConfig
+	// epochDebug, when set, appends a TXT record carrying the decision's
+	// snapshot epoch to every mapping answer, so transport-level tests can
+	// verify end-to-end that each answer came from a map that was live
+	// while the query was being served. Set before serving begins.
+	epochDebug bool
+
 	// ECSQueries counts queries carrying a client-subnet option.
 	ECSQueries atomic.Uint64
 	// TotalQueries counts all well-formed in-zone queries.
@@ -44,6 +130,18 @@ type Authority struct {
 	CacheHits atomic.Uint64
 	// CacheMisses counts mapping queries that ran the full mapping path.
 	CacheMisses atomic.Uint64
+	// StaleAnswers counts answers served past StaleAfter (TTL clamped).
+	StaleAnswers atomic.Uint64
+	// FallbackAnswers counts answers served from the fallback tables.
+	FallbackAnswers atomic.Uint64
+	// DegradeServfails counts queries refused because the map aged past
+	// ServfailAfter.
+	DegradeServfails atomic.Uint64
+	// StaleEpochAnswers counts cache hits whose decision epoch disagreed
+	// with the snapshot epoch they were filed under. It is an invariant
+	// tripwire — the chaos harness asserts it stays 0 under continuous
+	// snapshot churn (every answer's epoch was live at decision time).
+	StaleEpochAnswers atomic.Uint64
 }
 
 // New creates an authority for the given zone (e.g. "cdn.example.net"),
@@ -67,6 +165,41 @@ func New(zone dnsmsg.Name, system *mapping.System) (*Authority, error) {
 // query through the full mapping path (for baseline benchmarks and tests).
 // Call it before serving begins.
 func (a *Authority) DisableAnswerCache() { a.cache = nil }
+
+// SetDegradeConfig arms the staleness watchdog (see DegradeConfig); a zero
+// StaleAfter disables it. Call before serving begins.
+func (a *Authority) SetDegradeConfig(cfg DegradeConfig) {
+	a.degrade = cfg.withDefaults()
+}
+
+// SetEpochDebug toggles the per-answer epoch TXT record (see the
+// epochDebug field). Call before serving begins; the record is for test
+// harnesses, not production responses.
+func (a *Authority) SetEpochDebug(on bool) { a.epochDebug = on }
+
+// Degradation reports the ladder rung the authority is currently serving
+// at, for observability. DegradeFresh when the watchdog is disabled.
+func (a *Authority) Degradation() DegradeLevel {
+	if a.degrade.StaleAfter <= 0 {
+		return DegradeFresh
+	}
+	return a.levelAt(a.nowNanos())
+}
+
+// levelAt maps the age of the last successful snapshot publish to a
+// ladder rung. Callers have checked that the watchdog is armed.
+func (a *Authority) levelAt(now int64) DegradeLevel {
+	age := time.Duration(now - a.system.PublishedAtNanos())
+	switch {
+	case age > a.degrade.ServfailAfter:
+		return DegradeServfail
+	case age > a.degrade.FallbackAfter:
+		return DegradeFallback
+	case age > a.degrade.StaleAfter:
+		return DegradeStale
+	}
+	return DegradeFresh
+}
 
 // Zone returns the served zone.
 func (a *Authority) Zone() dnsmsg.Name { return a.zone }
@@ -154,16 +287,29 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 		}
 	}
 
-	decision, err := a.decide(req)
+	decision, level, err := a.decide(req)
 	if err != nil {
 		resp.RCode = dnsmsg.RCodeServerFailure
 		return resp
 	}
 	ttl := uint32(decision.TTL.Seconds())
+	if level >= DegradeStale {
+		// Serve-stale posture (RFC 8767-style): the answer may rest on old
+		// measurements, so clamp its lifetime in downstream caches.
+		if clamp := uint32(a.degrade.StaleTTL.Seconds()); ttl > clamp {
+			ttl = clamp
+		}
+	}
 	for _, srv := range decision.Servers {
 		resp.Answers = append(resp.Answers, dnsmsg.RR{
 			Name: q.Name, Class: dnsmsg.ClassINET, TTL: ttl,
 			Data: &dnsmsg.A{Addr: srv.Addr},
+		})
+	}
+	if a.epochDebug {
+		resp.Additionals = append(resp.Additionals, dnsmsg.RR{
+			Name: q.Name, Class: dnsmsg.ClassINET, TTL: 0,
+			Data: &dnsmsg.TXT{Strings: []string{"epoch", strconv.FormatUint(decision.Epoch, 10)}},
 		})
 	}
 
@@ -188,25 +334,58 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 // snapshot, so the decision's epoch always matches the map it was derived
 // from and a concurrent snapshot swap can never mix an old answer with a
 // new epoch or vice versa.
-func (a *Authority) decide(req mapping.Request) (*mapping.Response, error) {
+//
+// When the staleness watchdog is armed, the map's publish age picks the
+// degradation rung first: stale maps still serve (the caller clamps the
+// TTL), fallback-age maps answer from the generic fallback tables
+// bypassing the cache, and beyond ServfailAfter the decision is refused.
+// None of this adds allocations or locks — one atomic load and a few
+// comparisons on the armed path, a single branch when disarmed.
+func (a *Authority) decide(req mapping.Request) (*mapping.Response, DegradeLevel, error) {
 	snap := a.system.Current()
+	level := DegradeFresh
+	var now int64
+	if a.cache != nil || a.degrade.StaleAfter > 0 {
+		now = a.nowNanos()
+	}
+	if a.degrade.StaleAfter > 0 {
+		switch level = a.levelAt(now); {
+		case level >= DegradeServfail:
+			a.DegradeServfails.Add(1)
+			return nil, level, errStaleMap
+		case level >= DegradeFallback:
+			// Generic geography-anchored answer; bypass the answer cache so
+			// degraded decisions never outlive recovery.
+			a.FallbackAnswers.Add(1)
+			req.Degraded = true
+			decision, err := a.system.MapAt(snap, req)
+			return decision, level, err
+		case level == DegradeStale:
+			a.StaleAnswers.Add(1)
+		}
+	}
 	if a.cache == nil {
-		return a.system.MapAt(snap, req)
+		decision, err := a.system.MapAt(snap, req)
+		return decision, level, err
 	}
 	key := a.cacheKey(snap, req)
 	epoch := snap.Epoch()
-	now := a.nowNanos()
 	if decision := a.cache.get(key, epoch, now); decision != nil {
+		if decision.Epoch != epoch {
+			// Invariant tripwire: a hit must carry the epoch it was filed
+			// under. See StaleEpochAnswers.
+			a.StaleEpochAnswers.Add(1)
+		}
 		a.CacheHits.Add(1)
-		return decision, nil
+		return decision, level, nil
 	}
 	decision, err := a.system.MapAt(snap, req)
 	if err != nil {
-		return nil, err
+		return nil, level, err
 	}
 	a.CacheMisses.Add(1)
 	a.cache.put(key, epoch, now, now+decision.TTL.Nanoseconds(), decision)
-	return decision, nil
+	return decision, level, nil
 }
 
 // cacheKey derives the answer-cache key for a mapping request: under the

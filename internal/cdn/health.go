@@ -78,6 +78,12 @@ func splitmix(z uint64) uint64 {
 // injector about every server and updates platform liveness, notifying the
 // listener about deployments whose live-server set changed (so scoring
 // caches can be invalidated).
+//
+// Liveness transitions are flap-damped: a server only changes state after
+// flapK consecutive probes disagree with its current state, so a flapping
+// injector (or a machine rebooting in a loop) cannot thrash the change
+// feed with a map rebuild per probe. The default threshold of 1 keeps the
+// legacy react-immediately behaviour.
 type Monitor struct {
 	platform *Platform
 	faults   FaultInjector
@@ -87,6 +93,15 @@ type Monitor struct {
 	last time.Time
 	// probes counts liveness probes issued.
 	probes uint64
+	// transitions counts liveness flips actually applied.
+	transitions uint64
+	// flapK is how many consecutive probes must disagree with a server's
+	// current liveness before it flips (>= 1).
+	flapK int
+	// streaks tracks, per server ID, how many consecutive probes have
+	// disagreed with its current state. Entries are removed as soon as a
+	// probe agrees again or the server flips.
+	streaks map[uint64]int
 }
 
 // NewMonitor creates a liveness monitor. onChange may be nil. The interval
@@ -98,11 +113,33 @@ func NewMonitor(p *Platform, f FaultInjector, interval time.Duration, onChange f
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
-	return &Monitor{platform: p, faults: f, interval: interval, onChange: onChange}, nil
+	return &Monitor{
+		platform: p, faults: f, interval: interval, onChange: onChange,
+		flapK:   1,
+		streaks: map[uint64]int{},
+	}, nil
 }
 
 // Probes returns the number of liveness probes issued so far.
 func (m *Monitor) Probes() uint64 { return m.probes }
+
+// Transitions returns how many server liveness flips have been applied.
+func (m *Monitor) Transitions() uint64 { return m.transitions }
+
+// SetFlapThreshold sets how many consecutive probes must disagree with a
+// server's current liveness before the monitor flips it (flap damping).
+// Values below 1 are clamped to 1 (flip on the first disagreeing probe,
+// the legacy behaviour). Call before the first Tick; the monitor is driven
+// from a single goroutine.
+func (m *Monitor) SetFlapThreshold(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.flapK = k
+}
+
+// FlapThreshold returns the configured flap-damping threshold.
+func (m *Monitor) FlapThreshold() int { return m.flapK }
 
 // Tick probes all servers if the interval has elapsed, returning how many
 // deployments changed liveness state (and false if it was not yet time).
@@ -116,10 +153,23 @@ func (m *Monitor) Tick(now time.Time) (changed int, probed bool) {
 		for _, s := range d.Servers {
 			m.probes++
 			wantAlive := !m.faults.Failed(s, now)
-			if s.Alive() != wantAlive {
-				s.SetAlive(wantAlive)
-				depChanged = true
+			if s.Alive() == wantAlive {
+				if len(m.streaks) > 0 {
+					delete(m.streaks, s.ID)
+				}
+				continue
 			}
+			if m.flapK > 1 {
+				streak := m.streaks[s.ID] + 1
+				if streak < m.flapK {
+					m.streaks[s.ID] = streak
+					continue
+				}
+				delete(m.streaks, s.ID)
+			}
+			s.SetAlive(wantAlive)
+			m.transitions++
+			depChanged = true
 		}
 		if depChanged {
 			changed++

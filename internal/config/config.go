@@ -12,7 +12,10 @@ import (
 	"net/netip"
 	"os"
 	"strings"
+	"time"
 
+	"eum/internal/authority"
+	"eum/internal/dnsserver"
 	"eum/internal/mapping"
 )
 
@@ -28,6 +31,31 @@ type Config struct {
 	// often the control plane rebuilds and swaps in a fresh map snapshot
 	// even without health or policy signals (default 10).
 	MapRefreshSeconds int `json:"map_refresh_seconds,omitempty"`
+
+	// QueueDepth bounds the DNS server's pending-query queue; 0 keeps the
+	// server default (4x workers).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// ShedPolicy is what happens to queries arriving while the queue is
+	// full: "block", "drop" or "refuse" (default "block").
+	ShedPolicy string `json:"shed_policy,omitempty"`
+	// ServeDeadlineMillis drops queued queries older than this before
+	// serving them; 0 disables the deadline.
+	ServeDeadlineMillis int `json:"serve_deadline_ms,omitempty"`
+	// RRLRate enables per-source-prefix response-rate limiting at this
+	// many responses per second; 0 disables it.
+	RRLRate float64 `json:"rrl_rate,omitempty"`
+	// RRLBurst is the rate limiter's burst allowance (requires rrl_rate;
+	// 0 keeps the server default of 8).
+	RRLBurst int `json:"rrl_burst,omitempty"`
+	// StaleMaxAgeSeconds arms the authority's staleness watchdog: a map
+	// older than this serves stale (clamped TTL), then falls back, then
+	// SERVFAILs (see authority.DegradeConfig). 0 disables the watchdog;
+	// default 30. Must be at least map_refresh_seconds, or every map
+	// would count as stale the moment it published.
+	StaleMaxAgeSeconds int `json:"stale_max_age_seconds,omitempty"`
+	// HealthFlapThreshold is how many consecutive disagreeing probes flip
+	// a server's liveness (flap damping); default 3, minimum 1.
+	HealthFlapThreshold int `json:"health_flap_threshold,omitempty"`
 
 	// World parameterises the synthetic Internet.
 	World WorldConfig `json:"world"`
@@ -69,12 +97,15 @@ type SiteConfig struct {
 // Default returns a runnable default configuration.
 func Default() Config {
 	return Config{
-		Zone:              "cdn.example.net",
-		Policy:            "eu",
-		TTLSeconds:        20,
-		MapRefreshSeconds: 10,
-		World:             WorldConfig{Seed: 1, Blocks: 8000},
-		Platform:          PlatformConfig{Seed: 1, Deployments: 600},
+		Zone:                "cdn.example.net",
+		Policy:              "eu",
+		TTLSeconds:          20,
+		MapRefreshSeconds:   10,
+		ShedPolicy:          "block",
+		StaleMaxAgeSeconds:  30,
+		HealthFlapThreshold: 3,
+		World:               WorldConfig{Seed: 1, Blocks: 8000},
+		Platform:            PlatformConfig{Seed: 1, Deployments: 600},
 	}
 }
 
@@ -115,6 +146,34 @@ func (c Config) Validate() error {
 	}
 	if c.MapRefreshSeconds < 0 {
 		return fmt.Errorf("config: negative map_refresh_seconds")
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("config: negative queue_depth")
+	}
+	if _, err := dnsserver.ParseShedPolicy(c.ShedPolicy); err != nil {
+		return fmt.Errorf("config: shed_policy: %w", err)
+	}
+	if c.ServeDeadlineMillis < 0 {
+		return fmt.Errorf("config: negative serve_deadline_ms")
+	}
+	if c.RRLRate < 0 {
+		return fmt.Errorf("config: negative rrl_rate")
+	}
+	if c.RRLBurst < 0 {
+		return fmt.Errorf("config: negative rrl_burst")
+	}
+	if c.RRLBurst > 0 && c.RRLRate == 0 {
+		return fmt.Errorf("config: rrl_burst set without rrl_rate (the limiter is disabled)")
+	}
+	if c.StaleMaxAgeSeconds < 0 {
+		return fmt.Errorf("config: negative stale_max_age_seconds")
+	}
+	if c.StaleMaxAgeSeconds > 0 && c.StaleMaxAgeSeconds < c.MapRefreshSeconds {
+		return fmt.Errorf("config: stale_max_age_seconds (%d) below map_refresh_seconds (%d): every map would be stale the moment it published",
+			c.StaleMaxAgeSeconds, c.MapRefreshSeconds)
+	}
+	if c.HealthFlapThreshold < 0 {
+		return fmt.Errorf("config: negative health_flap_threshold")
 	}
 	if c.World.Blocks <= 0 {
 		return fmt.Errorf("config: world.blocks must be positive")
@@ -161,6 +220,30 @@ func (c Config) MappingPolicy() (mapping.Policy, error) {
 		return mapping.ClientAwareNS, nil
 	}
 	return 0, fmt.Errorf("config: unknown policy %q (want ns, eu, or cans)", c.Policy)
+}
+
+// ServerConfig translates the serving-plane knobs into a dnsserver.Config
+// (concurrency fields left at server defaults).
+func (c Config) ServerConfig() (dnsserver.Config, error) {
+	shed, err := dnsserver.ParseShedPolicy(c.ShedPolicy)
+	if err != nil {
+		return dnsserver.Config{}, fmt.Errorf("config: shed_policy: %w", err)
+	}
+	return dnsserver.Config{
+		QueueDepth:    c.QueueDepth,
+		OnOverload:    shed,
+		ServeDeadline: time.Duration(c.ServeDeadlineMillis) * time.Millisecond,
+		RRLRate:       c.RRLRate,
+		RRLBurst:      c.RRLBurst,
+	}, nil
+}
+
+// DegradeConfig translates the staleness knob into the authority's
+// watchdog configuration (derived thresholds take the authority defaults).
+func (c Config) DegradeConfig() authority.DegradeConfig {
+	return authority.DegradeConfig{
+		StaleAfter: time.Duration(c.StaleMaxAgeSeconds) * time.Second,
+	}
 }
 
 // Save writes the configuration as formatted JSON.

@@ -4,7 +4,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"eum/internal/dnsserver"
 	"eum/internal/mapping"
 )
 
@@ -88,6 +90,18 @@ func TestValidateErrors(t *testing.T) {
 		{"site-bad-index", func(c *Config) {
 			c.Sites = []SiteConfig{{Host: "n.cdn.example.net", Addr: "10.0.0.1", DeploymentIndex: 10_000}}
 		}},
+		{"negative-queue-depth", func(c *Config) { c.QueueDepth = -1 }},
+		{"bad-shed-policy", func(c *Config) { c.ShedPolicy = "panic" }},
+		{"negative-serve-deadline", func(c *Config) { c.ServeDeadlineMillis = -5 }},
+		{"negative-rrl-rate", func(c *Config) { c.RRLRate = -1 }},
+		{"negative-rrl-burst", func(c *Config) { c.RRLBurst = -1 }},
+		{"rrl-burst-without-rate", func(c *Config) { c.RRLRate = 0; c.RRLBurst = 4 }},
+		{"negative-stale-max-age", func(c *Config) { c.StaleMaxAgeSeconds = -1 }},
+		{"stale-age-below-refresh", func(c *Config) {
+			c.MapRefreshSeconds = 60
+			c.StaleMaxAgeSeconds = 10
+		}},
+		{"negative-flap-threshold", func(c *Config) { c.HealthFlapThreshold = -1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,5 +134,51 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load("/nonexistent/eum.json"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestServingKnobsTranslate(t *testing.T) {
+	cfg := Default()
+	cfg.QueueDepth = 128
+	cfg.ShedPolicy = "refuse"
+	cfg.ServeDeadlineMillis = 250
+	cfg.RRLRate = 20
+	cfg.RRLBurst = 5
+	cfg.StaleMaxAgeSeconds = 45
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := cfg.ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.QueueDepth != 128 || sc.OnOverload != dnsserver.ShedRefuse {
+		t.Errorf("server config = %+v", sc)
+	}
+	if sc.ServeDeadline != 250*time.Millisecond {
+		t.Errorf("serve deadline = %v", sc.ServeDeadline)
+	}
+	if sc.RRLRate != 20 || sc.RRLBurst != 5 {
+		t.Errorf("rrl = %v/%d", sc.RRLRate, sc.RRLBurst)
+	}
+
+	dc := cfg.DegradeConfig()
+	if dc.StaleAfter != 45*time.Second {
+		t.Errorf("stale after = %v", dc.StaleAfter)
+	}
+}
+
+func TestDefaultServingKnobs(t *testing.T) {
+	cfg := Default()
+	if cfg.StaleMaxAgeSeconds != 30 || cfg.HealthFlapThreshold != 3 || cfg.ShedPolicy != "block" {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	sc, err := cfg.ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.OnOverload != dnsserver.ShedBlock || sc.RRLRate != 0 {
+		t.Errorf("default server config = %+v", sc)
 	}
 }

@@ -1,0 +1,98 @@
+package dnsclient
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"eum/internal/dnsmsg"
+)
+
+func TestBackoffDelayDeterministic(t *testing.T) {
+	c := &Client{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond}
+	for a := 1; a <= 6; a++ {
+		d1 := c.backoffDelay(a, 42)
+		d2 := c.backoffDelay(a, 42)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic (%v vs %v)", a, d1, d2)
+		}
+		// Jitter stays in [0.5, 1.5) of the capped exponential step.
+		base := 10 * time.Millisecond << (a - 1)
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if d1 < base/2 || d1 >= base+base/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", a, d1, base/2, base+base/2)
+		}
+	}
+	if d := c.backoffDelay(3, 1); d == c.backoffDelay(3, 2) {
+		t.Fatal("different seeds produced identical jitter (suspicious)")
+	}
+	if (&Client{}).backoffDelay(3, 1) != 0 {
+		t.Fatal("zero BackoffBase must disable backoff")
+	}
+}
+
+func TestBackoffGrowthCapped(t *testing.T) {
+	c := &Client{BackoffBase: 10 * time.Millisecond} // default cap 16x
+	d := c.backoffDelay(20, 7)
+	if d >= 240*time.Millisecond { // 160ms cap * 1.5 jitter bound
+		t.Fatalf("delay %v escaped the default cap", d)
+	}
+}
+
+// TestRetriesTransientSocketErrors: a UDP query to a dead port gets an
+// ICMP-derived connection-refused on the connected socket — a socket
+// error, not a timeout — and the client must still burn through its
+// attempt budget rather than give up on the first one.
+func TestRetriesTransientSocketErrors(t *testing.T) {
+	// Grab a port with nothing listening by binding and closing it.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	pc.Close()
+
+	c := &Client{Timeout: 100 * time.Millisecond, Retries: 2, BackoffBase: time.Millisecond}
+	_, err = c.Lookup(context.Background(), addr, "dead.example.net", dnsmsg.TypeA, netip.Prefix{})
+	if err == nil {
+		t.Fatal("lookup against a dead port succeeded")
+	}
+	if got := c.Stats.Attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (socket errors must be retried)", got)
+	}
+	if got := c.Stats.Retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+// TestBackoffRespectsContextBudget: attempts whose backoff delay would
+// overrun the context deadline are not made at all.
+func TestBackoffRespectsContextBudget(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	pc.Close()
+
+	c := &Client{
+		Timeout: 50 * time.Millisecond, Retries: 10,
+		BackoffBase: 400 * time.Millisecond, // first retry alone blows the budget
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Lookup(ctx, addr, "budget.example.net", dnsmsg.TypeA, netip.Prefix{}); err == nil {
+		t.Fatal("lookup against a dead port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("lookup ran %v past a 200ms budget", elapsed)
+	}
+	if got := c.Stats.Attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (backoff would overrun the deadline)", got)
+	}
+}

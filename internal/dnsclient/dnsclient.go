@@ -1,21 +1,51 @@
 // Package dnsclient implements a UDP stub resolver client: it sends
-// dnsmsg queries to a server, matches responses by ID, and retries on
-// timeout. The digecs command builds on it to act like
-// "dig +subnet=<prefix>".
+// dnsmsg queries to a server, matches responses by ID, and retries with
+// exponential backoff on timeouts and transient socket errors. The digecs
+// command builds on it to act like "dig +subnet=<prefix>".
 package dnsclient
 
 import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"eum/internal/dnsmsg"
 )
+
+// ErrTCPFallbackFailed marks a response that came back truncated over UDP
+// and whose TCP retry then failed: the returned message is a valid but
+// partial answer. Callers that need the full record set must treat the
+// exchange as failed; callers that only need the answer's existence may
+// use the truncated response. Test with errors.Is.
+var ErrTCPFallbackFailed = errors.New("dnsclient: TCP fallback after truncation failed")
+
+// ContextDialer dials connections for the client — the subset of
+// net.Dialer the client uses, as an interface so tests can interpose a
+// fault-injecting transport (see internal/faultnet).
+type ContextDialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// Stats counts client activity. All fields are updated atomically and may
+// be read at any time.
+type Stats struct {
+	// Attempts counts individual UDP query attempts (including the first).
+	Attempts atomic.Uint64
+	// Retries counts attempts after the first.
+	Retries atomic.Uint64
+	// TCPFallbacks counts truncated UDP responses retried over TCP.
+	TCPFallbacks atomic.Uint64
+	// TCPFallbackFailures counts TCP retries that themselves failed,
+	// surfacing a truncated UDP response with ErrTCPFallbackFailed.
+	TCPFallbackFailures atomic.Uint64
+}
 
 // Client issues DNS queries over UDP, falling back to TCP when a response
 // arrives truncated (TC=1). The zero value is usable; fields tune
@@ -23,16 +53,86 @@ import (
 type Client struct {
 	// Timeout is the per-attempt read deadline (default 2s).
 	Timeout time.Duration
-	// Retries is how many additional attempts follow a timeout (default 2).
+	// Retries is how many additional attempts may follow a failed one
+	// (default 2). Timeouts and transient socket errors (e.g. ECONNREFUSED
+	// surfaced on an unconnected UDP socket, a blip from an interposed
+	// transport) are both retried; context cancellation is not.
 	Retries int
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax. Zero disables backoff (retry
+	// immediately, the legacy behaviour).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (default 16x BackoffBase).
+	BackoffMax time.Duration
+	// Seed makes the backoff jitter deterministic; 0 derives it from the
+	// query ID (random per query, but reproducible if the caller fixes the
+	// ID).
+	Seed uint64
 	// DisableTCPFallback keeps truncated responses as-is instead of
 	// retrying over TCP.
 	DisableTCPFallback bool
+	// Dialer, when non-nil, dials the client's UDP and TCP connections
+	// instead of a zero net.Dialer — the hook for fault-injecting
+	// transports.
+	Dialer ContextDialer
+	// Stats exposes live counters.
+	Stats Stats
+}
+
+// defaultDialer is shared by every client without an injected Dialer, so
+// the default path does not allocate per exchange.
+var defaultDialer = &net.Dialer{}
+
+func (c *Client) dialer() ContextDialer {
+	if c.Dialer != nil {
+		return c.Dialer
+	}
+	return defaultDialer
+}
+
+// backoffDelay returns the jittered exponential delay before attempt a
+// (a >= 1 is the first retry): BackoffBase << (a-1), capped at BackoffMax,
+// scaled by a deterministic jitter in [0.5, 1.5) so synchronized clients
+// (a fleet of simulated resolvers, or retries after a shared outage) do
+// not retry in lockstep.
+func (c *Client) backoffDelay(a int, seed uint64) time.Duration {
+	if c.BackoffBase <= 0 {
+		return 0
+	}
+	max := c.BackoffMax
+	if max <= 0 {
+		max = 16 * c.BackoffBase
+	}
+	d := c.BackoffBase
+	for i := 1; i < a && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// splitmix64 of (seed, attempt) -> uniform in [0.5, 1.5).
+	h := splitmix(seed ^ (uint64(a) * 0x9e3779b97f4a7c15))
+	jitter := 0.5 + float64(h>>11)/float64(1<<53)
+	return time.Duration(float64(d) * jitter)
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Exchange sends query to server ("host:port") and returns the response.
 // The query's ID is assigned randomly if zero. Responses with mismatched
 // ID or question are discarded and the read continues until the deadline.
+//
+// Failed attempts are retried up to Retries times with exponential,
+// deterministically jittered backoff; an attempt whose backoff delay would
+// overrun the context deadline is not made at all (the budget is spent on
+// attempts that can still finish). If a truncated UDP response's TCP retry
+// fails, the truncated response is returned along with an error wrapping
+// ErrTCPFallbackFailed — never silently as a complete answer.
 func (c *Client) Exchange(ctx context.Context, server string, query *dnsmsg.Message) (*dnsmsg.Message, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -45,6 +145,10 @@ func (c *Client) Exchange(ctx context.Context, server string, query *dnsmsg.Mess
 	if query.ID == 0 {
 		query.ID = randomID()
 	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = uint64(query.ID)
+	}
 	wire, err := query.Pack()
 	if err != nil {
 		return nil, err
@@ -55,16 +159,42 @@ func (c *Client) Exchange(ctx context.Context, server string, query *dnsmsg.Mess
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if a > 0 {
+			if delay := c.backoffDelay(a, seed); delay > 0 {
+				if dl, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(dl) {
+					// The backoff alone would blow the budget; stop here
+					// rather than sleeping into a guaranteed failure.
+					break
+				}
+				t := time.NewTimer(delay)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				case <-t.C:
+				}
+			}
+			c.Stats.Retries.Add(1)
+		}
+		c.Stats.Attempts.Add(1)
 		resp, err := c.exchangeOnce(ctx, server, query, wire, timeout)
 		if err == nil {
 			if resp.Truncated && !c.DisableTCPFallback {
-				if tcpResp, tcpErr := c.exchangeTCP(ctx, server, query, wire, timeout); tcpErr == nil {
+				c.Stats.TCPFallbacks.Add(1)
+				tcpResp, tcpErr := c.exchangeTCP(ctx, server, query, wire, timeout)
+				if tcpErr == nil {
 					return tcpResp, nil
 				}
-				// TCP failed: the truncated UDP response is still a
-				// valid (if partial) answer; return it.
+				// TCP failed: the truncated UDP response is still valid but
+				// partial. Surface that honestly instead of passing it off
+				// as a complete answer.
+				c.Stats.TCPFallbackFailures.Add(1)
+				return resp, fmt.Errorf("%w: %v", ErrTCPFallbackFailed, tcpErr)
 			}
 			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 		lastErr = err
 	}
@@ -73,8 +203,7 @@ func (c *Client) Exchange(ctx context.Context, server string, query *dnsmsg.Mess
 
 // exchangeTCP retries the query over TCP with RFC 1035 length framing.
 func (c *Client) exchangeTCP(ctx context.Context, server string, query *dnsmsg.Message, wire []byte, timeout time.Duration) (*dnsmsg.Message, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", server)
+	conn, err := c.dialer().DialContext(ctx, "tcp", server)
 	if err != nil {
 		return nil, err
 	}
@@ -109,8 +238,7 @@ func (c *Client) exchangeTCP(ctx context.Context, server string, query *dnsmsg.M
 }
 
 func (c *Client) exchangeOnce(ctx context.Context, server string, query *dnsmsg.Message, wire []byte, timeout time.Duration) (*dnsmsg.Message, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "udp", server)
+	conn, err := c.dialer().DialContext(ctx, "udp", server)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eum/internal/dnsmsg"
 )
@@ -56,6 +57,66 @@ type Metrics struct {
 	Malformed atomic.Uint64
 	// Dropped is the number of queries the handler chose not to answer.
 	Dropped atomic.Uint64
+	// Shed is the number of datagrams rejected at enqueue because the
+	// pending-work queue was full (ShedDrop and ShedRefuse policies).
+	Shed atomic.Uint64
+	// DeadlineDrops is the number of queued queries discarded because they
+	// aged past the serve deadline before a worker picked them up.
+	DeadlineDrops atomic.Uint64
+	// RateLimited is the number of queries suppressed by response-rate
+	// limiting (see Config.RRLRate).
+	RateLimited atomic.Uint64
+	// Slips is the subset of RateLimited answered with a minimal TC=1
+	// response so legitimate clients can retry over TCP.
+	Slips atomic.Uint64
+	// HandlerPanics is the number of handler panics recovered by the serve
+	// loop (each answered with SERVFAIL).
+	HandlerPanics atomic.Uint64
+}
+
+// ShedPolicy selects what happens to a datagram that arrives while the
+// pending-work queue is full — the server's explicit overload posture.
+type ShedPolicy int
+
+const (
+	// ShedBlock: readers block until a worker frees a slot. Backpressure
+	// lands in the kernel socket buffer, which drops datagrams silently
+	// once it fills. This is the legacy default.
+	ShedBlock ShedPolicy = iota
+	// ShedDrop: the datagram is discarded immediately and counted, keeping
+	// readers draining the socket so the kernel buffer holds fresh traffic
+	// instead of a stale backlog.
+	ShedDrop
+	// ShedRefuse: as ShedDrop, but well-formed queries get a minimal
+	// REFUSED response so resolvers fail over to another authority at once
+	// instead of timing out.
+	ShedRefuse
+)
+
+// String names the policy (the inverse of ParseShedPolicy).
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedBlock:
+		return "block"
+	case ShedDrop:
+		return "drop"
+	case ShedRefuse:
+		return "refuse"
+	}
+	return fmt.Sprintf("ShedPolicy(%d)", int(p))
+}
+
+// ParseShedPolicy maps a config/flag string to a ShedPolicy.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "", "block":
+		return ShedBlock, nil
+	case "drop":
+		return ShedDrop, nil
+	case "refuse":
+		return ShedRefuse, nil
+	}
+	return 0, fmt.Errorf("dnsserver: unknown shed policy %q (want block, drop or refuse)", s)
 }
 
 // maxAdvertisedUDPSize caps the EDNS UDP payload size the server honours.
@@ -87,6 +148,26 @@ type Config struct {
 	// loop. It exists so benchmarks can compare the pooled loop against
 	// the old model; production servers should leave it false.
 	GoroutinePerPacket bool
+	// OnOverload selects what happens to datagrams arriving while the
+	// queue is full. Default ShedBlock (kernel-buffer backpressure).
+	OnOverload ShedPolicy
+	// ServeDeadline bounds how long a query may wait in the queue before a
+	// worker starts on it; overdue queries are dropped (DeadlineDrops), on
+	// the theory that the resolver has already retried or failed over and
+	// a late answer only wastes a worker. Zero disables the deadline.
+	ServeDeadline time.Duration
+	// RRLRate enables response-rate limiting when positive: each source
+	// prefix (IPv4 /24, IPv6 /56) is allowed this many responses per
+	// second, smoothed by a token-bucket (GCRA) with RRLBurst tolerance.
+	// Rate-limited queries are dropped except every RRLSlip-th one, which
+	// gets a minimal TC=1 response so legitimate clients behind the prefix
+	// can fall back to TCP (the standard RRL "slip" escape hatch).
+	RRLRate float64
+	// RRLBurst is the burst allowance in responses. Default 8.
+	RRLBurst int
+	// RRLSlip answers every n-th rate-limited query with TC=1; 0 uses the
+	// default of 2, negative disables slipping entirely.
+	RRLSlip int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,16 +180,25 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
 	}
+	if c.RRLBurst <= 0 {
+		c.RRLBurst = 8
+	}
+	if c.RRLSlip == 0 {
+		c.RRLSlip = 2
+	}
 	return c
 }
 
 // packet is one received datagram travelling from a reader to a worker.
 // buf is a pooled full-size buffer (passed by pointer so re-pooling it
 // does not re-box the slice header); the datagram occupies (*buf)[:n].
+// enq is the enqueue instant (unix nanoseconds), stamped only when a serve
+// deadline is configured.
 type packet struct {
 	buf   *[]byte
 	n     int
 	raddr netip.AddrPort
+	enq   int64
 }
 
 // Server is a UDP DNS server.
@@ -119,6 +209,9 @@ type Server struct {
 	udpConn *net.UDPConn
 	handler Handler
 	cfg     Config
+	// rrl is the per-source-prefix response-rate limiter, nil unless
+	// Config.RRLRate is positive.
+	rrl *rateLimiter
 
 	// Metrics exposes live counters.
 	Metrics Metrics
@@ -129,7 +222,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
-	wg     sync.WaitGroup // in-flight packets (goroutine-per-packet mode)
+	wg     sync.WaitGroup // the serve loop and its in-flight packets
 }
 
 // Listen binds a UDP socket on addr (e.g. "127.0.0.1:0") and returns a
@@ -141,15 +234,34 @@ func Listen(addr string, h Handler) (*Server, error) {
 
 // ListenConfig is Listen with an explicit concurrency configuration.
 func ListenConfig(addr string, h Handler, cfg Config) (*Server, error) {
-	if h == nil {
-		return nil, errors.New("dnsserver: nil handler")
-	}
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: %w", err)
 	}
+	s, err := NewConn(conn, h, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewConn builds a server over an already-open packet connection — the
+// entry point for tests that interpose a fault-injecting transport (see
+// internal/faultnet) between the server and the wire. The server owns the
+// connection from here on; Close closes it.
+func NewConn(conn net.PacketConn, h Handler, cfg Config) (*Server, error) {
+	if h == nil {
+		return nil, errors.New("dnsserver: nil handler")
+	}
+	if conn == nil {
+		return nil, errors.New("dnsserver: nil conn")
+	}
 	s := &Server{conn: conn, handler: h, cfg: cfg.withDefaults()}
 	s.udpConn, _ = conn.(*net.UDPConn)
+	if s.cfg.RRLRate > 0 {
+		s.rrl = newRateLimiter(s.cfg.RRLRate, s.cfg.RRLBurst, s.cfg.RRLSlip)
+	}
 	s.bufPool.New = func() any {
 		b := make([]byte, maxPacketSize)
 		return &b
@@ -184,7 +296,14 @@ func (s *Server) Serve() error {
 		go func() {
 			defer workers.Done()
 			for pkt := range queue {
-				s.handlePacket(pkt.raddr, (*pkt.buf)[:pkt.n])
+				if pkt.enq != 0 && time.Now().UnixNano()-pkt.enq > int64(s.cfg.ServeDeadline) {
+					// The query aged out in the queue: the resolver has
+					// retried or failed over by now, so a late answer only
+					// wastes the worker.
+					s.Metrics.DeadlineDrops.Add(1)
+				} else {
+					s.handlePacket(pkt.raddr, (*pkt.buf)[:pkt.n])
+				}
 				s.bufPool.Put(pkt.buf)
 			}
 		}()
@@ -229,13 +348,55 @@ func (s *Server) readLoop(queue chan<- packet) error {
 			s.bufPool.Put(bp)
 			continue
 		}
-		queue <- packet{buf: bp, n: n, raddr: raddr}
+		pkt := packet{buf: bp, n: n, raddr: raddr}
+		if s.cfg.ServeDeadline > 0 {
+			pkt.enq = time.Now().UnixNano()
+		}
+		if s.cfg.OnOverload == ShedBlock {
+			queue <- pkt
+			continue
+		}
+		select {
+		case queue <- pkt:
+		default:
+			// Queue full: shed here, explicitly and counted, instead of
+			// letting the backlog smear into the kernel buffer. The reader
+			// goes straight back to ReadFrom, so the socket keeps draining
+			// fresh traffic.
+			s.Metrics.Shed.Add(1)
+			if s.cfg.OnOverload == ShedRefuse {
+				s.refuse(raddr, (*bp)[:n])
+			}
+			s.bufPool.Put(bp)
+		}
+	}
+}
+
+// refuse answers a shed datagram with a minimal REFUSED response, so the
+// resolver fails over to another authority immediately instead of burning
+// its timeout. Runs on the shed path only; allocations are acceptable.
+func (s *Server) refuse(raddr netip.AddrPort, pkt []byte) {
+	query := s.msgPool.Get().(*dnsmsg.Message)
+	defer s.msgPool.Put(query)
+	if err := dnsmsg.UnpackInto(query, pkt); err != nil || query.Response {
+		return
+	}
+	resp := query.Reply()
+	resp.RCode = dnsmsg.RCodeRefused
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	if s.writeTo(wire, raddr) == nil {
+		s.Metrics.Responses.Add(1)
 	}
 }
 
 // servePerPacket is the legacy serve loop: one buffer copy and one spawned
 // goroutine per datagram. Kept for baseline comparison benchmarks.
 func (s *Server) servePerPacket() error {
+	s.wg.Add(1)
+	defer s.wg.Done()
 	buf := make([]byte, maxPacketSize)
 	for {
 		n, raddr, err := s.readFrom(buf)
@@ -296,7 +457,14 @@ func (s *Server) handlePacket(raddr netip.AddrPort, pkt []byte) {
 		return
 	}
 	s.Metrics.Queries.Add(1)
-	resp := s.handler.ServeDNS(raddr, query)
+	if s.rrl != nil && !s.rrl.allow(raddr.Addr(), time.Now().UnixNano()) {
+		s.Metrics.RateLimited.Add(1)
+		if s.rrl.shouldSlip() {
+			s.slip(raddr, query)
+		}
+		return
+	}
+	resp := safeServe(s.handler, &s.Metrics, raddr, query)
 	if resp == nil {
 		s.Metrics.Dropped.Add(1)
 		return
@@ -337,7 +505,44 @@ func (s *Server) handlePacket(raddr netip.AddrPort, pkt []byte) {
 	}
 }
 
-// Close stops the server and waits for in-flight handlers.
+// slip answers a rate-limited query with a minimal TC=1 response: no
+// records, just the truncation bit, steering a legitimate client behind
+// the offending prefix to retry over TCP (where its source address is
+// verified by the handshake). Runs on the limited path only.
+func (s *Server) slip(raddr netip.AddrPort, query *dnsmsg.Message) {
+	resp := query.Reply()
+	resp.Truncated = true
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	if s.writeTo(wire, raddr) == nil {
+		s.Metrics.Slips.Add(1)
+		s.Metrics.Responses.Add(1)
+	}
+}
+
+// safeServe invokes the handler, converting a panic into a SERVFAIL
+// response: one misbehaving query must not take down the serve loop (or, in
+// goroutine-per-packet mode, the process). Shared by the UDP and TCP
+// servers.
+func safeServe(h Handler, m *Metrics, raddr netip.AddrPort, query *dnsmsg.Message) (resp *dnsmsg.Message) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.HandlerPanics.Add(1)
+			r := query.Reply()
+			r.RCode = dnsmsg.RCodeServerFailure
+			resp = r
+		}
+	}()
+	return h.ServeDNS(raddr, query)
+}
+
+// Close shuts the server down gracefully: readers are woken and stop
+// accepting new datagrams, queued and in-flight queries drain through the
+// workers (their responses still go out), and only then is the socket
+// closed. Late datagrams arriving during the drain stay in the kernel
+// buffer and die with the socket.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -346,9 +551,12 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	err := s.conn.Close()
+	// A read deadline in the past wakes every reader blocked in ReadFrom
+	// without tearing down the socket, so workers can still write
+	// responses for queries already accepted.
+	_ = s.conn.SetReadDeadline(time.Now())
 	s.wg.Wait()
-	return err
+	return s.conn.Close()
 }
 
 func remoteAddrPort(a net.Addr) (netip.AddrPort, bool) {

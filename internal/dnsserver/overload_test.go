@@ -1,0 +1,246 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"eum/internal/dnsmsg"
+)
+
+// gatedHandler blocks every query on release, so tests can pin workers and
+// fill the queue deterministically.
+type gatedHandler struct {
+	release chan struct{}
+}
+
+func (h *gatedHandler) ServeDNS(_ netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+	<-h.release
+	return q.Reply()
+}
+
+// startConfigServer is startServer with an explicit Config.
+func startConfigServer(t *testing.T, h Handler, cfg Config) *Server {
+	t.Helper()
+	s, err := ListenConfig("127.0.0.1:0", h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve() }()
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// floodUntil sends packed queries from conn until cond holds or the
+// deadline passes, reporting whether cond held.
+func floodUntil(t *testing.T, conn net.Conn, wire []byte, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 16; i++ {
+			if _, err := conn.Write(wire); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+func TestShedDropCountsOverflow(t *testing.T) {
+	h := &gatedHandler{release: make(chan struct{})}
+	s := startConfigServer(t, h, Config{
+		Readers: 1, Workers: 1, QueueDepth: 1, OnOverload: ShedDrop,
+	})
+	defer close(h.release)
+
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire, _ := dnsmsg.NewQuery(7, "shed.example.net", dnsmsg.TypeA).Pack()
+
+	// One query pins the worker, one fills the queue; everything after
+	// that must be shed rather than queued.
+	if !floodUntil(t, conn, wire, func() bool { return s.Metrics.Shed.Load() >= 1 }) {
+		t.Fatalf("no shedding under sustained overload: shed=%d", s.Metrics.Shed.Load())
+	}
+}
+
+func TestShedRefuseAnswersRefused(t *testing.T) {
+	h := &gatedHandler{release: make(chan struct{})}
+	s := startConfigServer(t, h, Config{
+		Readers: 1, Workers: 1, QueueDepth: 1, OnOverload: ShedRefuse,
+	})
+	defer close(h.release)
+
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire, _ := dnsmsg.NewQuery(7, "refuse.example.net", dnsmsg.TypeA).Pack()
+	if !floodUntil(t, conn, wire, func() bool { return s.Metrics.Shed.Load() >= 1 }) {
+		t.Fatal("no shedding under sustained overload")
+	}
+
+	// A shed query must have produced a REFUSED response on the wire.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("no REFUSED response read: %v", err)
+		}
+		resp, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.RCode == dnsmsg.RCodeRefused {
+			if resp.ID != 7 {
+				t.Fatalf("REFUSED response ID = %d, want 7", resp.ID)
+			}
+			return
+		}
+	}
+}
+
+func TestServeDeadlineDropsStaleQueries(t *testing.T) {
+	h := &gatedHandler{release: make(chan struct{})}
+	s := startConfigServer(t, h, Config{
+		Readers: 1, Workers: 1, QueueDepth: 8,
+		ServeDeadline: 20 * time.Millisecond,
+	})
+
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire, _ := dnsmsg.NewQuery(7, "late.example.net", dnsmsg.TypeA).Pack()
+
+	// Pin the worker, queue a few more queries, and let them age past the
+	// deadline before releasing the worker.
+	for i := 0; i < 6; i++ {
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(h.release)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Metrics.DeadlineDrops.Load() >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no deadline drops: drops=%d queries=%d",
+		s.Metrics.DeadlineDrops.Load(), s.Metrics.Queries.Load())
+}
+
+func TestHandlerPanicAnsweredServfail(t *testing.T) {
+	first := true
+	h := HandlerFunc(func(_ netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+		if first {
+			first = false
+			panic("handler bug")
+		}
+		return q.Reply()
+	})
+	s := startConfigServer(t, h, Config{Readers: 1, Workers: 1})
+
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ask := func(id uint16) *dnsmsg.Message {
+		t.Helper()
+		wire, _ := dnsmsg.NewQuery(id, "panic.example.net", dnsmsg.TypeA).Pack()
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 512)
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("query %d: no response: %v", id, err)
+		}
+		resp, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := ask(1); resp.RCode != dnsmsg.RCodeServerFailure {
+		t.Fatalf("panicking query: rcode = %v, want SERVFAIL", resp.RCode)
+	}
+	if resp := ask(2); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("query after panic: rcode = %v (serve loop wedged?)", resp.RCode)
+	}
+	if got := s.Metrics.HandlerPanics.Load(); got != 1 {
+		t.Fatalf("HandlerPanics = %d, want 1", got)
+	}
+}
+
+func TestHandlerPanicTCP(t *testing.T) {
+	h := HandlerFunc(func(netip.AddrPort, *dnsmsg.Message) *dnsmsg.Message {
+		panic("tcp handler bug")
+	})
+	s, err := ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve() }()
+	t.Cleanup(func() { _ = s.Close() })
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire, _ := dnsmsg.NewQuery(3, "panic.example.net", dnsmsg.TypeA).Pack()
+	if err := WriteTCPMessage(conn, wire); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadTCPMessage(conn)
+	if err != nil {
+		t.Fatalf("no response after handler panic: %v", err)
+	}
+	resp, err := dnsmsg.Unpack(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnsmsg.RCodeServerFailure {
+		t.Fatalf("rcode = %v, want SERVFAIL", resp.RCode)
+	}
+	if got := s.Metrics.HandlerPanics.Load(); got != 1 {
+		t.Fatalf("HandlerPanics = %d, want 1", got)
+	}
+}
+
+func TestParseShedPolicy(t *testing.T) {
+	for in, want := range map[string]ShedPolicy{
+		"": ShedBlock, "block": ShedBlock, "drop": ShedDrop, "refuse": ShedRefuse,
+	} {
+		got, err := ParseShedPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShedPolicy(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Errorf("String() = %q, want %q", got.String(), in)
+		}
+	}
+	if _, err := ParseShedPolicy("nonsense"); err == nil {
+		t.Error("nonsense policy accepted")
+	}
+}

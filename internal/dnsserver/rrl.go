@@ -1,0 +1,91 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"sync/atomic"
+)
+
+// rrlBuckets is the size of the limiter's bucket table. Source prefixes
+// hash onto buckets, so distinct prefixes may share one (and share a rate
+// allowance) — the standard RRL trade-off: bounded, allocation-free state
+// against an unbounded universe of spoofable sources.
+const rrlBuckets = 4096
+
+// rateLimiter is a per-source-prefix response-rate limiter in the style of
+// BIND/NSD RRL: it bounds how many responses per second any one source
+// prefix can elicit, which caps this server's usefulness as a reflection
+// amplifier (a spoofed victim prefix stops getting amplified traffic after
+// the first handful of responses per second).
+//
+// Each bucket runs the Generic Cell Rate Algorithm over a single int64 —
+// the theoretical arrival time (TAT) of the next conforming response, in
+// unix nanoseconds. A query conforms if the bucket's TAT has not run more
+// than burst intervals ahead of now. The whole decision is one atomic load
+// and one CAS on the query hot path: no locks, no allocation, no timers.
+type rateLimiter struct {
+	interval int64 // nanoseconds per allowed response (1/rate)
+	limit    int64 // burst tolerance: burst * interval, nanoseconds
+	slipN    uint64
+	slips    atomic.Uint64
+	buckets  [rrlBuckets]atomic.Int64
+}
+
+// newRateLimiter builds a limiter allowing rate responses/second per
+// prefix with the given burst, slipping every slipN-th limited query
+// (slipN < 0 disables slipping).
+func newRateLimiter(rate float64, burst, slipN int) *rateLimiter {
+	r := &rateLimiter{interval: int64(1e9 / rate), limit: int64(burst) * int64(1e9/rate)}
+	if slipN > 0 {
+		r.slipN = uint64(slipN)
+	}
+	return r
+}
+
+// allow reports whether a response to addr conforms to its prefix's rate
+// right now (unix nanoseconds), charging the bucket if so.
+func (r *rateLimiter) allow(addr netip.Addr, now int64) bool {
+	b := &r.buckets[r.bucket(addr)]
+	for {
+		tat := b.Load()
+		newTAT := tat
+		if now > newTAT {
+			newTAT = now
+		}
+		if newTAT+r.interval-now > r.limit {
+			return false
+		}
+		if b.CompareAndSwap(tat, newTAT+r.interval) {
+			return true
+		}
+	}
+}
+
+// shouldSlip reports whether this rate-limited query should get a minimal
+// TC=1 response instead of silence (every slipN-th one).
+func (r *rateLimiter) shouldSlip() bool {
+	if r.slipN == 0 {
+		return false
+	}
+	return r.slips.Add(1)%r.slipN == 0
+}
+
+// bucket hashes the address's accountability prefix — /24 for IPv4, /56
+// for IPv6, the granularity BIND's RRL uses — onto the bucket table with
+// FNV-1a. Unmapping first keeps a v4 client and its v4-in-v6 alias in the
+// same bucket.
+func (r *rateLimiter) bucket(addr netip.Addr) uint32 {
+	addr = addr.Unmap()
+	h := uint32(2166136261)
+	if addr.Is4() {
+		a := addr.As4()
+		for _, c := range a[:3] {
+			h = (h ^ uint32(c)) * 16777619
+		}
+	} else {
+		a := addr.As16()
+		for _, c := range a[:7] {
+			h = (h ^ uint32(c)) * 16777619
+		}
+	}
+	return h % rrlBuckets
+}

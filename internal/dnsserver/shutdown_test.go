@@ -1,0 +1,141 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"eum/internal/dnsmsg"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// baseline (plus slack for runtime helpers), reporting the final count.
+func waitGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if n = runtime.NumGoroutine(); n <= baseline+2 {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// TestGracefulShutdown: queries in flight when Close is called still get
+// their responses, late packets are discarded cleanly, and no serve-loop
+// goroutines survive.
+func TestGracefulShutdown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	h := &gatedHandler{release: make(chan struct{})}
+	s, err := ListenConfig("127.0.0.1:0", h, Config{Readers: 2, Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = s.Serve() }()
+
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Park one query inside the handler.
+	wire, _ := dnsmsg.NewQuery(5, "inflight.example.net", dnsmsg.TypeA).Pack()
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Metrics.Queries.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never reached the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Close concurrently; it must wait for the parked handler.
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- s.Close() }()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a handler was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the handler: its response must still reach the client.
+	close(h.release)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("in-flight query lost its response: %v", err)
+	}
+	if resp, err := dnsmsg.Unpack(buf[:n]); err != nil || resp.ID != 5 {
+		t.Fatalf("bad drained response: %v %v", resp, err)
+	}
+
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-serveDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+
+	// A late packet against the closed server must be harmless.
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	if got := waitGoroutines(baseline); got > baseline+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", baseline, got)
+	}
+}
+
+// TestShutdownPerPacketMode: the legacy goroutine-per-packet loop shuts
+// down cleanly too.
+func TestShutdownPerPacketMode(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h := HandlerFunc(func(_ netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+		return q.Reply()
+	})
+	s, err := ListenConfig("127.0.0.1:0", h, Config{GoroutinePerPacket: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = s.Serve() }()
+
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire, _ := dnsmsg.NewQuery(6, "pp.example.net", dnsmsg.TypeA).Pack()
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 512)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-serveDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if got := waitGoroutines(baseline); got > baseline+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", baseline, got)
+	}
+}

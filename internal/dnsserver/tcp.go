@@ -90,7 +90,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 		s.Metrics.Queries.Add(1)
-		resp := s.handler.ServeDNS(raddr, query)
+		resp := safeServe(s.handler, &s.Metrics, raddr, query)
 		if resp == nil {
 			s.Metrics.Dropped.Add(1)
 			return

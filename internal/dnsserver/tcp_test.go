@@ -3,6 +3,7 @@ package dnsserver
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
@@ -187,17 +188,21 @@ func TestClientTCPFallbackDisabled(t *testing.T) {
 }
 
 func TestClientTCPFallbackServerDown(t *testing.T) {
-	// UDP answers truncated but no TCP listener: client returns the
-	// truncated UDP response rather than failing.
+	// UDP answers truncated but no TCP listener: the client returns the
+	// truncated UDP response but flags it with ErrTCPFallbackFailed so the
+	// caller knows the answer is partial, and counts the event.
 	h := &bigHandler{n: 200}
 	s := startServer(t, h)
 	c := &dnsclient.Client{Timeout: 500 * time.Millisecond}
 	resp, err := c.Lookup(context.Background(), s.Addr().String(), "half.example.net", dnsmsg.TypeA, netip.Prefix{})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, dnsclient.ErrTCPFallbackFailed) {
+		t.Fatalf("err = %v, want ErrTCPFallbackFailed", err)
 	}
-	if !resp.Truncated {
-		t.Error("expected the truncated UDP response back")
+	if resp == nil || !resp.Truncated {
+		t.Fatal("truncated UDP response not returned alongside the error")
+	}
+	if got := c.Stats.TCPFallbackFailures.Load(); got != 1 {
+		t.Errorf("TCPFallbackFailures = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,105 @@
+package faultnet
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Dialer hands out fault-injected client connections: UDP conns are
+// wrapped with the injector, TCP conns pass through untouched (TCP's own
+// retransmission hides packet faults from the application; injecting
+// byte-stream faults would test the kernel, not the DNS stack). It
+// implements dnsclient.ContextDialer.
+type Dialer struct {
+	in *Injector
+	// Base performs the real dials; nil means a zero net.Dialer.
+	Base *net.Dialer
+}
+
+// NewDialer builds a dialer drawing faults from in.
+func (in *Injector) NewDialer() *Dialer { return &Dialer{in: in} }
+
+// DialContext implements dnsclient.ContextDialer.
+func (d *Dialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	base := d.Base
+	if base == nil {
+		base = &net.Dialer{}
+	}
+	conn, err := base.DialContext(ctx, network, address)
+	if err != nil {
+		return nil, err
+	}
+	switch network {
+	case "udp", "udp4", "udp6":
+		return &Conn{inner: conn, in: d.in}, nil
+	}
+	return conn, nil
+}
+
+// Conn is a fault-injecting net.Conn over a connected UDP socket.
+type Conn struct {
+	inner net.Conn
+	in    *Injector
+}
+
+// Read delivers the next surviving inbound packet.
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		n, err := c.inner.Read(p)
+		if err != nil {
+			return n, err
+		}
+		if c.in.rng.roll(c.in.cfg.DropProb) {
+			c.in.Stats.Dropped.Add(1)
+			continue
+		}
+		if c.in.rng.roll(c.in.cfg.TruncateProb) && n > c.in.cfg.TruncateBytes {
+			n = c.in.cfg.TruncateBytes
+			c.in.Stats.Truncated.Add(1)
+		}
+		c.in.Stats.Forwarded.Add(1)
+		return n, nil
+	}
+}
+
+// Write sends p subject to the injector's plan (drops still report
+// success, as on a real lossy path).
+func (c *Conn) Write(p []byte) (int, error) {
+	plan := c.in.planSend()
+	if plan.drop {
+		c.in.Stats.Dropped.Add(1)
+		return len(p), nil
+	}
+	wire := p
+	if plan.truncate > 0 && len(wire) > plan.truncate {
+		wire = wire[:plan.truncate]
+		c.in.Stats.Truncated.Add(1)
+	}
+	writes := 1
+	if plan.dup {
+		writes = 2
+		c.in.Stats.Duplicated.Add(1)
+	}
+	// Delayed client sends are written inline after sleeping: a stub
+	// resolver blocks on its own query anyway, so holding the goroutine
+	// models the latency without risking a write after Close.
+	if plan.delay > 0 {
+		c.in.Stats.Delayed.Add(1)
+		time.Sleep(plan.delay)
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := c.inner.Write(wire); err != nil {
+			return 0, err
+		}
+	}
+	c.in.Stats.Forwarded.Add(1)
+	return len(p), nil
+}
+
+func (c *Conn) Close() error                       { return c.inner.Close() }
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -19,6 +19,7 @@ package mapmaker
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +67,26 @@ type MapMaker struct {
 
 	published atomic.Uint64 // snapshots built and installed
 	buildNs   atomic.Int64  // duration of the last build, nanoseconds
+
+	// buildFailures counts builds that panicked; the Run loop survives
+	// them, keeps serving the last good snapshot, and retries later.
+	buildFailures atomic.Uint64
+	// lastFailure records the most recent failed build, nil if none yet.
+	lastFailure atomic.Pointer[BuildFailure]
+	// buildFault, when set, runs at the start of every build — a fault
+	// injection hook for chaos tests (a panicking hook simulates a build
+	// crash).
+	buildFault atomic.Pointer[func()]
+}
+
+// BuildFailure describes one failed map build.
+type BuildFailure struct {
+	// Reasons are the change-feed reasons the failed build was claiming.
+	Reasons Reason
+	// Err is the recovered build error.
+	Err error
+	// At is when the build failed.
+	At time.Time
 }
 
 // New creates a MapMaker over a system. The system already serves its
@@ -89,16 +110,23 @@ func (m *MapMaker) System() *mapping.System { return m.sys }
 // It never blocks and never builds; any number of notifications between
 // builds fold into one.
 func (m *MapMaker) Notify(r Reason) {
+	m.markDirty(r)
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// markDirty folds reasons into the pending set without waking the loop.
+// Failed builds use it to re-arm their claimed reasons for the next cadence
+// tick without spinning the Run loop into an immediate retry.
+func (m *MapMaker) markDirty(r Reason) {
 	// CAS loop instead of atomic.Uint32.Or, which needs go1.23.
 	for {
 		old := m.dirty.Load()
 		if m.dirty.CompareAndSwap(old, old|uint32(r)) {
 			break
 		}
-	}
-	select {
-	case m.wake <- struct{}{}:
-	default:
 	}
 }
 
@@ -125,16 +153,65 @@ func (m *MapMaker) takeDirty() Reason {
 // build runs one pipeline pass for the claimed reasons: a measurement
 // refresh drops the scoring tables first (so the build recomputes them),
 // then a snapshot is built at the next epoch and installed.
+//
+// A build that panics must never wedge the pipeline or tear down the last
+// good map: the panic is recovered, recorded, and the claimed reasons are
+// re-marked dirty so the next cadence tick (or signal) retries the build.
+// The currently published snapshot stays in place — the data plane keeps
+// serving it, and the authority's staleness watchdog degrades answers if
+// the failures persist long enough.
 func (m *MapMaker) build(r Reason) *mapping.Snapshot {
+	sn, err := m.tryBuild(r)
+	if err != nil {
+		m.buildFailures.Add(1)
+		m.lastFailure.Store(&BuildFailure{Reasons: r, Err: err, At: time.Now()})
+		// Re-arm the claimed reasons without waking the loop: an immediate
+		// wake would spin a persistently failing build into a hot retry
+		// loop; the periodic tick is the retry cadence.
+		m.markDirty(r)
+		return m.sys.Current()
+	}
+	m.published.Add(1)
+	return sn
+}
+
+// tryBuild performs the build, converting a panic anywhere in the pipeline
+// (fault hook, scorer invalidation, snapshot construction) into an error.
+func (m *MapMaker) tryBuild(r Reason) (sn *mapping.Snapshot, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("mapmaker: build panicked: %v", p)
+		}
+	}()
+	if f := m.buildFault.Load(); f != nil && *f != nil {
+		(*f)()
+	}
 	if r&ReasonMeasurement != 0 {
 		m.sys.Scorer().Invalidate()
 	}
 	start := time.Now()
-	sn := m.sys.Rebuild()
+	sn = m.sys.Rebuild()
 	m.buildNs.Store(int64(time.Since(start)))
-	m.published.Add(1)
-	return sn
+	return sn, nil
 }
+
+// SetBuildFault installs a hook run at the start of every build — fault
+// injection for chaos and resilience tests (a panicking hook simulates a
+// crashing build). Pass nil to clear.
+func (m *MapMaker) SetBuildFault(f func()) {
+	if f == nil {
+		m.buildFault.Store(nil)
+		return
+	}
+	m.buildFault.Store(&f)
+}
+
+// BuildFailures returns how many builds have panicked and been recovered.
+func (m *MapMaker) BuildFailures() uint64 { return m.buildFailures.Load() }
+
+// LastBuildFailure returns the most recent failed build, or nil if every
+// build so far succeeded.
+func (m *MapMaker) LastBuildFailure() *BuildFailure { return m.lastFailure.Load() }
 
 // Sync publishes a fresh snapshot if any signals are pending, else returns
 // the current one unchanged. Deterministic drivers (simulations) call it

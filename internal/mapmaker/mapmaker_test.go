@@ -2,6 +2,7 @@ package mapmaker
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -179,5 +180,91 @@ func TestRunPublishesOnCadence(t *testing.T) {
 
 	if mm.Published() < 3 {
 		t.Fatalf("Published = %d after cadence window, want >= 3", mm.Published())
+	}
+}
+
+// TestBuildFailureKeepsLastGood: a panicking build must not tear down the
+// published map or advance the publish counter — the data plane keeps
+// serving the last good snapshot and the failure is recorded.
+func TestBuildFailureKeepsLastGood(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.EndUser)
+	good := mm.Publish()
+
+	mm.SetBuildFault(func() { panic("pipeline crash") })
+	mm.Notify(ReasonMeasurement)
+	if sn := mm.Publish(); sn != good {
+		t.Fatalf("failed build replaced the published snapshot: epoch %d -> %d",
+			good.Epoch(), sn.Epoch())
+	}
+	if mm.Current() != good {
+		t.Fatal("current snapshot changed after a failed build")
+	}
+	if mm.Published() != 1 {
+		t.Fatalf("Published = %d, want 1 (failed builds must not count)", mm.Published())
+	}
+	if mm.BuildFailures() != 1 {
+		t.Fatalf("BuildFailures = %d, want 1", mm.BuildFailures())
+	}
+	f := mm.LastBuildFailure()
+	if f == nil || f.Err == nil {
+		t.Fatalf("LastBuildFailure = %+v, want recorded error", f)
+	}
+	if f.Reasons&ReasonMeasurement == 0 || f.Reasons&ReasonPeriodic == 0 {
+		t.Fatalf("failure reasons = %b, want measurement|periodic", f.Reasons)
+	}
+}
+
+// TestFailedBuildRetainsDirty: the reasons a failed build claimed stay
+// pending, so the next build (here a Sync with no new signals) retries them.
+func TestFailedBuildRetainsDirty(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.EndUser)
+	e0 := mm.Current().Epoch()
+
+	mm.SetBuildFault(func() { panic("transient") })
+	mm.Notify(ReasonHealth)
+	if sn := mm.Sync(); sn.Epoch() != e0 {
+		t.Fatalf("failed Sync advanced the epoch to %d", sn.Epoch())
+	}
+
+	mm.SetBuildFault(nil)
+	// No new Notify: the retained reasons alone must trigger the rebuild.
+	if sn := mm.Sync(); sn.Epoch() != e0+1 {
+		t.Fatalf("recovered Sync epoch = %d, want %d", sn.Epoch(), e0+1)
+	}
+}
+
+// TestRunSurvivesBuildPanics: the Run loop keeps publishing after builds
+// panic mid-flight.
+func TestRunSurvivesBuildPanics(t *testing.T) {
+	mm, _ := newMapMaker(t, mapping.EndUser)
+	var n atomic.Uint64
+	mm.SetBuildFault(func() {
+		if n.Add(1) <= 2 {
+			panic("crash")
+		}
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); mm.Run(ctx) }()
+
+	e0 := mm.Current().Epoch()
+	deadline := time.After(5 * time.Second)
+	for mm.Current().Epoch() == e0 {
+		mm.Notify(ReasonHealth)
+		select {
+		case <-deadline:
+			t.Fatal("Run loop never recovered from panicking builds")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+
+	if mm.BuildFailures() < 2 {
+		t.Fatalf("BuildFailures = %d, want >= 2", mm.BuildFailures())
+	}
+	if mm.Current().Epoch() <= e0 {
+		t.Fatal("no fresh snapshot after recovery")
 	}
 }

@@ -94,6 +94,11 @@ type System struct {
 	// snap is the currently published map. Installed by a single pointer
 	// swap; non-nil from NewSystem on.
 	snap atomic.Pointer[Snapshot]
+	// publishedAt is the wall-clock instant (unix nanoseconds) of the last
+	// successful Install. The serving plane's staleness watchdog reads it
+	// to detect a stalled or dead control plane: a MapMaker whose builds
+	// keep failing never advances it.
+	publishedAt atomic.Int64
 
 	blockByLeaf map[netip.Prefix]*world.ClientBlock // /24 (v4) or /48 (v6) -> block
 	unitRep     map[netip.Prefix]*world.ClientBlock // mapping unit -> representative block
@@ -178,10 +183,17 @@ func (s *System) Install(sn *Snapshot) bool {
 			return false
 		}
 		if s.snap.CompareAndSwap(cur, sn) {
+			s.publishedAt.Store(time.Now().UnixNano())
 			return true
 		}
 	}
 }
+
+// PublishedAtNanos returns the wall-clock time (unix nanoseconds) the
+// current snapshot was installed. Authorities derive map staleness from it
+// (see authority.DegradeConfig): time since the last successful publish,
+// regardless of how many builds failed in between.
+func (s *System) PublishedAtNanos() int64 { return s.publishedAt.Load() }
 
 // Rebuild builds a snapshot at the next epoch under the desired policy and
 // installs it. This is the control plane's one entry point: the MapMaker
@@ -225,6 +237,12 @@ type Request struct {
 	ClientSubnet netip.Prefix
 	// Demand is the load this assignment will add (0 = don't track).
 	Demand float64
+	// Degraded asks for the snapshot's generic fallback tables instead of
+	// the per-endpoint rank tables. The serving plane sets it when the map
+	// is too stale to trust its per-client measurements (see
+	// authority.DegradeFallback): the fallback tables rank purely from the
+	// builder's fallback geography, the least perishable part of the map.
+	Degraded bool
 }
 
 // Response is the mapping decision.
@@ -271,6 +289,11 @@ func (s *System) MapAt(sn *Snapshot, req Request) (*Response, error) {
 	// snapshot's policy optimises.
 	var candidates []Ranked
 	switch {
+	case req.Degraded:
+		// Too-stale map: per-endpoint tables are distrusted, serve from the
+		// generic fallback table. The decision no longer depends on the
+		// client subnet, so the scope stays 0.
+		candidates = sn.fallbackTable(sn.policy == EndUser && req.ClientSubnet.IsValid())
 	case sn.policy == EndUser && req.ClientSubnet.IsValid():
 		unit := s.cfg.Units.UnitFor(req.ClientSubnet.Addr())
 		id, known := s.clientEndpointID(unit, req.ClientSubnet)
