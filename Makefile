@@ -12,13 +12,14 @@ SIMBENCH = BenchmarkWorldGenerate|BenchmarkRolloutTimeline|BenchmarkFig25Sweep
 # (see DESIGN.md "Control plane / data plane"; numbers in BENCH_map.json).
 SNAPBENCH = BenchmarkSnapshotSwap|BenchmarkServingUnderMapChurn
 
-.PHONY: all check vet build test race chaos bench bench-hot bench-sim bench-snapshot bench-figures
+.PHONY: all check vet build test race chaos obs bench bench-hot bench-sim bench-snapshot bench-figures
 
 all: check
 
 # The full verification gate: vet, build, tests with the race detector,
-# then the chaos harness (faultnet integration tests, also under -race).
-check: vet build race chaos
+# the chaos harness (faultnet integration tests, also under -race), then
+# the observability smoke test against a live in-process stack.
+check: vet build race chaos obs
 
 vet:
 	$(GO) vet ./...
@@ -41,9 +42,18 @@ race:
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestEndToEndThroughFaults' ./internal/faultnet/
 
-# Hot-path benchmarks with allocation counts.
+# Observability smoke test: boots the full stack (world, platform, map
+# maker, authority, live UDP server) in-process, serves a real query, and
+# scrapes /metrics, /healthz and /mapz (see DESIGN.md "Observability
+# plane").
+obs:
+	$(GO) test -race -v -run 'TestObsSmoke|TestHealthzDegraded' ./cmd/eumdns/
+
+# Hot-path benchmarks with allocation counts. TestServeDNSAllocGuard runs
+# first: it fails the target if ServeDNS (telemetry armed) exceeds the
+# allocs/op budget recorded in BENCH_map.json.
 bench-hot:
-	$(GO) test -run 'TestNone' -bench '$(HOTBENCH)' -benchmem .
+	$(GO) test -run 'TestServeDNSAllocGuard' -bench '$(HOTBENCH)' -benchmem .
 
 # Parallel simulation engine: serial vs parallel for world generation, the
 # roll-out timeline and the Fig 25 deployment sweep.

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"net/netip"
+	"os"
+	"testing"
+
+	"eum/internal/authority"
+	"eum/internal/cdn"
+	"eum/internal/dnsmsg"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/telemetry"
+	"eum/internal/world"
+)
+
+// TestServeDNSAllocGuard pins the authority hot path to the per-query
+// allocation budget recorded in BENCH_map.json (hot_path_guard): a change
+// that adds even one allocation per query fails here instead of silently
+// eroding the PR 1 numbers. The authority runs with telemetry fully
+// registered — the observability plane must ride along for free.
+func TestServeDNSAllocGuard(t *testing.T) {
+	data, err := os.ReadFile("BENCH_map.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks struct {
+			Guard struct {
+				ServeDNS struct {
+					AllocsPerOp float64 `json:"allocs_per_op"`
+				} `json:"BenchmarkAuthorityServeDNS"`
+			} `json:"hot_path_guard"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	budget := doc.Benchmarks.Guard.ServeDNS.AllocsPerOp
+	if budget <= 0 {
+		t.Fatal("BENCH_map.json carries no BenchmarkAuthorityServeDNS allocs_per_op budget")
+	}
+
+	w := world.MustGenerate(world.Config{Seed: 5, NumBlocks: 2000})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 5, NumDeployments: 120})
+	sys := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapping.Config{
+		Policy: mapping.EndUser, PingTargets: 200,
+	})
+	auth, err := authority.New("cdn.example.net", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth.RegisterMetrics(telemetry.NewRegistry())
+
+	blk := w.Blocks[0]
+	q := dnsmsg.NewQuery(7, "img.cdn.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(blk.Prefix.Addr(), 24)
+	remote := netip.AddrPortFrom(blk.LDNS.Addr, 53)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if resp := auth.ServeDNS(remote, q); resp == nil || resp.RCode != dnsmsg.RCodeSuccess {
+			t.Fatal("bad response")
+		}
+	})
+	if allocs > budget {
+		t.Errorf("ServeDNS with telemetry = %.1f allocs/op, budget %.0f (BENCH_map.json hot_path_guard)",
+			allocs, budget)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"eum/internal/par"
 	"eum/internal/resolver"
 	"eum/internal/simulation"
+	"eum/internal/telemetry"
 	"eum/internal/world"
 )
 
@@ -926,6 +927,9 @@ func BenchmarkAuthorityServeDNS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Telemetry is part of the measured configuration: the budget in
+	// BENCH_map.json holds with the decision-latency histogram armed.
+	auth.RegisterMetrics(telemetry.NewRegistry())
 	blk := l.World.Blocks[0]
 	q := dnsmsg.NewQuery(7, "img.cdn.example.net", dnsmsg.TypeA)
 	_ = q.SetClientSubnet(blk.Prefix.Addr(), 24)

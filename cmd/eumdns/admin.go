@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"net/netip"
+	"time"
+
+	"eum/internal/authority"
+	"eum/internal/cdn"
+	"eum/internal/dnsclient"
+	"eum/internal/dnsmsg"
+	"eum/internal/dnsserver"
+	"eum/internal/mapmaker"
+	"eum/internal/mapping"
+	"eum/internal/telemetry"
+)
+
+// adminState is everything the admin HTTP endpoints report on. auth is nil
+// when this process serves the two-level hierarchy: the top level delegates
+// instead of mapping, so it has no degradation ladder of its own.
+type adminState struct {
+	reg    *telemetry.Registry
+	system *mapping.System
+	mm     *mapmaker.MapMaker
+	auth   *authority.Authority
+}
+
+// newAdminMux builds the admin HTTP surface: /metrics (Prometheus text, or
+// JSON via ?format=json), /healthz keyed off the degradation ladder, /mapz
+// describing the installed map snapshot, and the standard pprof endpoints.
+func newAdminMux(st adminState) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", st.reg.Handler())
+	mux.HandleFunc("/healthz", st.healthz)
+	mux.HandleFunc("/mapz", st.mapz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// healthz answers 200 while the authority can still give useful answers
+// (fresh or serve-stale) and 503 once the ladder reaches fallback or
+// SERVFAIL — the shape a load balancer health check wants, so traffic
+// drains to healthier name servers exactly when the paper's degraded modes
+// kick in.
+func (st adminState) healthz(w http.ResponseWriter, _ *http.Request) {
+	level := authority.DegradeFresh
+	if st.auth != nil {
+		level = st.auth.Degradation()
+	}
+	code := http.StatusOK
+	status := "ok"
+	if level >= authority.DegradeFallback {
+		code = http.StatusServiceUnavailable
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "%s degrade=%s map_epoch=%d\n", status, level, st.system.Current().Epoch())
+}
+
+// mapz describes the currently installed map snapshot as JSON: what an
+// operator checks first when answers look wrong ("is the map fresh, and
+// which epoch is serving?").
+func (st adminState) mapz(w http.ResponseWriter, _ *http.Request) {
+	snap := st.system.Current()
+	doc := struct {
+		Epoch          uint64  `json:"epoch"`
+		Policy         string  `json:"policy"`
+		TTLSeconds     float64 `json:"ttl_seconds"`
+		Tables         int     `json:"tables"`
+		PublishedAt    string  `json:"published_at"`
+		AgeSeconds     float64 `json:"age_seconds"`
+		PublishedTotal uint64  `json:"published_total"`
+		BuildFailures  uint64  `json:"build_failures"`
+		Degrade        string  `json:"degrade,omitempty"`
+	}{
+		Epoch:          snap.Epoch(),
+		Policy:         snap.Policy().String(),
+		TTLSeconds:     snap.TTL().Seconds(),
+		Tables:         snap.Tables(),
+		PublishedTotal: st.mm.Published(),
+		BuildFailures:  st.mm.BuildFailures(),
+	}
+	if ns := st.system.PublishedAtNanos(); ns > 0 {
+		doc.PublishedAt = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+		doc.AgeSeconds = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	if st.auth != nil {
+		doc.Degrade = st.auth.Degradation().String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// registerAll wires every subsystem's counters into one registry. Any nil
+// component is skipped, so the flat and two-level deployments both work.
+func registerAll(reg *telemetry.Registry, srv *dnsserver.Server, auth *authority.Authority,
+	mm *mapmaker.MapMaker, mon *cdn.Monitor, probe *dnsclient.Client) {
+	if srv != nil {
+		srv.RegisterMetrics(reg)
+	}
+	if auth != nil {
+		auth.RegisterMetrics(reg)
+	}
+	if mm != nil {
+		mm.RegisterMetrics(reg)
+	}
+	if mon != nil {
+		mon.RegisterMetrics(reg)
+	}
+	if probe != nil {
+		probe.Stats.Register(reg, "selfprobe")
+	}
+}
+
+// runHealthMonitor drives the liveness monitor until ctx is cancelled. The
+// monitor itself decides when a tick actually probes (its own interval).
+func runHealthMonitor(ctx context.Context, mon *cdn.Monitor, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			mon.Tick(now)
+		}
+	}
+}
+
+// runSelfProbe periodically resolves a name against this process's own
+// listener through a real dnsclient — a blackbox check that the whole
+// socket → queue → authority path stays live, feeding the selfprobe_*
+// counters (attempts with no retries = healthy).
+func runSelfProbe(ctx context.Context, c *dnsclient.Client, server string, name dnsmsg.Name, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_, _ = c.Lookup(cctx, server, name, dnsmsg.TypeTXT, netip.Prefix{})
+			cancel()
+		}
+	}
+}

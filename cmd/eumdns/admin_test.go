@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eum/internal/authority"
+	"eum/internal/cdn"
+	"eum/internal/config"
+	"eum/internal/dnsclient"
+	"eum/internal/dnsmsg"
+	"eum/internal/dnsserver"
+	"eum/internal/mapmaker"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/telemetry"
+	"eum/internal/world"
+)
+
+// TestObsSmoke boots the full in-process stack — world, platform, mapping
+// system, MapMaker, authority, live UDP server — wires every subsystem into
+// one telemetry registry, serves one real DNS query through a real client,
+// then scrapes the admin endpoints exactly as an operator (or `make obs`)
+// would. It is the acceptance check that /metrics aggregates counters from
+// all five instrumented packages.
+func TestObsSmoke(t *testing.T) {
+	cfg := config.Default()
+	cfg.World.Blocks = 800
+	cfg.Platform.Deployments = 60
+
+	w := world.MustGenerate(world.Config{Seed: cfg.World.Seed, NumBlocks: cfg.World.Blocks})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{
+		Seed: cfg.Platform.Seed, NumDeployments: cfg.Platform.Deployments,
+	})
+	system := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapping.Config{
+		Policy: mapping.EndUser, PingTargets: 80,
+	})
+	mm := mapmaker.New(system, mapmaker.Config{})
+	handler, auth, _, err := buildHandler(cfg, system, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth == nil {
+		t.Fatal("flat config did not yield an authority")
+	}
+	srv, err := dnsserver.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	mon, err := cdn.NewMonitor(platform, &cdn.ScheduledFaults{}, time.Millisecond, mm.OnDeploymentChange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &dnsclient.Client{}
+	registerAll(reg, srv, auth, mm, mon, probe)
+	go func() { _ = srv.Serve() }()
+
+	// Populate the planes: one map publish, one health sweep, one real DNS
+	// query (with ECS) through the self-probe client over the live socket.
+	mm.Publish()
+	mon.Tick(time.Now())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	block := w.Blocks[10]
+	resp, err := probe.Lookup(ctx, srv.Addr().String(),
+		dnsmsg.Name("www.b."+cfg.Zone), dnsmsg.TypeA, block.Prefix)
+	if err != nil {
+		t.Fatalf("self-probe query: %v", err)
+	}
+	if resp.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) == 0 {
+		t.Fatalf("self-probe answer: rcode=%v answers=%d", resp.RCode, len(resp.Answers))
+	}
+
+	admin := httptest.NewServer(newAdminMux(adminState{reg: reg, system: system, mm: mm, auth: auth}))
+	defer admin.Close()
+
+	// /metrics must expose at least one metric from each instrumented
+	// package, with live values behind them.
+	body := get(t, admin.URL+"/metrics", http.StatusOK)
+	for _, want := range []string{
+		"dnsserver_queries_total",           // internal/dnsserver
+		"dnsserver_serve_latency_seconds",   // hot-path histogram
+		"authority_queries_total",           // internal/authority
+		"authority_decision_latency_seconds",
+		"authority_map_epoch",
+		"mapmaker_published_total", // internal/mapmaker
+		"cdn_health_probes_total",  // internal/cdn
+		"cdn_servers_live",
+		"selfprobe_attempts_total", // internal/dnsclient
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if !strings.Contains(body, "dnsserver_queries_total 1") {
+		t.Errorf("served query not counted:\n%s", firstLines(body, 20))
+	}
+	if !strings.Contains(body, "selfprobe_attempts_total 1") {
+		t.Error("self-probe attempt not counted")
+	}
+
+	// The JSON exposition serves the same registry.
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(get(t, admin.URL+"/metrics?format=json", http.StatusOK)), &doc); err != nil {
+		t.Fatalf("/metrics?format=json: %v", err)
+	}
+
+	// /healthz reflects the (fresh) ladder rung.
+	if body := get(t, admin.URL+"/healthz", http.StatusOK); !strings.Contains(body, "degrade=fresh") {
+		t.Errorf("/healthz = %q, want fresh", body)
+	}
+
+	// /mapz describes the installed snapshot.
+	var mapz struct {
+		Epoch          uint64 `json:"epoch"`
+		Policy         string `json:"policy"`
+		PublishedTotal uint64 `json:"published_total"`
+		Degrade        string `json:"degrade"`
+	}
+	if err := json.Unmarshal([]byte(get(t, admin.URL+"/mapz", http.StatusOK)), &mapz); err != nil {
+		t.Fatal(err)
+	}
+	if mapz.Epoch == 0 || mapz.Policy == "" || mapz.PublishedTotal == 0 || mapz.Degrade != "fresh" {
+		t.Errorf("/mapz = %+v", mapz)
+	}
+
+	// pprof rides along on the same mux.
+	get(t, admin.URL+"/debug/pprof/cmdline", http.StatusOK)
+}
+
+// TestHealthzDegraded checks the load-balancer contract: once the
+// degradation ladder passes serve-stale, /healthz flips to 503 so traffic
+// drains to healthier name servers.
+func TestHealthzDegraded(t *testing.T) {
+	w := world.MustGenerate(world.Config{Seed: 3, NumBlocks: 400})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 3, NumDeployments: 40})
+	system := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapping.Config{PingTargets: 40})
+	mm := mapmaker.New(system, mapmaker.Config{})
+	a, err := authority.New("cdn.example.net", system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetDegradeConfig(authority.DegradeConfig{
+		StaleAfter:    time.Millisecond,
+		FallbackAfter: 2 * time.Millisecond,
+		ServfailAfter: time.Hour,
+	})
+	time.Sleep(30 * time.Millisecond) // let the map age past FallbackAfter
+
+	st := adminState{reg: telemetry.NewRegistry(), system: system, mm: mm, auth: a}
+	rec := httptest.NewRecorder()
+	st.healthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "degrade=fallback") {
+		t.Errorf("degraded /healthz body = %q", rec.Body.String())
+	}
+}
+
+func get(t *testing.T, url string, wantCode int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d\n%s", url, resp.StatusCode, wantCode, body)
+	}
+	return string(body)
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

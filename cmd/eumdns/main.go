@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -29,16 +30,20 @@ import (
 	"eum/internal/authority"
 	"eum/internal/cdn"
 	"eum/internal/config"
+	"eum/internal/dnsclient"
 	"eum/internal/dnsmsg"
 	"eum/internal/dnsserver"
 	"eum/internal/mapmaker"
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
+	"eum/internal/telemetry"
 	"eum/internal/world"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5300", "UDP+TCP listen address")
+	adminAddr := flag.String("admin", "",
+		"admin HTTP listen address for /metrics, /healthz, /mapz and /debug/pprof (empty disables)")
 	configPath := flag.String("config", "", "JSON config file (overrides the flags below)")
 	zone := flag.String("zone", "cdn.example.net", "served zone")
 	policyName := flag.String("policy", "eu", "mapping policy: ns, eu, or cans")
@@ -71,10 +76,16 @@ func main() {
 	cfg.RRLBurst = *rrlBurst
 	cfg.StaleMaxAgeSeconds = int(staleMaxAge.Seconds())
 	cfg.MapRefreshSeconds = int(mapRefresh.Seconds())
+	cfg.AdminAddr = *adminAddr
 	if *configPath != "" {
 		var err error
 		if cfg, err = config.Load(*configPath); err != nil {
 			log.Fatal(err)
+		}
+		// -admin still applies beside a config file (like -addr, the
+		// listen addresses stay operator-controlled).
+		if *adminAddr != "" {
+			cfg.AdminAddr = *adminAddr
 		}
 	}
 	if err := cfg.Validate(); err != nil {
@@ -114,7 +125,7 @@ func main() {
 		log.Printf("map maker publishing every %v", refresh)
 	}
 
-	handler, described, err := buildHandler(cfg, system, platform)
+	handler, auth, described, err := buildHandler(cfg, system, platform)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,6 +146,33 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%s on %s (udp+tcp), policy %s", described, srv.Addr(), policy)
+
+	// Observability plane: one registry aggregating every subsystem's
+	// counters, served over a separate admin HTTP listener. The health
+	// monitor (no fault injection in a live process — it reflects real
+	// liveness flags) feeds the MapMaker's change feed, and a low-rate
+	// self-probe exercises the full socket path through a real DNS client.
+	if cfg.AdminAddr != "" {
+		reg := telemetry.NewRegistry()
+		mon, err := cdn.NewMonitor(platform, &cdn.ScheduledFaults{}, 10*time.Second, mm.OnDeploymentChange)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.HealthFlapThreshold > 0 {
+			mon.SetFlapThreshold(cfg.HealthFlapThreshold)
+		}
+		probe := &dnsclient.Client{}
+		registerAll(reg, srv, auth, mm, mon, probe)
+		mux := newAdminMux(adminState{reg: reg, system: system, mm: mm, auth: auth})
+		go func() {
+			log.Printf("admin HTTP on %s (/metrics /healthz /mapz /debug/pprof)", cfg.AdminAddr)
+			if err := http.ListenAndServe(cfg.AdminAddr, mux); err != nil {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+		go runHealthMonitor(ctx, mon, time.Second)
+		go runSelfProbe(ctx, probe, srv.Addr().String(), dnsmsg.Name("whoami."+cfg.Zone), 10*time.Second)
+	}
 
 	// Print a few real client subnets to try.
 	fmt.Println("example queries:")
@@ -163,40 +201,41 @@ func main() {
 }
 
 // buildHandler wires either a flat authority or the two-level hierarchy,
-// per the config.
-func buildHandler(cfg config.Config, system *mapping.System, platform *cdn.Platform) (dnsserver.Handler, string, error) {
+// per the config. The *Authority return is non-nil only in the flat case;
+// the admin plane uses it for the degradation ladder and mapping counters.
+func buildHandler(cfg config.Config, system *mapping.System, platform *cdn.Platform) (dnsserver.Handler, *authority.Authority, string, error) {
 	if len(cfg.Sites) == 0 && len(cfg.Customers) == 0 {
 		a, err := authority.New(dnsmsg.Name(cfg.Zone), system)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		// Arm the serve-stale watchdog: if the MapMaker stalls or dies, the
 		// authority degrades answers instead of serving an ancient map as
 		// fresh (see authority.DegradeConfig).
 		a.SetDegradeConfig(cfg.DegradeConfig())
-		return a, "authoritative for " + string(a.Zone()), nil
+		return a, a, "authoritative for " + string(a.Zone()), nil
 	}
 	tl, err := authority.NewTopLevel(dnsmsg.Name(cfg.Zone), system)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	for alias, target := range cfg.Customers {
 		if err := tl.RegisterCustomer(dnsmsg.Name(alias), dnsmsg.Name(target)); err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 	}
 	for _, s := range cfg.Sites {
 		addr, err := netip.ParseAddr(s.Addr)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		if err := tl.AddSite(authority.NSSite{
 			Host:       dnsmsg.Name(s.Host),
 			Addr:       addr,
 			Deployment: platform.Deployments[s.DeploymentIndex],
 		}); err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 	}
-	return tl, "top-level authority for " + string(tl.Zone()), nil
+	return tl, nil, "top-level authority for " + string(tl.Zone()), nil
 }

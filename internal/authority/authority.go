@@ -21,6 +21,7 @@ import (
 
 	"eum/internal/dnsmsg"
 	"eum/internal/mapping"
+	"eum/internal/telemetry"
 )
 
 // DegradeLevel is a rung on the authority's degradation ladder, derived
@@ -122,8 +123,17 @@ type Authority struct {
 	// while the query was being served. Set before serving begins.
 	epochDebug bool
 
+	// decisionLatency, when non-nil, records the full mapping-decision
+	// latency (answer-cache lookup through mapping computation). Set by
+	// RegisterMetrics before serving begins.
+	decisionLatency *telemetry.Histogram
+
 	// ECSQueries counts queries carrying a client-subnet option.
 	ECSQueries atomic.Uint64
+	// ECSFormErrs counts queries rejected with FORMERR because their ECS
+	// option violated RFC 7871 §7.1.2 (non-zero address bits beyond the
+	// source prefix, or a non-zero scope prefix in a query).
+	ECSFormErrs atomic.Uint64
 	// TotalQueries counts all well-formed in-zone queries.
 	TotalQueries atomic.Uint64
 	// CacheHits counts mapping queries answered from the answer cache.
@@ -280,6 +290,15 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 	var ecs *dnsmsg.ClientSubnet
 	if query.EDNS {
 		if ecs = query.ClientSubnet(); ecs != nil {
+			if !ecs.QueryConformant() {
+				// RFC 7871 §7.1.2: a query-side ECS option with address
+				// bits set beyond SOURCE PREFIX-LENGTH, or a non-zero
+				// SCOPE PREFIX-LENGTH, is malformed — answer FORMERR
+				// instead of silently accepting (and mis-caching) it.
+				a.ECSFormErrs.Add(1)
+				resp.RCode = dnsmsg.RCodeFormatError
+				return resp
+			}
 			a.ECSQueries.Add(1)
 			if ecs.SourcePrefix > 0 {
 				req.ClientSubnet = ecs.Prefix()
@@ -287,7 +306,14 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 		}
 	}
 
+	var startNs int64
+	if a.decisionLatency != nil {
+		startNs = time.Now().UnixNano()
+	}
 	decision, level, err := a.decide(req)
+	if a.decisionLatency != nil {
+		a.decisionLatency.ObserveNanos(time.Now().UnixNano() - startNs)
+	}
 	if err != nil {
 		resp.RCode = dnsmsg.RCodeServerFailure
 		return resp

@@ -99,6 +99,55 @@ func TestECSQueryGetsScopedAnswer(t *testing.T) {
 	}
 }
 
+// TestECSNonConformantFormErr checks RFC 7871 §7.1.2 enforcement: a query
+// whose ECS option carries a non-zero SCOPE PREFIX-LENGTH, or address bits
+// beyond SOURCE PREFIX-LENGTH (NonZeroPad, set by the unpacker), is
+// answered with FORMERR rather than silently accepted — and is metered
+// separately from legitimate ECS traffic.
+func TestECSNonConformantFormErr(t *testing.T) {
+	a := newAuthority(t, mapping.EndUser)
+
+	// Non-zero scope in a query.
+	q := query("img.cdn.example.net", dnsmsg.TypeA)
+	if err := q.SetClientSubnet(netip.MustParseAddr("203.0.113.7"), 24); err != nil {
+		t.Fatal(err)
+	}
+	q.ClientSubnet().ScopePrefix = 24
+	resp := a.ServeDNS(resolverAddr, q)
+	if resp == nil || resp.RCode != dnsmsg.RCodeFormatError {
+		t.Fatalf("non-zero scope answered with %v, want FORMERR", resp)
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("FORMERR carried %d answers", len(resp.Answers))
+	}
+
+	// Pad-bit violation, as the unpacker flags it off the wire.
+	q = query("img.cdn.example.net", dnsmsg.TypeA)
+	if err := q.SetClientSubnet(netip.MustParseAddr("203.0.113.7"), 24); err != nil {
+		t.Fatal(err)
+	}
+	q.ClientSubnet().NonZeroPad = true
+	resp = a.ServeDNS(resolverAddr, q)
+	if resp == nil || resp.RCode != dnsmsg.RCodeFormatError {
+		t.Fatalf("pad violation answered with %v, want FORMERR", resp)
+	}
+
+	if got := a.ECSFormErrs.Load(); got != 2 {
+		t.Errorf("ECSFormErrs = %d, want 2", got)
+	}
+	if got := a.ECSQueries.Load(); got != 0 {
+		t.Errorf("ECSQueries = %d, want 0 (rejected queries are not ECS-served)", got)
+	}
+
+	// A conformant ECS query on the same authority still gets answers.
+	q = query("img.cdn.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(netip.MustParseAddr("203.0.113.7"), 24)
+	resp = a.ServeDNS(resolverAddr, q)
+	if resp.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) == 0 {
+		t.Fatalf("conformant ECS query broken: rcode=%v answers=%d", resp.RCode, len(resp.Answers))
+	}
+}
+
 func TestNSPolicyScopeZero(t *testing.T) {
 	// Under NS-based mapping the answer does not depend on the client
 	// subnet, so the echoed scope must be 0.

@@ -2,7 +2,10 @@ package cdn
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"eum/internal/telemetry"
 )
 
 // FaultInjector decides which servers are failed at a given simulated
@@ -91,10 +94,12 @@ type Monitor struct {
 	onChange func(*Deployment)
 
 	last time.Time
-	// probes counts liveness probes issued.
-	probes uint64
-	// transitions counts liveness flips actually applied.
-	transitions uint64
+	// probes counts liveness probes issued. Atomic so a telemetry scrape
+	// can read it while the monitor goroutine is mid-Tick.
+	probes atomic.Uint64
+	// transitions counts liveness flips actually applied (atomic, as
+	// probes).
+	transitions atomic.Uint64
 	// flapK is how many consecutive probes must disagree with a server's
 	// current liveness before it flips (>= 1).
 	flapK int
@@ -121,10 +126,37 @@ func NewMonitor(p *Platform, f FaultInjector, interval time.Duration, onChange f
 }
 
 // Probes returns the number of liveness probes issued so far.
-func (m *Monitor) Probes() uint64 { return m.probes }
+func (m *Monitor) Probes() uint64 { return m.probes.Load() }
 
 // Transitions returns how many server liveness flips have been applied.
-func (m *Monitor) Transitions() uint64 { return m.transitions }
+func (m *Monitor) Transitions() uint64 { return m.transitions.Load() }
+
+// RegisterMetrics wires the monitor's probe/transition counters and the
+// platform's live-server gauges into reg under the cdn_ namespace. The
+// gauges walk the deployment list at scrape time — liveness flags are
+// atomics, so scraping is safe beside a ticking monitor.
+func (m *Monitor) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("cdn_health_probes_total",
+		"Liveness probes issued.", m.probes.Load)
+	reg.Counter("cdn_health_transitions_total",
+		"Server liveness flips applied after flap damping.", m.transitions.Load)
+	reg.Gauge("cdn_servers_live",
+		"CDN servers currently considered alive.", func() float64 {
+			live := 0
+			for _, d := range m.platform.Deployments {
+				for _, s := range d.Servers {
+					if s.Alive() {
+						live++
+					}
+				}
+			}
+			return float64(live)
+		})
+	reg.Gauge("cdn_servers_total",
+		"CDN servers in the platform.", func() float64 {
+			return float64(m.platform.NumServers())
+		})
+}
 
 // SetFlapThreshold sets how many consecutive probes must disagree with a
 // server's current liveness before the monitor flips it (flap damping).
@@ -151,7 +183,7 @@ func (m *Monitor) Tick(now time.Time) (changed int, probed bool) {
 	for _, d := range m.platform.Deployments {
 		depChanged := false
 		for _, s := range d.Servers {
-			m.probes++
+			m.probes.Add(1)
 			wantAlive := !m.faults.Failed(s, now)
 			if s.Alive() == wantAlive {
 				if len(m.streaks) > 0 {
@@ -168,7 +200,7 @@ func (m *Monitor) Tick(now time.Time) (changed int, probed bool) {
 				delete(m.streaks, s.ID)
 			}
 			s.SetAlive(wantAlive)
-			m.transitions++
+			m.transitions.Add(1)
 			depChanged = true
 		}
 		if depChanged {

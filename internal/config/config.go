@@ -47,6 +47,10 @@ type Config struct {
 	// RRLBurst is the rate limiter's burst allowance (requires rrl_rate;
 	// 0 keeps the server default of 8).
 	RRLBurst int `json:"rrl_burst,omitempty"`
+	// AdminAddr, when set, serves the admin HTTP endpoints (/metrics,
+	// /healthz, /mapz, pprof) on this address, e.g. "127.0.0.1:9153".
+	// Empty disables the admin listener.
+	AdminAddr string `json:"admin_addr,omitempty"`
 	// StaleMaxAgeSeconds arms the authority's staleness watchdog: a map
 	// older than this serves stale (clamped TTL), then falls back, then
 	// SERVFAILs (see authority.DegradeConfig). 0 disables the watchdog;
@@ -159,11 +163,19 @@ func (c Config) Validate() error {
 	if c.RRLRate < 0 {
 		return fmt.Errorf("config: negative rrl_rate")
 	}
+	if c.RRLRate >= 1e9 {
+		return fmt.Errorf("config: rrl_rate %g is at or above 1e9 responses/second per prefix, which the limiter cannot represent (its nanosecond interval would truncate to zero); leave rrl_rate unset to disable limiting", c.RRLRate)
+	}
 	if c.RRLBurst < 0 {
-		return fmt.Errorf("config: negative rrl_burst")
+		return fmt.Errorf("config: rrl_burst %d: the limiter needs a burst allowance of at least 1 response, or every query would be rejected (0 selects the server default of 8)", c.RRLBurst)
 	}
 	if c.RRLBurst > 0 && c.RRLRate == 0 {
 		return fmt.Errorf("config: rrl_burst set without rrl_rate (the limiter is disabled)")
+	}
+	if c.AdminAddr != "" {
+		if _, err := netip.ParseAddrPort(c.AdminAddr); err != nil {
+			return fmt.Errorf("config: admin_addr: %w", err)
+		}
 	}
 	if c.StaleMaxAgeSeconds < 0 {
 		return fmt.Errorf("config: negative stale_max_age_seconds")

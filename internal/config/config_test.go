@@ -94,6 +94,7 @@ func TestValidateErrors(t *testing.T) {
 		{"bad-shed-policy", func(c *Config) { c.ShedPolicy = "panic" }},
 		{"negative-serve-deadline", func(c *Config) { c.ServeDeadlineMillis = -5 }},
 		{"negative-rrl-rate", func(c *Config) { c.RRLRate = -1 }},
+		{"rrl-rate-above-1e9", func(c *Config) { c.RRLRate = 2e9; c.RRLBurst = 8 }},
 		{"negative-rrl-burst", func(c *Config) { c.RRLBurst = -1 }},
 		{"rrl-burst-without-rate", func(c *Config) { c.RRLRate = 0; c.RRLBurst = 4 }},
 		{"negative-stale-max-age", func(c *Config) { c.StaleMaxAgeSeconds = -1 }},
@@ -111,6 +112,25 @@ func TestValidateErrors(t *testing.T) {
 				t.Error("invalid config accepted")
 			}
 		})
+	}
+}
+
+// TestValidateRRLMessages pins the RRL validation errors to actionable
+// text: the operator who hits one should learn what the limiter would
+// actually have done with the value, not just that it was rejected.
+func TestValidateRRLMessages(t *testing.T) {
+	cfg := Default()
+	cfg.RRLRate = 1e9
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "truncate to zero") {
+		t.Errorf("rrl_rate 1e9 error = %v, want mention of interval truncation", err)
+	}
+
+	cfg = Default()
+	cfg.RRLBurst = -3
+	err = cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "at least 1 response") {
+		t.Errorf("rrl_burst -3 error = %v, want mention of the minimum allowance", err)
 	}
 }
 

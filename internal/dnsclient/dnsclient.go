@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"eum/internal/dnsmsg"
+	"eum/internal/telemetry"
 )
 
 // ErrTCPFallbackFailed marks a response that came back truncated over UDP
@@ -45,6 +46,21 @@ type Stats struct {
 	// TCPFallbackFailures counts TCP retries that themselves failed,
 	// surfacing a truncated UDP response with ErrTCPFallbackFailed.
 	TCPFallbackFailures atomic.Uint64
+}
+
+// Register wires the client counters into reg, prefixed (e.g. a prefix of
+// "dnsclient" yields "dnsclient_attempts_total"), so processes running
+// several clients — a resolver fleet, a self-probe — can meter each one
+// under its own namespace.
+func (s *Stats) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"_attempts_total",
+		"Individual UDP query attempts, including the first.", s.Attempts.Load)
+	reg.Counter(prefix+"_retries_total",
+		"Query attempts after the first.", s.Retries.Load)
+	reg.Counter(prefix+"_tcp_fallbacks_total",
+		"Truncated UDP responses retried over TCP.", s.TCPFallbacks.Load)
+	reg.Counter(prefix+"_tcp_fallback_failures_total",
+		"TCP retries that themselves failed.", s.TCPFallbackFailures.Load)
 }
 
 // Client issues DNS queries over UDP, falling back to TCP when a response

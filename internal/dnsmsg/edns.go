@@ -121,6 +121,14 @@ type ClientSubnet struct {
 	SourcePrefix uint8      // significant bits of Address in the query
 	ScopePrefix  uint8      // bits the answer is valid for (response only)
 	Address      netip.Addr // client address, zeroed beyond SourcePrefix
+
+	// NonZeroPad records that the option arrived off the wire with address
+	// bits set beyond SOURCE PREFIX-LENGTH — a violation of RFC 7871 §6
+	// ("MUST be set to 0") that §7.1.2 tells servers to answer with
+	// FORMERR. Unpack preserves the wire address so callers can log or
+	// reject it; packOption always re-masks, so the violation never
+	// propagates back onto the wire.
+	NonZeroPad bool
 }
 
 // NewClientSubnet builds a query-side ECS option for the given client
@@ -162,17 +170,30 @@ func (c *ClientSubnet) Prefix() netip.Prefix {
 	return p
 }
 
-// ScopedPrefix returns the address block the response's answer is valid
-// for, using the scope prefix length (falling back to the source prefix
-// when scope is 0, per RFC 7871 §7.3.1 caching rules where scope 0 means
-// "valid for all addresses").
+// ScopedPrefix returns the address block a cache should file the
+// response's answer under. RFC 7871 §7.3.1: a scope of 0 means the answer
+// is valid for all addresses, but the cache entry is still stored under
+// the query's source prefix — so scope 0 falls back to SourcePrefix
+// rather than producing a /0 that would let one client's answer shadow
+// the whole address family.
 func (c *ClientSubnet) ScopedPrefix() netip.Prefix {
 	bits := int(c.ScopePrefix)
+	if bits == 0 {
+		bits = int(c.SourcePrefix)
+	}
 	p, err := c.Address.Prefix(bits)
 	if err != nil {
 		return netip.Prefix{}
 	}
 	return p
+}
+
+// QueryConformant reports whether the option is legal in a query per RFC
+// 7871 §7.1.2: every address bit beyond SOURCE PREFIX-LENGTH zero, and
+// SCOPE PREFIX-LENGTH zero. A server receiving a non-conformant option
+// must answer FORMERR instead of accepting it.
+func (c *ClientSubnet) QueryConformant() bool {
+	return !c.NonZeroPad && c.ScopePrefix == 0
 }
 
 // String renders like "ecs 1.2.3.0/24/0".
@@ -207,9 +228,15 @@ func (c *ClientSubnet) packOption(buf []byte) ([]byte, error) {
 	buf = appendUint16(buf, c.Family)
 	buf = append(buf, c.SourcePrefix, c.ScopePrefix)
 	// RFC 7871 §6: ADDRESS is truncated to the minimum bytes covering
-	// SOURCE PREFIX-LENGTH bits.
+	// SOURCE PREFIX-LENGTH bits, and bits beyond the prefix MUST be 0 —
+	// mask the final partial byte so a hand-built option with an unmasked
+	// address still packs conformantly.
 	nbytes := (int(c.SourcePrefix) + 7) / 8
-	return append(buf, addrBytes[:nbytes]...), nil
+	buf = append(buf, addrBytes[:nbytes]...)
+	if r := c.SourcePrefix % 8; r != 0 {
+		buf[len(buf)-1] &= 0xFF << (8 - r)
+	}
+	return buf, nil
 }
 
 func unpackClientSubnet(body []byte) (*ClientSubnet, error) {
@@ -243,6 +270,16 @@ func unpackClientSubnet(body []byte) (*ClientSubnet, error) {
 		c.Address = netip.AddrFrom16(b)
 	default:
 		return nil, fmt.Errorf("%w: ECS family %d", ErrUnpack, c.Family)
+	}
+	// RFC 7871 §6 requires every address bit beyond SOURCE PREFIX-LENGTH
+	// to be zero. The length check above already rejects surplus whole
+	// bytes, so only the final partial byte can smuggle bits in. Flag the
+	// violation rather than failing the whole message parse: responders
+	// need the parsed message (ID, question) to answer FORMERR per §7.1.2.
+	if r := c.SourcePrefix % 8; r != 0 {
+		if body[4+addrLen-1]&^(0xFF<<(8-r)) != 0 {
+			c.NonZeroPad = true
+		}
 	}
 	return c, nil
 }

@@ -59,6 +59,58 @@ func FuzzUnpack(f *testing.F) {
 	})
 }
 
+// FuzzECSRoundTrip exercises the ECS option codec with arbitrary option
+// bodies: anything unpackClientSubnet accepts must repack and re-parse to
+// the same family, prefix lengths, and masked prefix — and the repacked
+// form must always satisfy the RFC 7871 §6 masked-bits invariant, even
+// when the input smuggled pad bits in (NonZeroPad).
+func FuzzECSRoundTrip(f *testing.F) {
+	// Conformant IPv4 /24.
+	f.Add([]byte{0x00, 0x01, 24, 0, 203, 0, 113})
+	// Pad-bit violation: /20 with bits set in the masked nibble.
+	f.Add([]byte{0x00, 0x01, 20, 0, 203, 0, 0x71})
+	// Scope violation in a query: scope 24.
+	f.Add([]byte{0x00, 0x01, 24, 24, 203, 0, 113})
+	// Conformant IPv6 /56.
+	f.Add([]byte{0x00, 0x02, 56, 0, 0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34, 0x56})
+	// Source 0: no address octets at all.
+	f.Add([]byte{0x00, 0x01, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		c, err := unpackClientSubnet(body)
+		if err != nil {
+			return
+		}
+		wire, err := c.packOption(nil)
+		if err != nil {
+			t.Fatalf("accepted option failed to repack: %v", err)
+		}
+		c2, err := unpackClientSubnet(wire)
+		if err != nil {
+			t.Fatalf("repacked option failed to parse: %v", err)
+		}
+		if c2.NonZeroPad {
+			t.Fatalf("repacked option violates the masked-bits invariant: %x", wire)
+		}
+		if c2.Family != c.Family || c2.SourcePrefix != c.SourcePrefix || c2.ScopePrefix != c.ScopePrefix {
+			t.Fatalf("header fields changed across repack: %v vs %v", c, c2)
+		}
+		// Prefix masks the address, so it is stable across repack even when
+		// the original wire form carried pad bits.
+		if c2.Prefix() != c.Prefix() {
+			t.Fatalf("prefix changed across repack: %v vs %v", c.Prefix(), c2.Prefix())
+		}
+		// ScopedPrefix can read address bits beyond SourcePrefix when the
+		// scope is longer than the source; on a NonZeroPad option those are
+		// exactly the wire bits that repacking re-masks, so the invariant
+		// only holds for conformant inputs.
+		if !c.NonZeroPad && c2.ScopedPrefix() != c.ScopedPrefix() {
+			t.Fatalf("scoped prefix changed across repack: %v vs %v", c.ScopedPrefix(), c2.ScopedPrefix())
+		}
+	})
+}
+
 // FuzzNameRoundTrip checks the name codec in isolation.
 func FuzzNameRoundTrip(f *testing.F) {
 	f.Add("example.com")

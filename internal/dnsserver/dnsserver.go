@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"eum/internal/dnsmsg"
+	"eum/internal/telemetry"
 )
 
 // Handler answers DNS queries. Implementations must be safe for concurrent
@@ -212,6 +213,9 @@ type Server struct {
 	// rrl is the per-source-prefix response-rate limiter, nil unless
 	// Config.RRLRate is positive.
 	rrl *rateLimiter
+	// latency, when non-nil, records per-query handler latency (unpack
+	// through response write). Set by RegisterMetrics before Serve.
+	latency *telemetry.Histogram
 
 	// Metrics exposes live counters.
 	Metrics Metrics
@@ -464,7 +468,14 @@ func (s *Server) handlePacket(raddr netip.AddrPort, pkt []byte) {
 		}
 		return
 	}
+	var startNs int64
+	if s.latency != nil {
+		startNs = time.Now().UnixNano()
+	}
 	resp := safeServe(s.handler, &s.Metrics, raddr, query)
+	if s.latency != nil {
+		s.latency.ObserveNanos(time.Now().UnixNano() - startNs)
+	}
 	if resp == nil {
 		s.Metrics.Dropped.Add(1)
 		return

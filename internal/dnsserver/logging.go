@@ -21,7 +21,18 @@ func WithLogging(h Handler, logger *slog.Logger) Handler {
 	return HandlerFunc(func(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message {
 		start := time.Now()
 		resp := h.ServeDNS(remote, query)
-		attrs := make([]slog.Attr, 0, 8)
+		level, msg := slog.LevelInfo, "query"
+		if resp == nil {
+			level, msg = slog.LevelWarn, "query dropped"
+		}
+		ctx := context.Background()
+		// Bail out before building any attributes when the record would be
+		// discarded anyway: a name server at full query rate must not pay
+		// per-query allocation for logging it has turned off.
+		if !logger.Enabled(ctx, level) {
+			return resp
+		}
+		attrs := make([]slog.Attr, 0, 10)
 		attrs = append(attrs,
 			slog.String("remote", remote.String()),
 			slog.Duration("latency", time.Since(start)),
@@ -33,12 +44,18 @@ func WithLogging(h Handler, logger *slog.Logger) Handler {
 				slog.String("type", q.Type.String()),
 			)
 		}
+		if n := len(query.Questions); n > 1 {
+			// More than one question is abnormal for this server; record the
+			// count so the log does not silently pretend the query was
+			// ordinary while showing only the first question.
+			attrs = append(attrs, slog.Int("questions", n))
+		}
 		if ecs := query.ClientSubnet(); ecs != nil {
 			attrs = append(attrs, slog.String("ecs", ecs.Prefix().String()))
 		}
 		if resp == nil {
 			attrs = append(attrs, slog.Bool("dropped", true))
-			logger.LogAttrs(context.Background(), slog.LevelWarn, "query dropped", attrs...)
+			logger.LogAttrs(ctx, level, msg, attrs...)
 			return nil
 		}
 		attrs = append(attrs,
@@ -48,7 +65,7 @@ func WithLogging(h Handler, logger *slog.Logger) Handler {
 		if ecs := resp.ClientSubnet(); ecs != nil {
 			attrs = append(attrs, slog.Int("scope", int(ecs.ScopePrefix)))
 		}
-		logger.LogAttrs(context.Background(), slog.LevelInfo, "query", attrs...)
+		logger.LogAttrs(ctx, level, msg, attrs...)
 		return resp
 	})
 }

@@ -2,6 +2,7 @@ package dnsserver
 
 import (
 	"bytes"
+	"io"
 	"log/slog"
 	"net/netip"
 	"strings"
@@ -51,6 +52,54 @@ func TestWithLoggingDropped(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "WARN") {
 		t.Errorf("drop not logged at WARN:\n%s", buf.String())
+	}
+}
+
+// TestWithLoggingDisabledLevelSkipsWork is the regression test for the
+// attribute-construction bug: the wrapper used to build the full attribute
+// set (remote string, ECS prefix, rcode) for every query even when the
+// logger's level discarded the record. With logging disabled the wrapper
+// must now cost zero allocations per query.
+func TestWithLoggingDisabledLevelSkipsWork(t *testing.T) {
+	logger := slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.LevelError, // both INFO answers and WARN drops disabled
+	}))
+	canned := (&dnsmsg.Message{}).Reply()
+	h := WithLogging(HandlerFunc(func(netip.AddrPort, *dnsmsg.Message) *dnsmsg.Message {
+		return canned
+	}), logger)
+	q := dnsmsg.NewQuery(8, "quiet.example.net", dnsmsg.TypeA)
+	_ = q.SetClientSubnet(netip.MustParseAddr("203.0.113.0"), 24)
+	remote := netip.MustParseAddrPort("198.51.100.9:5353")
+	if allocs := testing.AllocsPerRun(100, func() {
+		if h.ServeDNS(remote, q) == nil {
+			t.Fatal("no response")
+		}
+	}); allocs != 0 {
+		t.Errorf("disabled logging still allocates %.0f per query, want 0", allocs)
+	}
+}
+
+// TestWithLoggingMultiQuestion checks the wrapper records the question
+// count when a query carries more than one question, instead of silently
+// logging only the first.
+func TestWithLoggingMultiQuestion(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	h := WithLogging(&echoHandler{}, logger)
+	q := dnsmsg.NewQuery(9, "one.example.net", dnsmsg.TypeA)
+	q.Questions = append(q.Questions, dnsmsg.Question{
+		Name: "two.example.net", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET,
+	})
+	if resp := h.ServeDNS(netip.MustParseAddrPort("10.0.0.1:53"), q); resp == nil {
+		t.Fatal("no response")
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"questions":2`) {
+		t.Errorf("multi-question query did not log its question count:\n%s", out)
+	}
+	if !strings.Contains(out, `"name":"one.example.net"`) {
+		t.Errorf("first question missing from log:\n%s", out)
 	}
 }
 

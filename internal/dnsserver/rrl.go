@@ -33,8 +33,21 @@ type rateLimiter struct {
 // newRateLimiter builds a limiter allowing rate responses/second per
 // prefix with the given burst, slipping every slipN-th limited query
 // (slipN < 0 disables slipping).
+//
+// Both parameters are clamped to the smallest value at which the GCRA
+// still functions: a rate at or above 1e9/s would truncate the interval
+// to 0, making every query conform (a silently disabled limiter exactly
+// when someone asked for an aggressive one), and a burst below 1 would
+// make the allowance 0, rejecting every query including the first.
 func newRateLimiter(rate float64, burst, slipN int) *rateLimiter {
-	r := &rateLimiter{interval: int64(1e9 / rate), limit: int64(burst) * int64(1e9/rate)}
+	interval := int64(1e9 / rate)
+	if interval < 1 {
+		interval = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	r := &rateLimiter{interval: interval, limit: int64(burst) * interval}
 	if slipN > 0 {
 		r.slipN = uint64(slipN)
 	}

@@ -54,6 +54,48 @@ func TestRateLimiterPrefixGranularity(t *testing.T) {
 	}
 }
 
+// TestRateLimiterExtremeRateStillLimits is the regression test for the
+// interval-truncation bug: a rate at or above 1e9 responses/second used to
+// compute a zero nanosecond interval, which made every query conform — the
+// limiter silently disabled itself exactly when someone configured an
+// aggressive rate. The interval is now clamped to 1ns, so even an absurd
+// rate still bounds the burst.
+func TestRateLimiterExtremeRateStillLimits(t *testing.T) {
+	r := newRateLimiter(2e9, 8, 0)
+	if r.interval < 1 {
+		t.Fatalf("interval = %d, want >= 1ns", r.interval)
+	}
+	addr := netip.MustParseAddr("203.0.113.9")
+	now := int64(1e12)
+	allowed := 0
+	for i := 0; i < 100; i++ {
+		if r.allow(addr, now) {
+			allowed++
+		}
+	}
+	if allowed == 100 {
+		t.Fatal("limiter disabled at rate >= 1e9 (all 100 queries conformed)")
+	}
+	if allowed != 8 {
+		t.Fatalf("allowed %d at one instant, want the burst of 8", allowed)
+	}
+}
+
+// TestRateLimiterZeroBurstAllowsFirst is the regression test for the
+// zero-burst bug: burst 0 used to compute a zero allowance, rejecting
+// every query including the very first. Burst is now clamped to 1.
+func TestRateLimiterZeroBurstAllowsFirst(t *testing.T) {
+	r := newRateLimiter(10, 0, 0)
+	addr := netip.MustParseAddr("198.51.100.7")
+	now := int64(1e12)
+	if !r.allow(addr, now) {
+		t.Fatal("burst 0 rejected the first query (allowance clamped to zero)")
+	}
+	if r.allow(addr, now) {
+		t.Fatal("clamped burst of 1 granted a second response at the same instant")
+	}
+}
+
 func TestRateLimiterSlipCadence(t *testing.T) {
 	r := newRateLimiter(10, 1, 2)
 	slips := 0

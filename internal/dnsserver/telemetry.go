@@ -1,0 +1,34 @@
+package dnsserver
+
+import "eum/internal/telemetry"
+
+// RegisterMetrics wires the server's live counters and a ServeDNS latency
+// histogram into reg under the dnsserver_ namespace. The counters stay the
+// atomics the serve loop already increments — the registry reads them only
+// at scrape time — and the histogram stamp is two atomic adds around the
+// handler call, so registration does not change the hot path's allocation
+// or locking profile. Call before Serve; the latency histogram field is
+// not synchronised against a running serve loop.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	m := &s.Metrics
+	reg.Counter("dnsserver_queries_total",
+		"Well-formed DNS queries received.", m.Queries.Load)
+	reg.Counter("dnsserver_responses_total",
+		"Responses sent.", m.Responses.Load)
+	reg.Counter("dnsserver_malformed_total",
+		"Datagrams that failed to parse.", m.Malformed.Load)
+	reg.Counter("dnsserver_dropped_total",
+		"Queries the handler chose not to answer.", m.Dropped.Load)
+	reg.Counter("dnsserver_shed_total",
+		"Datagrams rejected at enqueue because the queue was full.", m.Shed.Load)
+	reg.Counter("dnsserver_deadline_drops_total",
+		"Queued queries discarded past the serve deadline.", m.DeadlineDrops.Load)
+	reg.Counter("dnsserver_rate_limited_total",
+		"Queries suppressed by response-rate limiting.", m.RateLimited.Load)
+	reg.Counter("dnsserver_slips_total",
+		"Rate-limited queries answered with a minimal TC=1 slip.", m.Slips.Load)
+	reg.Counter("dnsserver_handler_panics_total",
+		"Handler panics recovered by the serve loop.", m.HandlerPanics.Load)
+	s.latency = reg.Histogram("dnsserver_serve_latency_seconds",
+		"Handler (ServeDNS) latency per query.")
+}

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eum/internal/telemetry"
 )
 
 // Config sets fault probabilities and delays. Zero values inject nothing.
@@ -70,6 +72,22 @@ type Stats struct {
 	Delayed atomic.Uint64
 	// Truncated counts packets cut short.
 	Truncated atomic.Uint64
+}
+
+// Register wires the fault counters into reg, prefixed (e.g. "faultnet"
+// yields "faultnet_dropped_total"), so chaos harnesses can expose injected
+// faults next to the serving-plane metrics they perturb.
+func (s *Stats) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"_forwarded_total",
+		"Packets delivered unharmed.", s.Forwarded.Load)
+	reg.Counter(prefix+"_dropped_total",
+		"Packets deliberately lost.", s.Dropped.Load)
+	reg.Counter(prefix+"_duplicated_total",
+		"Packets delivered twice.", s.Duplicated.Load)
+	reg.Counter(prefix+"_delayed_total",
+		"Packets held for reordering or latency.", s.Delayed.Load)
+	reg.Counter(prefix+"_truncated_total",
+		"Packets cut short.", s.Truncated.Load)
 }
 
 // rng is a locked splitmix64 stream shared by all wrappers of one config,

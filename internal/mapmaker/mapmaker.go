@@ -25,6 +25,7 @@ import (
 
 	"eum/internal/cdn"
 	"eum/internal/mapping"
+	"eum/internal/telemetry"
 )
 
 // Reason classifies why the map must be rebuilt. Reasons are a bitmask so
@@ -67,6 +68,9 @@ type MapMaker struct {
 
 	published atomic.Uint64 // snapshots built and installed
 	buildNs   atomic.Int64  // duration of the last build, nanoseconds
+	// buildHist, when non-nil, records every successful build's duration.
+	// Set by RegisterMetrics before Run starts.
+	buildHist *telemetry.Histogram
 
 	// buildFailures counts builds that panicked; the Run loop survives
 	// them, keeps serving the last good snapshot, and retries later.
@@ -191,8 +195,33 @@ func (m *MapMaker) tryBuild(r Reason) (sn *mapping.Snapshot, err error) {
 	}
 	start := time.Now()
 	sn = m.sys.Rebuild()
-	m.buildNs.Store(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	m.buildNs.Store(int64(elapsed))
+	if m.buildHist != nil {
+		m.buildHist.Observe(elapsed)
+	}
 	return sn, nil
+}
+
+// RegisterMetrics wires the MapMaker's publish/failure counters, snapshot
+// gauges and a build-duration histogram into reg under the mapmaker_
+// namespace. Call before Run starts; the histogram field is not
+// synchronised against a running pipeline loop.
+func (m *MapMaker) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("mapmaker_published_total",
+		"Map snapshots built and installed.", m.published.Load)
+	reg.Counter("mapmaker_build_failures_total",
+		"Map builds that panicked and were recovered.", m.buildFailures.Load)
+	reg.Gauge("mapmaker_last_build_seconds",
+		"Duration of the most recent successful map build.", func() float64 {
+			return time.Duration(m.buildNs.Load()).Seconds()
+		})
+	reg.Gauge("mapmaker_map_epoch",
+		"Epoch of the currently published snapshot.", func() float64 {
+			return float64(m.sys.Current().Epoch())
+		})
+	m.buildHist = reg.Histogram("mapmaker_build_seconds",
+		"Map build (snapshot pipeline) duration.")
 }
 
 // SetBuildFault installs a hook run at the start of every build — fault
