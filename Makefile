@@ -12,14 +12,19 @@ SIMBENCH = BenchmarkWorldGenerate|BenchmarkRolloutTimeline|BenchmarkFig25Sweep
 # (see DESIGN.md "Control plane / data plane"; numbers in BENCH_map.json).
 SNAPBENCH = BenchmarkSnapshotSwap|BenchmarkServingUnderMapChurn
 
-.PHONY: all check vet build test race chaos obs bench bench-hot bench-sim bench-snapshot bench-figures
+# Sharded serving-plane sweep: SO_REUSEPORT shards x recvmmsg batch size
+# (see DESIGN.md "Sharded serving plane"; numbers in BENCH_qps.json).
+QPSBENCH = BenchmarkShardedThroughput
+
+.PHONY: all check vet build test race chaos obs crossbuild bench bench-hot bench-sim bench-snapshot bench-qps bench-figures
 
 all: check
 
 # The full verification gate: vet, build, tests with the race detector,
 # the chaos harness (faultnet integration tests, also under -race), then
-# the observability smoke test against a live in-process stack.
-check: vet build race chaos obs
+# the observability smoke test against a live in-process stack, then
+# cross-compiles of the non-linux / non-amd64 fallback paths.
+check: vet build race chaos obs crossbuild
 
 vet:
 	$(GO) vet ./...
@@ -64,8 +69,19 @@ bench-sim:
 bench-snapshot:
 	$(GO) test -run 'TestNone' -bench '$(SNAPBENCH)' -benchmem .
 
+# Sharded serving plane: shard-count x batch-size throughput sweep.
+bench-qps:
+	$(GO) test -run 'TestNone' -bench '$(QPSBENCH)' -benchmem -benchtime 2s .
+
+# The SO_REUSEPORT and recvmmsg/sendmmsg code is build-tagged per OS and
+# arch; compile the portable fallbacks so a tag typo can't rot unnoticed.
+crossbuild:
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
+	GOOS=windows GOARCH=amd64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+
 # Regenerate every paper figure as benchmarks (slow; see EXPERIMENTS.md).
 bench-figures:
 	$(GO) test -run 'TestNone' -bench . -benchmem .
 
-bench: bench-hot bench-sim
+bench: bench-hot bench-sim bench-qps

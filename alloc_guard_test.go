@@ -67,4 +67,17 @@ func TestServeDNSAllocGuard(t *testing.T) {
 		t.Errorf("ServeDNS with telemetry = %.1f allocs/op, budget %.0f (BENCH_map.json hot_path_guard)",
 			allocs, budget)
 	}
+
+	// The sharded dispatch path must hold the same budget: selecting a
+	// per-shard cache is an index, not an allocation.
+	auth.SetShards(4)
+	allocs = testing.AllocsPerRun(200, func() {
+		if resp := auth.ServeDNSShard(3, remote, q); resp == nil || resp.RCode != dnsmsg.RCodeSuccess {
+			t.Fatal("bad sharded response")
+		}
+	})
+	if allocs > budget {
+		t.Errorf("ServeDNSShard(3) with telemetry = %.1f allocs/op, budget %.0f (per-shard caches must be free)",
+			allocs, budget)
+	}
 }

@@ -59,6 +59,10 @@ func main() {
 	rrlRate := flag.Float64("rrl-rate", 0,
 		"response-rate limit per source prefix, responses/second (0 disables)")
 	rrlBurst := flag.Int("rrl-burst", 0, "response-rate limiter burst allowance (0 = default 8)")
+	shards := flag.Int("shards", 0,
+		"SO_REUSEPORT listener shards (0 = one per CPU on linux, 1 elsewhere)")
+	batch := flag.Int("batch", 0,
+		"datagrams drained/flushed per syscall via recvmmsg/sendmmsg, linux only (0 or 1 = single-packet)")
 	staleMaxAge := flag.Duration("stale-max-age", 30*time.Second,
 		"serve-stale watchdog: map age entering degraded answers (0 disables)")
 	verbose := flag.Bool("verbose", false, "log every query (structured JSON on stderr)")
@@ -74,6 +78,8 @@ func main() {
 	cfg.ServeDeadlineMillis = int(serveDeadline.Milliseconds())
 	cfg.RRLRate = *rrlRate
 	cfg.RRLBurst = *rrlBurst
+	cfg.ListenerShards = *shards
+	cfg.BatchSize = *batch
 	cfg.StaleMaxAgeSeconds = int(staleMaxAge.Seconds())
 	cfg.MapRefreshSeconds = int(mapRefresh.Seconds())
 	cfg.AdminAddr = *adminAddr
@@ -141,11 +147,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Give the authority one answer cache per listener shard, so shards
+	// never contend on cache lines (the server routes queries through
+	// ServeDNSShard because Authority is ShardAware).
+	if auth != nil {
+		auth.SetShards(srv.Shards())
+	}
 	tcpSrv, err := dnsserver.ListenTCP(*addr, handler)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s on %s (udp+tcp), policy %s", described, srv.Addr(), policy)
+	log.Printf("%s on %s (udp+tcp, %d shards), policy %s", described, srv.Addr(), srv.Shards(), policy)
 
 	// Observability plane: one registry aggregating every subsystem's
 	// counters, served over a separate admin HTTP listener. The health

@@ -1,108 +1,89 @@
-// Command eumload load-tests a running eumdns server: it fires concurrent
-// DNS queries (optionally with random ECS subnets from real client blocks)
-// and reports achieved throughput and latency percentiles — a quick way to
-// see the name-server side of the §5 scaling story on real sockets.
+// Command eumload is an open-loop DNS load harness for eumdns. Unlike a
+// closed-loop client (send, wait, repeat — whose offered rate collapses to
+// whatever the server sustains), eumload offers queries at a fixed target
+// rate on a deterministic Poisson schedule and reports what came back:
+// achieved throughput, latency percentiles, timeouts, and a per-second
+// time series. When the server falls behind, the numbers show it.
 //
 //	eumdns -addr 127.0.0.1:5300 &
-//	eumload -server 127.0.0.1:5300 -duration 5s -concurrency 16 -ecs 0.5
+//	eumload -server 127.0.0.1:5300 -rate 20000 -duration 10s -json report.json
+//
+// ECS queries sample real client prefixes from the same synthetic world the
+// server generates (match -blocks and -seed to the server's flags so the
+// prefixes resolve). The offered schedule is fully determined by -seed.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net/netip"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"os"
 	"time"
 
-	"eum/internal/dnsclient"
-	"eum/internal/dnsmsg"
-	"eum/internal/par"
+	"eum/internal/loadgen"
 	"eum/internal/world"
 )
 
 func main() {
-	server := flag.String("server", "127.0.0.1:5300", "DNS server host:port")
-	zone := flag.String("zone", "cdn.example.net", "zone to query under")
-	duration := flag.Duration("duration", 5*time.Second, "test duration")
-	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
-	ecsRatio := flag.Float64("ecs", 0.5, "fraction of queries carrying an ECS option")
-	domains := flag.Int("domains", 50, "distinct domains to query")
-	blocks := flag.Int("blocks", 2000, "world size for sampling ECS subnets")
-	seed := flag.Int64("seed", 1, "workload seed")
+	server := flag.String("server", "127.0.0.1:5300", "DNS server address")
+	zone := flag.String("zone", "cdn.example.net", "zone to query")
+	rate := flag.Float64("rate", 1000, "target offered rate, queries/second")
+	duration := flag.Duration("duration", 5*time.Second, "how long to offer load")
+	conns := flag.Int("conns", 4, "UDP connections (each an independent sender)")
+	ecs := flag.Float64("ecs", 0.8, "fraction of queries carrying EDNS client-subnet")
+	domains := flag.Int("domains", 50, "distinct content domains to query")
+	blocks := flag.Int("blocks", 8000, "world size for ECS prefix sampling (match the server)")
+	seed := flag.Int64("seed", 1, "schedule and world seed")
+	jsonPath := flag.String("json", "", "write the full JSON report here (- for stdout)")
 	flag.Parse()
 
-	// Sample realistic ECS prefixes from a world (eumdns defaults to the
-	// same generator, so many prefixes will be known to the server).
-	w := world.MustGenerate(world.Config{Seed: *seed, NumBlocks: *blocks})
-	prefixes := make([]netip.Prefix, 0, len(w.Blocks))
-	for _, b := range w.Blocks {
-		prefixes = append(prefixes, b.Prefix)
-	}
-
-	var sent, failed atomic.Uint64
-	var mu sync.Mutex
-	var latencies []time.Duration
-
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
-	defer cancel()
-	start := time.Now()
-
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < *concurrency; wkr++ {
-		wg.Add(1)
-		go func(wkr int) {
-			defer wg.Done()
-			// Split-mixed child seeds: worker streams stay decorrelated even
-			// for adjacent base seeds (seed+wkr collides across runs).
-			rng := rand.New(rand.NewSource(par.ChildSeed(*seed, uint64(wkr))))
-			c := &dnsclient.Client{Timeout: 2 * time.Second, Retries: 0}
-			for ctx.Err() == nil {
-				name := dnsmsg.Name(fmt.Sprintf("e%04d.b.%s", rng.Intn(*domains), *zone))
-				var ecs netip.Prefix
-				if rng.Float64() < *ecsRatio {
-					ecs = prefixes[rng.Intn(len(prefixes))]
-				}
-				t0 := time.Now()
-				_, err := c.Lookup(ctx, *server, name, dnsmsg.TypeA, ecs)
-				if ctx.Err() != nil {
-					return
-				}
-				sent.Add(1)
-				if err != nil {
-					failed.Add(1)
-					continue
-				}
-				mu.Lock()
-				latencies = append(latencies, time.Since(t0))
-				mu.Unlock()
-			}
-		}(wkr)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	total := sent.Load()
-	if total == 0 {
-		log.Fatal("no queries completed; is eumdns running?")
-	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
+	var prefixes []netip.Prefix
+	if *ecs > 0 {
+		w := world.MustGenerate(world.Config{Seed: *seed, NumBlocks: *blocks})
+		prefixes = make([]netip.Prefix, len(w.Blocks))
+		for i, b := range w.Blocks {
+			prefixes[i] = b.Prefix
 		}
-		i := int(p / 100 * float64(len(latencies)))
-		if i >= len(latencies) {
-			i = len(latencies) - 1
-		}
-		return latencies[i]
 	}
-	fmt.Printf("sent %d queries in %v: %.0f q/s, %d failed\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), failed.Load())
-	fmt.Printf("latency p50 %v  p90 %v  p99 %v\n",
-		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond), pct(99).Round(time.Microsecond))
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Server:   *server,
+		Zone:     *zone,
+		Rate:     *rate,
+		Duration: *duration,
+		Conns:    *conns,
+		ECSRatio: *ecs,
+		Domains:  *domains,
+		Seed:     *seed,
+		Prefixes: prefixes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("offered %.0f qps for %v (target %.0f): sent %d, received %d, timeouts %d, failures %d\n",
+		rep.OfferedQPS, *duration, *rate, rep.Sent, rep.Received, rep.Timeouts, rep.Failures)
+	fmt.Printf("achieved %.0f qps; latency p50 %.0fus p90 %.0fus p99 %.0fus p99.9 %.0fus mean %.0fus\n",
+		rep.AchievedQPS, rep.Latency.P50Micros, rep.Latency.P90Micros,
+		rep.Latency.P99Micros, rep.Latency.P999Micros, rep.Latency.MeanMicros)
+	for _, s := range rep.Series {
+		fmt.Printf("  t=%2ds sent %6d recv %6d p50 %6.0fus p99 %6.0fus\n",
+			s.Second, s.Sent, s.Received, s.P50Micros, s.P99Micros)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

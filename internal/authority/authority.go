@@ -100,7 +100,9 @@ func (c DegradeConfig) withDefaults() DegradeConfig {
 var errStaleMap = errors.New("authority: map too stale to serve")
 
 // Authority answers DNS queries for one CDN zone using a mapping system.
-// It implements dnsserver.Handler and is safe for concurrent use.
+// It implements dnsserver.Handler — and dnsserver.ShardAware, so a sharded
+// serving plane gives every listener shard its own answer cache — and is
+// safe for concurrent use.
 //
 // Repeat mapping decisions are served from a per-scope answer cache (see
 // cache.go): within one TTL window, queries for the same content domain
@@ -109,7 +111,10 @@ var errStaleMap = errors.New("authority: map too stale to serve")
 type Authority struct {
 	zone   dnsmsg.Name
 	system *mapping.System
-	cache  *answerCache
+	// caches holds one answer cache per serving shard (see SetShards), so
+	// shards never contend on cache shard locks or lines; nil when the
+	// cache is disabled. A single-shard server uses caches[0].
+	caches []*answerCache
 
 	// nowNanos is the cache clock, overridable in tests.
 	nowNanos func() int64
@@ -166,7 +171,7 @@ func New(zone dnsmsg.Name, system *mapping.System) (*Authority, error) {
 	return &Authority{
 		zone:     zone.Canonical(),
 		system:   system,
-		cache:    newAnswerCache(),
+		caches:   []*answerCache{newAnswerCache()},
 		nowNanos: func() int64 { return time.Now().UnixNano() },
 	}, nil
 }
@@ -174,7 +179,27 @@ func New(zone dnsmsg.Name, system *mapping.System) (*Authority, error) {
 // DisableAnswerCache turns the per-scope answer cache off, forcing every
 // query through the full mapping path (for baseline benchmarks and tests).
 // Call it before serving begins.
-func (a *Authority) DisableAnswerCache() { a.cache = nil }
+func (a *Authority) DisableAnswerCache() { a.caches = nil }
+
+// SetShards sizes the answer-cache array to one independent cache per
+// serving shard, discarding any cached answers. Wire it to the server's
+// shard count (dnsserver.Server.Shards) before serving begins; queries
+// then arrive via ServeDNSShard and each shard fills only its own cache —
+// shared-nothing, at the cost of per-shard cold starts and up to
+// shard-count copies of a hot answer. A no-op when the cache is disabled.
+func (a *Authority) SetShards(n int) {
+	if a.caches == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	caches := make([]*answerCache, n)
+	for i := range caches {
+		caches[i] = newAnswerCache()
+	}
+	a.caches = caches
+}
 
 // SetDegradeConfig arms the staleness watchdog (see DegradeConfig); a zero
 // StaleAfter disables it. Call before serving begins.
@@ -219,8 +244,17 @@ func (a *Authority) WhoamiName() dnsmsg.Name {
 	return dnsmsg.Name("whoami." + string(a.zone))
 }
 
-// ServeDNS implements dnsserver.Handler.
+// ServeDNS implements dnsserver.Handler, serving against shard 0's cache.
 func (a *Authority) ServeDNS(remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message {
+	return a.ServeDNSShard(0, remote, query)
+}
+
+// ServeDNSShard implements dnsserver.ShardAware: identical to ServeDNS but
+// mapping decisions consult (and fill) the answer cache belonging to the
+// given serving shard. Shard indexes beyond the configured cache count
+// (see SetShards) wrap, so a stale wiring order degrades to cache sharing
+// rather than a panic.
+func (a *Authority) ServeDNSShard(shard int, remote netip.AddrPort, query *dnsmsg.Message) *dnsmsg.Message {
 	resp := query.Reply()
 	resp.Authoritative = true
 	resp.RecursionAvailable = false
@@ -248,7 +282,7 @@ func (a *Authority) ServeDNS(remote netip.AddrPort, query *dnsmsg.Message) *dnsm
 
 	switch q.Type {
 	case dnsmsg.TypeA, dnsmsg.TypeANY:
-		return a.serveMapping(remote, query, q, resp)
+		return a.serveMapping(shard, remote, query, q, resp)
 	case dnsmsg.TypeAAAA, dnsmsg.TypeTXT, dnsmsg.TypeNS, dnsmsg.TypeCNAME:
 		// Name exists (any content domain under the zone does), but we
 		// have no records of this type: NOERROR/NODATA with an SOA.
@@ -282,7 +316,7 @@ func (a *Authority) serveWhoami(remote netip.AddrPort, q dnsmsg.Question, resp *
 
 // serveMapping asks the mapping system for servers and builds the answer,
 // consulting the per-scope answer cache first.
-func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q dnsmsg.Question, resp *dnsmsg.Message) *dnsmsg.Message {
+func (a *Authority) serveMapping(shard int, remote netip.AddrPort, query *dnsmsg.Message, q dnsmsg.Question, resp *dnsmsg.Message) *dnsmsg.Message {
 	req := mapping.Request{
 		Domain: string(q.Name.Canonical()),
 		LDNS:   remote.Addr().Unmap(),
@@ -310,7 +344,7 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 	if a.decisionLatency != nil {
 		startNs = time.Now().UnixNano()
 	}
-	decision, level, err := a.decide(req)
+	decision, level, err := a.decide(shard, req)
 	if a.decisionLatency != nil {
 		a.decisionLatency.ObserveNanos(time.Now().UnixNano() - startNs)
 	}
@@ -367,11 +401,18 @@ func (a *Authority) serveMapping(remote netip.AddrPort, query *dnsmsg.Message, q
 // bypassing the cache, and beyond ServfailAfter the decision is refused.
 // None of this adds allocations or locks — one atomic load and a few
 // comparisons on the armed path, a single branch when disarmed.
-func (a *Authority) decide(req mapping.Request) (*mapping.Response, DegradeLevel, error) {
+func (a *Authority) decide(shard int, req mapping.Request) (*mapping.Response, DegradeLevel, error) {
 	snap := a.system.Current()
 	level := DegradeFresh
+	var cache *answerCache
+	if len(a.caches) > 0 {
+		if shard < 0 || shard >= len(a.caches) {
+			shard = 0
+		}
+		cache = a.caches[shard]
+	}
 	var now int64
-	if a.cache != nil || a.degrade.StaleAfter > 0 {
+	if cache != nil || a.degrade.StaleAfter > 0 {
 		now = a.nowNanos()
 	}
 	if a.degrade.StaleAfter > 0 {
@@ -390,13 +431,13 @@ func (a *Authority) decide(req mapping.Request) (*mapping.Response, DegradeLevel
 			a.StaleAnswers.Add(1)
 		}
 	}
-	if a.cache == nil {
+	if cache == nil {
 		decision, err := a.system.MapAt(snap, req)
 		return decision, level, err
 	}
 	key := a.cacheKey(snap, req)
 	epoch := snap.Epoch()
-	if decision := a.cache.get(key, epoch, now); decision != nil {
+	if decision := cache.get(key, epoch, now); decision != nil {
 		if decision.Epoch != epoch {
 			// Invariant tripwire: a hit must carry the epoch it was filed
 			// under. See StaleEpochAnswers.
@@ -410,7 +451,7 @@ func (a *Authority) decide(req mapping.Request) (*mapping.Response, DegradeLevel
 		return nil, level, err
 	}
 	a.CacheMisses.Add(1)
-	a.cache.put(key, epoch, now, now+decision.TTL.Nanoseconds(), decision)
+	cache.put(key, epoch, now, now+decision.TTL.Nanoseconds(), decision)
 	return decision, level, nil
 }
 

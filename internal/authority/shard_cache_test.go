@@ -1,0 +1,158 @@
+package authority
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"eum/internal/dnsmsg"
+	"eum/internal/mapping"
+)
+
+// TestShardCacheIsolation proves per-shard answer caches share nothing:
+// warming shard 0 with a query must not make the identical query a hit on
+// shard 1. The CacheMisses sequencing is the witness — with a shared cache
+// the second shard's query would hit.
+func TestShardCacheIsolation(t *testing.T) {
+	a := newAuthority(t, mapping.EndUser)
+	a.SetShards(2)
+
+	q := func() *dnsmsg.Message {
+		m := query("img.cdn.example.net", dnsmsg.TypeA)
+		blk := testW.Blocks[3]
+		if err := m.SetClientSubnet(blk.Prefix.Addr(), uint8(blk.Prefix.Bits())); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Shard 0: miss, then hit.
+	if resp := a.ServeDNSShard(0, resolverAddr, q()); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("shard 0 first query rcode = %v", resp.RCode)
+	}
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 0 || misses != 1 {
+		t.Fatalf("after shard 0 cold query: hits %d misses %d, want 0/1", hits, misses)
+	}
+	if resp := a.ServeDNSShard(0, resolverAddr, q()); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("shard 0 second query rcode = %v", resp.RCode)
+	}
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Fatalf("after shard 0 warm query: hits %d misses %d, want 1/1", hits, misses)
+	}
+
+	// Shard 1: the same query must miss again — its cache is its own.
+	if resp := a.ServeDNSShard(1, resolverAddr, q()); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("shard 1 query rcode = %v", resp.RCode)
+	}
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 1 || misses != 2 {
+		t.Fatalf("after shard 1 cold query: hits %d misses %d, want 1/2 (shard 1 must not see shard 0's cache)", hits, misses)
+	}
+	// And now it hits locally.
+	if resp := a.ServeDNSShard(1, resolverAddr, q()); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("shard 1 warm query rcode = %v", resp.RCode)
+	}
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 2 || misses != 2 {
+		t.Fatalf("after shard 1 warm query: hits %d misses %d, want 2/2", hits, misses)
+	}
+}
+
+// TestSetShardsSemantics pins the edge cases: plain ServeDNS routes to
+// shard 0, out-of-range shard IDs degrade to shard 0 instead of panicking,
+// and SetShards on a cache-disabled authority stays disabled.
+func TestSetShardsSemantics(t *testing.T) {
+	a := newAuthority(t, mapping.EndUser)
+	a.SetShards(2)
+
+	if resp := a.ServeDNS(resolverAddr, query("js.cdn.example.net", dnsmsg.TypeA)); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("ServeDNS rcode = %v", resp.RCode)
+	}
+	if resp := a.ServeDNSShard(99, resolverAddr, query("js.cdn.example.net", dnsmsg.TypeA)); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("out-of-range shard rcode = %v", resp.RCode)
+	}
+	// Both landed on shard 0's cache: one miss then one hit.
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Errorf("hits %d misses %d, want 1/1 (ServeDNS and wrapped shard share shard 0)", hits, misses)
+	}
+
+	d := newAuthority(t, mapping.EndUser)
+	d.DisableAnswerCache()
+	d.SetShards(4)
+	if resp := d.ServeDNSShard(2, resolverAddr, query("img.cdn.example.net", dnsmsg.TypeA)); resp.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("disabled-cache shard query rcode = %v", resp.RCode)
+	}
+	if hits := d.CacheHits.Load(); hits != 0 {
+		t.Errorf("disabled cache recorded %d hits after SetShards", hits)
+	}
+}
+
+// TestShardCacheConcurrentEpochs hammers all shards concurrently while the
+// control plane republishes snapshots, asserting the per-shard caches never
+// serve a stale-epoch answer. This is the sharded extension of
+// TestAuthorityEpochHammer: shard-local caches must preserve the same
+// epoch-keying invariant the shared cache had.
+func TestShardCacheConcurrentEpochs(t *testing.T) {
+	a := newAuthority(t, mapping.EndUser)
+	const shards = 4
+	a.SetShards(shards)
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				a.system.Rebuild()
+			}
+		}
+	}()
+
+	const perShard = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, shards)
+	for shard := 0; shard < shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			ldns := netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 51, 100, byte(shard + 1)}), 5353)
+			for i := 0; i < perShard; i++ {
+				q := query("video.cdn.example.net", dnsmsg.TypeA)
+				if i%2 == 0 {
+					blk := testW.Blocks[(shard*perShard+i)%len(testW.Blocks)]
+					if err := q.SetClientSubnet(blk.Prefix.Addr(), uint8(blk.Prefix.Bits())); err != nil {
+						errs <- err
+						return
+					}
+				}
+				resp := a.ServeDNSShard(shard, ldns, q)
+				if resp.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) == 0 {
+					errs <- fmt.Errorf("shard %d query %d: bad response rcode=%v answers=%d",
+						shard, i, resp.RCode, len(resp.Answers))
+					return
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := a.StaleEpochAnswers.Load(); got != 0 {
+		t.Errorf("StaleEpochAnswers = %d, want 0: a shard cache served an orphaned epoch", got)
+	}
+	total := uint64(shards * perShard)
+	if got := a.TotalQueries.Load(); got != total {
+		t.Errorf("TotalQueries = %d, want %d", got, total)
+	}
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits+misses != total {
+		t.Errorf("CacheHits+CacheMisses = %d, want %d", hits+misses, total)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -18,6 +19,11 @@ import (
 	"eum/internal/dnsserver"
 	"eum/internal/mapping"
 )
+
+// serverGOOS is the platform the serving knobs are validated against.
+// A variable (not runtime.GOOS inline) so tests can exercise the
+// off-Linux rejection paths from a Linux CI box.
+var serverGOOS = runtime.GOOS
 
 // Config is the top-level configuration document.
 type Config struct {
@@ -47,6 +53,14 @@ type Config struct {
 	// RRLBurst is the rate limiter's burst allowance (requires rrl_rate;
 	// 0 keeps the server default of 8).
 	RRLBurst int `json:"rrl_burst,omitempty"`
+	// ListenerShards is the number of shared-nothing SO_REUSEPORT listener
+	// shards the DNS server binds; 0 keeps the server default (one per
+	// GOMAXPROCS on Linux, 1 elsewhere). Values above 1 require Linux.
+	ListenerShards int `json:"listener_shards,omitempty"`
+	// BatchSize is how many datagrams each shard may drain or flush per
+	// syscall via recvmmsg/sendmmsg (Linux only); 0 or 1 selects the
+	// portable single-packet path. Maximum 64.
+	BatchSize int `json:"batch_size,omitempty"`
 	// AdminAddr, when set, serves the admin HTTP endpoints (/metrics,
 	// /healthz, /mapz, pprof) on this address, e.g. "127.0.0.1:9153".
 	// Empty disables the admin listener.
@@ -172,6 +186,18 @@ func (c Config) Validate() error {
 	if c.RRLBurst > 0 && c.RRLRate == 0 {
 		return fmt.Errorf("config: rrl_burst set without rrl_rate (the limiter is disabled)")
 	}
+	if c.ListenerShards < 0 {
+		return fmt.Errorf("config: listener_shards %d: the server needs at least 1 listener shard (0 selects the default: one per CPU on linux)", c.ListenerShards)
+	}
+	if c.ListenerShards > 1 && serverGOOS != "linux" {
+		return fmt.Errorf("config: listener_shards %d requires SO_REUSEPORT, which this build only wires up on linux (running on %s); set listener_shards to 1", c.ListenerShards, serverGOOS)
+	}
+	if c.BatchSize < 0 || c.BatchSize > 64 {
+		return fmt.Errorf("config: batch_size %d out of range [1, 64] (0 selects the single-packet default)", c.BatchSize)
+	}
+	if c.BatchSize > 1 && serverGOOS != "linux" {
+		return fmt.Errorf("config: batch_size %d requires recvmmsg/sendmmsg, which this build only wires up on linux (running on %s); set batch_size to 1", c.BatchSize, serverGOOS)
+	}
 	if c.AdminAddr != "" {
 		if _, err := netip.ParseAddrPort(c.AdminAddr); err != nil {
 			return fmt.Errorf("config: admin_addr: %w", err)
@@ -242,11 +268,13 @@ func (c Config) ServerConfig() (dnsserver.Config, error) {
 		return dnsserver.Config{}, fmt.Errorf("config: shed_policy: %w", err)
 	}
 	return dnsserver.Config{
-		QueueDepth:    c.QueueDepth,
-		OnOverload:    shed,
-		ServeDeadline: time.Duration(c.ServeDeadlineMillis) * time.Millisecond,
-		RRLRate:       c.RRLRate,
-		RRLBurst:      c.RRLBurst,
+		QueueDepth:     c.QueueDepth,
+		OnOverload:     shed,
+		ServeDeadline:  time.Duration(c.ServeDeadlineMillis) * time.Millisecond,
+		RRLRate:        c.RRLRate,
+		RRLBurst:       c.RRLBurst,
+		ListenerShards: c.ListenerShards,
+		BatchSize:      c.BatchSize,
 	}, nil
 }
 

@@ -103,6 +103,9 @@ func TestValidateErrors(t *testing.T) {
 			c.StaleMaxAgeSeconds = 10
 		}},
 		{"negative-flap-threshold", func(c *Config) { c.HealthFlapThreshold = -1 }},
+		{"negative-listener-shards", func(c *Config) { c.ListenerShards = -2 }},
+		{"negative-batch-size", func(c *Config) { c.BatchSize = -1 }},
+		{"batch-size-above-64", func(c *Config) { c.BatchSize = 65 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -131,6 +134,43 @@ func TestValidateRRLMessages(t *testing.T) {
 	err = cfg.Validate()
 	if err == nil || !strings.Contains(err.Error(), "at least 1 response") {
 		t.Errorf("rrl_burst -3 error = %v, want mention of the minimum allowance", err)
+	}
+}
+
+// TestShardingKnobs covers listener_shards/batch_size validation and
+// translation, including the off-Linux rejections (exercised by swapping
+// the package's serverGOOS hook, since CI runs on Linux).
+func TestShardingKnobs(t *testing.T) {
+	cfg := Default()
+	cfg.ListenerShards = 4
+	cfg.BatchSize = 32
+	if serverGOOS == "linux" {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("linux sharding config rejected: %v", err)
+		}
+		sc, err := cfg.ServerConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.ListenerShards != 4 || sc.BatchSize != 32 {
+			t.Errorf("server config = %+v, want shards 4 batch 32", sc)
+		}
+	}
+
+	defer func(goos string) { serverGOOS = goos }(serverGOOS)
+	serverGOOS = "darwin"
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "SO_REUSEPORT") || !strings.Contains(err.Error(), "darwin") {
+		t.Errorf("off-linux listener_shards error = %v, want actionable SO_REUSEPORT message", err)
+	}
+	cfg.ListenerShards = 1
+	err = cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "recvmmsg") || !strings.Contains(err.Error(), "batch_size") {
+		t.Errorf("off-linux batch_size error = %v, want actionable recvmmsg message", err)
+	}
+	cfg.BatchSize = 1
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("single-packet single-shard config rejected off linux: %v", err)
 	}
 }
 

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package dnsserver
+
+// Syscall numbers for linux/amd64. syscall.SYS_RECVMMSG exists on this
+// port but SYS_SENDMMSG was never added to the frozen syscall package, so
+// both are pinned here for symmetry.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

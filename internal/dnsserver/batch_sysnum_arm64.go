@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package dnsserver
+
+// Syscall numbers for linux/arm64 (the generic 64-bit syscall table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,40 @@
+//go:build linux
+
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"syscall"
+)
+
+// defaultListenerShards is GOMAXPROCS on Linux, where SO_REUSEPORT lets
+// every core own a socket: the serving plane scales with cores by default.
+func defaultListenerShards() int { return runtime.GOMAXPROCS(0) }
+
+// soReusePort is SOL_SOCKET option SO_REUSEPORT. The stdlib syscall
+// package does not export it on every Linux architecture (it predates the
+// option), so the value is pinned here: 15 on every Linux ABI this
+// repository targets (mips-family ports differ, and are not targeted).
+const soReusePort = 0xf
+
+// listenReusePort binds a UDP socket on addr with SO_REUSEPORT set before
+// bind, so any number of shards can share one address and the kernel fans
+// incoming flows across them by 4-tuple hash — each flow sticks to one
+// shard, which is what keeps per-shard RRL accounting coherent.
+func listenReusePort(addr string) (net.PacketConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.ListenPacket(context.Background(), "udp", addr)
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package dnsserver
+
+import (
+	"errors"
+	"net"
+)
+
+// defaultListenerShards is 1 off Linux: without SO_REUSEPORT there is
+// nothing to fan out across, so the server keeps the single-socket layout.
+func defaultListenerShards() int { return 1 }
+
+// listenReusePort is the non-Linux stub: multi-shard listening needs
+// SO_REUSEPORT semantics this package only wires up on Linux. Callers on
+// other platforms should run one shard (ListenerShards: 1) or supply their
+// own sockets via NewConns.
+func listenReusePort(addr string) (net.PacketConn, error) {
+	return nil, errors.New("SO_REUSEPORT sharding requires linux; set ListenerShards to 1 or use NewConns")
+}

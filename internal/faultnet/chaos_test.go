@@ -29,6 +29,39 @@ func (c combinedFaults) Failed(s *cdn.Server, now time.Time) bool {
 	return c.a.Failed(s, now) || c.b.Failed(s, now)
 }
 
+// epochCheckHandler wraps the authority with the wire-level epoch
+// invariant check. It is ShardAware so the sharded chaos variant routes
+// through the per-shard answer caches like production does.
+type epochCheckHandler struct {
+	auth       *authority.Authority
+	sys        *mapping.System
+	violations *atomic.Uint64
+}
+
+func (h *epochCheckHandler) ServeDNS(remote netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+	return h.ServeDNSShard(0, remote, q)
+}
+
+func (h *epochCheckHandler) ServeDNSShard(shard int, remote netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+	lo := h.sys.Current().Epoch()
+	resp := h.auth.ServeDNSShard(shard, remote, q)
+	hi := h.sys.Current().Epoch()
+	if resp == nil || resp.RCode != dnsmsg.RCodeSuccess {
+		return resp
+	}
+	for _, rr := range resp.Additionals {
+		txt, ok := rr.Data.(*dnsmsg.TXT)
+		if !ok || len(txt.Strings) != 2 || txt.Strings[0] != "epoch" {
+			continue
+		}
+		e, err := strconv.ParseUint(txt.Strings[1], 10, 64)
+		if err != nil || e < lo || e > hi {
+			h.violations.Add(1)
+		}
+	}
+	return resp
+}
+
 // TestChaosServingPlane is the chaos harness: the full UDP stack — real
 // sockets, pooled server, retrying client — under simultaneous
 //
@@ -43,7 +76,16 @@ func (c combinedFaults) Failed(s *cdn.Server, now time.Time) bool {
 // It asserts the resilience contract end to end: at least 99% of lookups
 // succeed, every answer's snapshot epoch was live at decision time (zero
 // stale-epoch answers), and the MapMaker survived its build crashes.
+//
+// The sharded variant runs the same storm against a 4-shard server with
+// per-shard answer caches, clients spread across the shards — the
+// resilience contract must hold regardless of the serving-plane layout.
 func TestChaosServingPlane(t *testing.T) {
+	t.Run("pooled", func(t *testing.T) { runChaosServingPlane(t, 1) })
+	t.Run("sharded-4", func(t *testing.T) { runChaosServingPlane(t, 4) })
+}
+
+func runChaosServingPlane(t *testing.T, shards int) {
 	w := world.MustGenerate(world.Config{Seed: 7, NumBlocks: 400})
 	p := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 7, NumDeployments: 12, ServersPerDeployment: 4})
 	sys := mapping.NewSystem(w, p, netmodel.NewDefault(),
@@ -58,6 +100,7 @@ func TestChaosServingPlane(t *testing.T) {
 	// Publishes run every few ms, so the watchdog stays fresh; it is armed
 	// anyway so the degraded paths are live code under chaos.
 	auth.SetDegradeConfig(authority.DegradeConfig{StaleAfter: 30 * time.Second})
+	auth.SetShards(shards)
 
 	// Health: deployment 0 scheduled hard-down for a window mid-test, every
 	// server also failing randomly ~10% of 50ms epochs, flap-damped.
@@ -73,41 +116,27 @@ func TestChaosServingPlane(t *testing.T) {
 	}
 	mon.SetFlapThreshold(2)
 
-	// The wire-level epoch invariant: every successful answer must carry an
-	// epoch that was published at some instant during its ServeDNS window.
 	var epochViolations atomic.Uint64
-	handler := dnsserver.HandlerFunc(func(remote netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
-		lo := sys.Current().Epoch()
-		resp := auth.ServeDNS(remote, q)
-		hi := sys.Current().Epoch()
-		if resp == nil || resp.RCode != dnsmsg.RCodeSuccess {
-			return resp
-		}
-		for _, rr := range resp.Additionals {
-			txt, ok := rr.Data.(*dnsmsg.TXT)
-			if !ok || len(txt.Strings) != 2 || txt.Strings[0] != "epoch" {
-				continue
-			}
-			e, err := strconv.ParseUint(txt.Strings[1], 10, 64)
-			if err != nil || e < lo || e > hi {
-				epochViolations.Add(1)
-			}
-		}
-		return resp
-	})
+	handler := &epochCheckHandler{auth: auth, sys: sys, violations: &epochViolations}
 
 	// Transport: >=10% loss both directions, duplication, reordering,
-	// latency jitter — on the server socket and every client socket.
+	// latency jitter — on every server socket and every client socket.
 	inj := faultnet.NewInjector(faultnet.Config{
 		Seed: 7, DropProb: 0.10, DupProb: 0.05, ReorderProb: 0.10,
 		ReorderDelay: 2 * time.Millisecond,
 		Latency:      500 * time.Microsecond, Jitter: time.Millisecond,
 	})
-	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
+	conns := make([]net.PacketConn, shards)
+	addrs := make([]string, shards)
+	for i := range conns {
+		inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = inj.WrapPacketConn(inner)
+		addrs[i] = inner.LocalAddr().String()
 	}
-	srv, err := dnsserver.NewConn(inj.WrapPacketConn(inner), handler, dnsserver.Config{
+	srv, err := dnsserver.NewConns(conns, handler, dnsserver.Config{
 		Readers: 2, Workers: 4, QueueDepth: 64,
 		OnOverload:    dnsserver.ShedDrop,
 		ServeDeadline: 500 * time.Millisecond,
@@ -144,8 +173,8 @@ func TestChaosServingPlane(t *testing.T) {
 		}
 	}()
 
-	// Load: 8 resolvers x 150 ECS queries each, retrying with jittered
-	// backoff through the lossy path.
+	// Load: 8 resolvers x 100 ECS queries each, retrying with jittered
+	// backoff through the lossy path, spread across the shards.
 	const clients, perClient = 8, 100
 	var failures, total atomic.Uint64
 	var wg sync.WaitGroup
@@ -159,10 +188,11 @@ func TestChaosServingPlane(t *testing.T) {
 				Seed:   uint64(g + 1),
 				Dialer: inj.NewDialer(),
 			}
+			server := addrs[g%shards]
 			for i := 0; i < perClient; i++ {
 				total.Add(1)
 				block := w.Blocks[(g*perClient+i*13)%len(w.Blocks)]
-				resp, err := c.Lookup(context.Background(), inner.LocalAddr().String(),
+				resp, err := c.Lookup(context.Background(), server,
 					"img.cdn.example.net", dnsmsg.TypeA, block.Prefix)
 				if err != nil || resp.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) == 0 {
 					failures.Add(1)
@@ -200,6 +230,11 @@ func TestChaosServingPlane(t *testing.T) {
 	}
 	if v := auth.StaleEpochAnswers.Load(); v != 0 {
 		t.Errorf("StaleEpochAnswers = %d, want 0", v)
+	}
+	for _, st := range srv.ShardStats() {
+		if st.Queries == 0 {
+			t.Errorf("shard %d saw no queries — load not spread across shards", st.Shard)
+		}
 	}
 	if mm.BuildFailures() == 0 {
 		t.Error("no build failures injected — chaos hook not exercised")

@@ -1,0 +1,364 @@
+// Package loadgen is an open-loop DNS load harness: it offers queries to a
+// server at a target rate on a deterministic schedule, instead of the
+// closed-loop send-wait-send pattern whose offered rate collapses to
+// whatever the server sustains. Open-loop load is the honest way to
+// measure a serving plane (§5's query rates arrive whether or not the
+// server is keeping up): when the server falls behind, latency and
+// timeouts grow — the generator does not politely slow down.
+//
+// Each connection runs an independent sender paced by exponential
+// inter-arrival gaps (Poisson arrivals at the per-connection rate) drawn
+// from a seeded stream, plus a receiver matching responses to send
+// timestamps by DNS query ID. Latencies feed a telemetry.Histogram for
+// HDR-style percentiles and a per-second time series; the whole result
+// marshals to JSON (see Report).
+//
+// Under a fixed Config.Seed the offered schedule — inter-arrival gaps,
+// query names, ECS picks — is fully deterministic; observed latencies are
+// whatever the server and kernel did with that schedule.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eum/internal/dnsmsg"
+	"eum/internal/par"
+	"eum/internal/telemetry"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Server is the DNS server's host:port.
+	Server string
+	// Zone is the zone to query under; names are e<i>.b.<zone>.
+	Zone string
+	// Rate is the target aggregate offered rate in queries/second
+	// (default 1000), split evenly across Conns.
+	Rate float64
+	// Duration is how long to offer load (default 5s).
+	Duration time.Duration
+	// Conns is the number of UDP connections, each with its own sender
+	// and receiver goroutine (default 4).
+	Conns int
+	// ECSRatio is the fraction of queries carrying an EDNS client-subnet
+	// option drawn from Prefixes (0 disables ECS).
+	ECSRatio float64
+	// Domains is how many distinct content domains to spread queries over
+	// (default 50).
+	Domains int
+	// Seed fixes the offered schedule. Connection i derives its stream
+	// with par.ChildSeed(Seed, i), so schedules stay decorrelated.
+	Seed int64
+	// Prefixes are the ECS subnets to sample (required when ECSRatio > 0).
+	Prefixes []netip.Prefix
+	// DrainGrace is how long to keep receiving after the last send before
+	// counting stragglers as timeouts (default 500ms).
+	DrainGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Zone == "" {
+		c.Zone = "cdn.example.net"
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Domains <= 0 {
+		c.Domains = 50
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 500 * time.Millisecond
+	}
+	return c
+}
+
+// event is one scheduled query: its offset from the run start, the domain
+// index to query, and the ECS prefix index (-1 for no ECS).
+type event struct {
+	at     time.Duration
+	domain int
+	prefix int
+}
+
+// stream generates one connection's deterministic schedule: Poisson
+// arrivals at the per-connection rate with independently drawn domain and
+// ECS picks. Two streams built from the same (Config, conn) are identical.
+type stream struct {
+	rng      *rand.Rand
+	rate     float64 // per-connection queries/second
+	at       time.Duration
+	domains  int
+	ecsRatio float64
+	nprefix  int
+}
+
+func newStream(cfg Config, conn int) *stream {
+	return &stream{
+		rng:      rand.New(rand.NewSource(par.ChildSeed(cfg.Seed, uint64(conn)))),
+		rate:     cfg.Rate / float64(cfg.Conns),
+		domains:  cfg.Domains,
+		ecsRatio: cfg.ECSRatio,
+		nprefix:  len(cfg.Prefixes),
+	}
+}
+
+func (s *stream) next() event {
+	// Exponential gaps make the offered process Poisson — the arrival
+	// model resolver fleets actually present, with the bursts a uniform
+	// pacer would hide.
+	s.at += time.Duration(s.rng.ExpFloat64() / s.rate * float64(time.Second))
+	ev := event{at: s.at, domain: s.rng.Intn(s.domains), prefix: -1}
+	if s.nprefix > 0 && s.rng.Float64() < s.ecsRatio {
+		ev.prefix = s.rng.Intn(s.nprefix)
+	}
+	return ev
+}
+
+// LatencySummary is the run's latency distribution in microseconds,
+// estimated from power-of-two histogram buckets (values are bucket upper
+// bounds, within 2x of the true quantile).
+type LatencySummary struct {
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MeanMicros float64 `json:"mean_us"`
+}
+
+// SecondStats is one second of the run's time series.
+type SecondStats struct {
+	Second    int     `json:"second"`
+	Sent      uint64  `json:"sent"`
+	Received  uint64  `json:"received"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// Report is the result of a load run.
+type Report struct {
+	Server          string        `json:"server"`
+	TargetQPS       float64       `json:"target_qps"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	Conns           int           `json:"conns"`
+	Seed            int64         `json:"seed"`
+	Sent            uint64        `json:"sent"`
+	Received        uint64        `json:"received"`
+	Failures        uint64        `json:"failures"` // responses with RCode != NOERROR
+	Timeouts        uint64        `json:"timeouts"` // sends never matched by a response
+	OfferedQPS      float64       `json:"offered_qps"`
+	AchievedQPS     float64       `json:"achieved_qps"`
+	Latency         LatencySummary `json:"latency"`
+	Series          []SecondStats `json:"series"`
+}
+
+// secondBucket accumulates one second of the series.
+type secondBucket struct {
+	sent     atomic.Uint64
+	received atomic.Uint64
+	hist     telemetry.Histogram
+}
+
+// idSlots is the number of in-flight slots per connection: one per
+// possible DNS query ID, indexed directly by ID.
+const idSlots = 65536
+
+// connState is one connection's transport and matching state.
+type connState struct {
+	conn *net.UDPConn
+	// inflight[id] is the send time (unix nanos) of the outstanding query
+	// with that DNS ID, 0 when the slot is free. A sender overwriting a
+	// non-zero slot means the previous query went unanswered for a full
+	// ID-space wrap: counted as a timeout.
+	inflight []atomic.Int64
+	sent     uint64 // sender-goroutine local until the run ends
+	timeouts uint64
+	received atomic.Uint64
+	failures atomic.Uint64
+}
+
+// Run offers the configured load and reports what came back. The context
+// cancels the run early (the report covers what was offered so far).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ECSRatio > 0 && len(cfg.Prefixes) == 0 {
+		return nil, fmt.Errorf("loadgen: ECSRatio %v with no Prefixes to sample", cfg.ECSRatio)
+	}
+
+	nsec := int(cfg.Duration/time.Second) + 1
+	series := make([]*secondBucket, nsec)
+	for i := range series {
+		series[i] = &secondBucket{}
+	}
+	bucketAt := func(start time.Time, t time.Time) *secondBucket {
+		i := int(t.Sub(start) / time.Second)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(series) {
+			i = len(series) - 1
+		}
+		return series[i]
+	}
+
+	conns := make([]*connState, cfg.Conns)
+	for i := range conns {
+		raddr, err := net.ResolveUDPAddr("udp", cfg.Server)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		c, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		defer c.Close()
+		conns[i] = &connState{conn: c, inflight: make([]atomic.Int64, idSlots)}
+	}
+
+	var hist telemetry.Histogram
+	start := time.Now()
+	var senders, receivers sync.WaitGroup
+
+	for i, cs := range conns {
+		receivers.Add(1)
+		go func(cs *connState) {
+			defer receivers.Done()
+			buf := make([]byte, 4096)
+			for {
+				n, err := cs.conn.Read(buf)
+				if err != nil {
+					return // deadline (drain over) or closed
+				}
+				now := time.Now()
+				if n < 12 {
+					continue
+				}
+				id := uint16(buf[0])<<8 | uint16(buf[1])
+				t0 := cs.inflight[id].Swap(0)
+				if t0 == 0 {
+					continue // duplicate or post-timeout straggler
+				}
+				lat := now.UnixNano() - t0
+				hist.ObserveNanos(lat)
+				b := bucketAt(start, now)
+				b.received.Add(1)
+				b.hist.ObserveNanos(lat)
+				cs.received.Add(1)
+				if buf[3]&0x0f != 0 {
+					cs.failures.Add(1)
+				}
+			}
+		}(cs)
+
+		senders.Add(1)
+		go func(i int, cs *connState) {
+			defer senders.Done()
+			st := newStream(cfg, i)
+			var seq uint16
+			for {
+				ev := st.next()
+				if ev.at > cfg.Duration || ctx.Err() != nil {
+					return
+				}
+				if d := time.Until(start.Add(ev.at)); d > 0 {
+					time.Sleep(d)
+				}
+				id := seq
+				seq++
+				q := dnsmsg.NewQuery(id, dnsmsg.Name(fmt.Sprintf("e%04d.b.%s", ev.domain, cfg.Zone)), dnsmsg.TypeA)
+				if ev.prefix >= 0 {
+					p := cfg.Prefixes[ev.prefix]
+					if err := q.SetClientSubnet(p.Addr(), uint8(p.Bits())); err != nil {
+						continue
+					}
+				}
+				wire, err := q.Pack()
+				if err != nil {
+					continue
+				}
+				now := time.Now()
+				if prev := cs.inflight[id].Swap(now.UnixNano()); prev != 0 {
+					cs.timeouts++ // unanswered for a full ID wrap
+				}
+				if _, err := cs.conn.Write(wire); err != nil {
+					cs.inflight[id].Store(0)
+					continue
+				}
+				cs.sent++
+				bucketAt(start, now).sent.Add(1)
+			}
+		}(i, cs)
+	}
+
+	senders.Wait()
+	offeredFor := time.Since(start)
+	// Grace period for stragglers, then wake the receivers.
+	deadline := time.Now().Add(cfg.DrainGrace)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	for _, cs := range conns {
+		_ = cs.conn.SetReadDeadline(deadline)
+	}
+	receivers.Wait()
+
+	rep := &Report{
+		Server:          cfg.Server,
+		TargetQPS:       cfg.Rate,
+		DurationSeconds: cfg.Duration.Seconds(),
+		Conns:           cfg.Conns,
+		Seed:            cfg.Seed,
+	}
+	for _, cs := range conns {
+		rep.Sent += cs.sent
+		rep.Received += cs.received.Load()
+		rep.Failures += cs.failures.Load()
+		rep.Timeouts += cs.timeouts
+		for i := range cs.inflight {
+			if cs.inflight[i].Load() != 0 {
+				rep.Timeouts++
+			}
+		}
+	}
+	if offeredFor > 0 {
+		rep.OfferedQPS = float64(rep.Sent) / offeredFor.Seconds()
+		rep.AchievedQPS = float64(rep.Received) / offeredFor.Seconds()
+	}
+	snap := hist.Snapshot()
+	rep.Latency = LatencySummary{
+		P50Micros:  micros(snap.Quantile(0.50)),
+		P90Micros:  micros(snap.Quantile(0.90)),
+		P99Micros:  micros(snap.Quantile(0.99)),
+		P999Micros: micros(snap.Quantile(0.999)),
+		MeanMicros: micros(snap.Mean()),
+	}
+	for i, b := range series {
+		sent := b.sent.Load()
+		if sent == 0 && b.received.Load() == 0 {
+			continue
+		}
+		bs := b.hist.Snapshot()
+		rep.Series = append(rep.Series, SecondStats{
+			Second:    i,
+			Sent:      sent,
+			Received:  b.received.Load(),
+			P50Micros: micros(bs.Quantile(0.50)),
+			P99Micros: micros(bs.Quantile(0.99)),
+		})
+	}
+	return rep, nil
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

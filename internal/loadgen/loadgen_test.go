@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eum/internal/dnsmsg"
+	"eum/internal/dnsserver"
+)
+
+// TestStreamDeterministic pins the open-loop schedule: the same (seed,
+// conn) pair must replay identically, and different conns must decorrelate.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := Config{
+		Rate: 500, Conns: 2, Domains: 50, Seed: 42, ECSRatio: 0.5,
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+	}.withDefaults()
+
+	a, b := newStream(cfg, 0), newStream(cfg, 0)
+	other := newStream(cfg, 1)
+	var diverged bool
+	for i := 0; i < 1000; i++ {
+		ea, eb, eo := a.next(), b.next(), other.next()
+		if ea != eb {
+			t.Fatalf("event %d: same seed diverged: %+v vs %+v", i, ea, eb)
+		}
+		if ea != eo {
+			diverged = true
+		}
+		if ea.domain < 0 || ea.domain >= cfg.Domains {
+			t.Fatalf("event %d: domain %d out of range", i, ea.domain)
+		}
+		if ea.prefix >= len(cfg.Prefixes) {
+			t.Fatalf("event %d: prefix %d out of range", i, ea.prefix)
+		}
+	}
+	if !diverged {
+		t.Error("conn 0 and conn 1 produced identical schedules")
+	}
+	if a.at <= 0 {
+		t.Error("schedule time never advanced")
+	}
+}
+
+// TestRunAgainstServer offers a short burst at a local dnsserver and checks
+// the report's accounting: everything offered comes back, percentiles and
+// the per-second series are populated, ECS queries carry the option.
+func TestRunAgainstServer(t *testing.T) {
+	var ecsSeen, plainSeen atomic.Uint64
+	srv, err := dnsserver.ListenConfig("127.0.0.1:0", dnsserver.HandlerFunc(
+		func(remote netip.AddrPort, q *dnsmsg.Message) *dnsmsg.Message {
+			if q.ClientSubnet() != nil {
+				ecsSeen.Add(1)
+			} else {
+				plainSeen.Add(1)
+			}
+			resp := q.Reply()
+			resp.Authoritative = true
+			resp.Answers = append(resp.Answers, dnsmsg.RR{
+				Name: q.Questions[0].Name, Class: dnsmsg.ClassINET, TTL: 20,
+				Data: &dnsmsg.A{Addr: netip.MustParseAddr("192.0.2.1")},
+			})
+			return resp
+		}), dnsserver.Config{ListenerShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Server:   srv.Addr().String(),
+		Rate:     400,
+		Duration: 1 * time.Second,
+		Conns:    2,
+		ECSRatio: 0.5,
+		Seed:     7,
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if rep.Received != rep.Sent || rep.Timeouts != 0 {
+		t.Errorf("received %d of %d sent, %d timeouts (loopback should lose nothing)",
+			rep.Received, rep.Sent, rep.Timeouts)
+	}
+	if rep.Failures != 0 {
+		t.Errorf("failures = %d", rep.Failures)
+	}
+	if rep.OfferedQPS <= 0 || rep.AchievedQPS <= 0 {
+		t.Errorf("qps = %v offered / %v achieved", rep.OfferedQPS, rep.AchievedQPS)
+	}
+	if rep.Latency.P50Micros <= 0 || rep.Latency.P99Micros < rep.Latency.P50Micros {
+		t.Errorf("latency summary = %+v", rep.Latency)
+	}
+	if rep.Latency.P999Micros < rep.Latency.P99Micros {
+		t.Errorf("p999 %v < p99 %v", rep.Latency.P999Micros, rep.Latency.P99Micros)
+	}
+	if len(rep.Series) == 0 {
+		t.Error("empty per-second series")
+	}
+	var seriesSent uint64
+	for _, s := range rep.Series {
+		seriesSent += s.Sent
+	}
+	if seriesSent != rep.Sent {
+		t.Errorf("series sums to %d sent, report says %d", seriesSent, rep.Sent)
+	}
+	if ecsSeen.Load() == 0 || plainSeen.Load() == 0 {
+		t.Errorf("ECS mix not exercised: %d ecs / %d plain", ecsSeen.Load(), plainSeen.Load())
+	}
+}
+
+// TestReportJSONRoundTrip checks the report marshals with the stable field
+// names consumers (scripts plotting the series) rely on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Server: "127.0.0.1:53", TargetQPS: 1000, DurationSeconds: 5, Conns: 4, Seed: 9,
+		Sent: 5000, Received: 4990, Timeouts: 10,
+		Latency: LatencySummary{P50Micros: 128, P99Micros: 512},
+		Series:  []SecondStats{{Second: 0, Sent: 1000, Received: 998, P50Micros: 128}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"target_qps"`, `"offered_qps"`, `"achieved_qps"`, `"p50_us"`, `"p999_us"`, `"series"`, `"timeouts"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sent != rep.Sent || back.Series[0].Received != 998 {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
