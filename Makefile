@@ -16,7 +16,12 @@ SNAPBENCH = BenchmarkSnapshotSwap|BenchmarkServingUnderMapChurn
 # (see DESIGN.md "Sharded serving plane"; numbers in BENCH_qps.json).
 QPSBENCH = BenchmarkShardedThroughput
 
-.PHONY: all check vet build test race chaos obs crossbuild bench bench-hot bench-sim bench-snapshot bench-qps bench-figures
+# Million-block mapping plane: full build, warm and one-target incremental
+# republish, resident bytes/block over the Huge lab (see DESIGN.md
+# "Partitioned mapping & incremental builds"; numbers in BENCH_scale.json).
+SCALEBENCH = BenchmarkSnapshotScale
+
+.PHONY: all check vet build test race chaos obs crossbuild scale-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-figures
 
 all: check
 
@@ -24,7 +29,7 @@ all: check
 # the chaos harness (faultnet integration tests, also under -race), then
 # the observability smoke test against a live in-process stack, then
 # cross-compiles of the non-linux / non-amd64 fallback paths.
-check: vet build race chaos obs crossbuild
+check: vet build race chaos obs scale-smoke crossbuild
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +59,12 @@ chaos:
 obs:
 	$(GO) test -race -v -run 'TestObsSmoke|TestHealthzDegraded' ./cmd/eumdns/
 
+# Small-N smoke of the million-block (Huge) codepath: partitioned layout,
+# interned arena, incremental republish and the resident bytes/block
+# ceiling at a ~50k-block world (seconds, not minutes).
+scale-smoke:
+	$(GO) test -v -run 'TestSnapshotScaleSmoke' .
+
 # Hot-path benchmarks with allocation counts. TestServeDNSAllocGuard runs
 # first: it fails the target if ServeDNS (telemetry armed) exceeds the
 # allocs/op budget recorded in BENCH_map.json.
@@ -80,8 +91,13 @@ crossbuild:
 	GOOS=windows GOARCH=amd64 $(GO) build ./...
 	GOOS=linux GOARCH=arm64 $(GO) build ./...
 
+# Million-block mapping plane over the Huge lab (about a minute: the lab
+# itself generates in seconds, the cold build dominates).
+bench-scale:
+	$(GO) test -run 'TestNone' -bench '$(SCALEBENCH)' -benchmem .
+
 # Regenerate every paper figure as benchmarks (slow; see EXPERIMENTS.md).
 bench-figures:
 	$(GO) test -run 'TestNone' -bench . -benchmem .
 
-bench: bench-hot bench-sim bench-qps
+bench: bench-hot bench-sim bench-qps bench-scale

@@ -38,6 +38,11 @@ var (
 	labOnce sync.Once
 	lab     *experiments.Lab
 	scale   experiments.Scale
+
+	// The million-block Huge lab is built once, only by the benchmarks
+	// that need it (BenchmarkSnapshotScale) — never by benchLab.
+	hugeLabOnce sync.Once
+	hugeLab     *experiments.Lab
 )
 
 func benchLab(b *testing.B) *experiments.Lab {
@@ -725,11 +730,18 @@ func BenchmarkSnapshotSwap(b *testing.B) {
 		Policy: mapping.EndUser, PingTargets: 800,
 	})
 	mm := mapmaker.New(sys, mapmaker.Config{})
+	mapSize := func(b *testing.B) {
+		sn := sys.Current()
+		b.ReportMetric(float64(len(l.World.Blocks)), "blocks")
+		b.ReportMetric(float64(sn.Partitions()), "partitions")
+		b.ReportMetric(float64(sn.Tables()), "tables")
+	}
 	b.Run("warm", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mm.Publish()
 		}
+		mapSize(b)
 	})
 	b.Run("measurement", func(b *testing.B) {
 		b.ReportAllocs()
@@ -737,6 +749,65 @@ func BenchmarkSnapshotSwap(b *testing.B) {
 			mm.Notify(mapmaker.ReasonMeasurement)
 			mm.Sync()
 		}
+		mapSize(b)
+	})
+}
+
+// BenchmarkSnapshotScale measures the mapping plane at the million-block
+// Huge lab (see EXPERIMENTS.md "Huge lab"): a cold full rebuild of every
+// interned rank table, a warm republish (nothing dirty — the arena is
+// shared wholesale), and a one-ping-target incremental republish that
+// re-ranks only the tables the dirty target serves. resident_memory
+// reports bytes of mapping state per client block. Numbers are recorded
+// in BENCH_scale.json.
+func BenchmarkSnapshotScale(b *testing.B) {
+	hugeLabOnce.Do(func() { hugeLab = experiments.NewLab(experiments.Huge, 1) })
+	l := hugeLab
+	cfg := experiments.DefaultScaleConfig(experiments.Huge)
+	sys := mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+		Policy:         mapping.EndUser,
+		PingTargets:    cfg.PingTargets,
+		PartitionMiles: cfg.PartitionMiles,
+	})
+	bld := sys.Builder()
+	sn := sys.Current()
+	mapSize := func(b *testing.B) {
+		b.ReportMetric(float64(len(l.World.Blocks)), "blocks")
+		b.ReportMetric(float64(sn.Partitions()), "partitions")
+		b.ReportMetric(float64(sn.Tables()), "tables")
+	}
+	b.Run("full_build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bld.MarkMeasurementsDirty() // invalidate every cached table
+			sn = sys.Rebuild()
+		}
+		mapSize(b)
+	})
+	b.Run("warm_republish", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sn = sys.Rebuild()
+		}
+		mapSize(b)
+	})
+	target, ok := sys.Scorer().TargetFor(l.World.LDNSes[0].Endpoint())
+	if !ok {
+		b.Fatal("clustering off")
+	}
+	b.Run("incremental_one_target", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bld.MarkMeasurementsDirty(target.ID)
+			sn = sys.Rebuild()
+		}
+		mapSize(b)
+	})
+	b.Run("resident_memory", func(b *testing.B) {
+		var bytes uint64
+		for i := 0; i < b.N; i++ {
+			bytes = sn.MemoryBytes() + sys.IndexBytes()
+		}
+		b.ReportMetric(float64(bytes)/float64(len(l.World.Blocks)), "bytes/block")
+		b.ReportMetric(float64(sn.MemoryBytes()), "snapshot_bytes")
+		b.ReportMetric(float64(sys.IndexBytes()), "index_bytes")
 	})
 }
 

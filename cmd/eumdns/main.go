@@ -112,8 +112,9 @@ func main() {
 		ServersPerDeployment: cfg.Platform.ServersPer,
 	})
 	system := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapping.Config{
-		Policy:      policy,
-		PingTargets: cfg.World.Blocks / 10,
+		Policy:         policy,
+		PingTargets:    cfg.World.Blocks / 10,
+		PartitionMiles: cfg.PartitionMiles,
 	})
 
 	// Control plane: a background MapMaker republishes the map on a cadence

@@ -145,11 +145,15 @@ var figures = map[string]struct {
 		rep, err := experiments.BroadRolloutReport(lab)
 		return []*experiments.Report{rep}, err
 	}},
+	"scale": {"snapshot scale: build/republish times and resident memory", func(lab *experiments.Lab, s experiments.Scale) ([]*experiments.Report, error) {
+		_, rep := experiments.SnapshotScale(lab, experiments.DefaultScaleConfig(s))
+		return []*experiments.Report{rep}, nil
+	}},
 }
 
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce (e.g. 5, 12-20, 25, 4.5, all)")
-	scaleName := flag.String("scale", "small", "small (seconds) or full (benchmark scale)")
+	scaleName := flag.String("scale", "small", "small (seconds), full (benchmark scale), or huge (million-block lab)")
 	seed := flag.Int64("seed", 1, "world generation seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker pool size for parallel sweeps (results are identical at any setting)")
@@ -171,8 +175,11 @@ func main() {
 	}
 
 	scale := experiments.Small
-	if strings.EqualFold(*scaleName, "full") {
+	switch {
+	case strings.EqualFold(*scaleName, "full"):
 		scale = experiments.Full
+	case strings.EqualFold(*scaleName, "huge"):
+		scale = experiments.Huge
 	}
 	fmt.Fprintf(os.Stderr, "building lab (scale=%s, seed=%d, workers=%d)...\n",
 		*scaleName, *seed, par.Workers())

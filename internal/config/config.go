@@ -75,6 +75,14 @@ type Config struct {
 	// a server's liveness (flap damping); default 3, minimum 1.
 	HealthFlapThreshold int `json:"health_flap_threshold,omitempty"`
 
+	// PartitionMiles clusters client blocks and resolvers into mapping
+	// partitions by routing signature (geo cell of this radius + origin
+	// AS + access type); partitions share rank tables, so memory per
+	// block drops to a few bytes. 0 keeps per-endpoint partitions
+	// (byte-identical to unpartitioned mapping). Million-block worlds
+	// want a metro-sized radius such as 50.
+	PartitionMiles float64 `json:"partition_miles,omitempty"`
+
 	// World parameterises the synthetic Internet.
 	World WorldConfig `json:"world"`
 	// Platform parameterises the CDN deployment universe.
@@ -167,6 +175,9 @@ func (c Config) Validate() error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("config: negative queue_depth")
+	}
+	if c.PartitionMiles < 0 {
+		return fmt.Errorf("config: negative partition_miles (0 disables clustering)")
 	}
 	if _, err := dnsserver.ParseShedPolicy(c.ShedPolicy); err != nil {
 		return fmt.Errorf("config: shed_policy: %w", err)

@@ -29,17 +29,27 @@ type Lab struct {
 type Scale int
 
 // Scales: Small runs in seconds (unit tests, quick looks); Full is the
-// benchmark scale used for EXPERIMENTS.md numbers.
+// benchmark scale used for EXPERIMENTS.md numbers; Huge is the
+// million-block scale lab used by the snapshot-scale experiment and
+// BenchmarkSnapshotScale — figure sweeps at Huge take a long time, it
+// exists to exercise the mapping plane, not the figure battery.
 const (
 	Small Scale = iota
 	Full
+	Huge
 )
 
 // NewLab builds a lab at the given scale, deterministically from the seed.
 func NewLab(scale Scale, seed int64) *Lab {
 	blocks, deployments := 4000, 400
-	if scale == Full {
+	switch scale {
+	case Full:
 		blocks, deployments = 20000, 2642
+	case Huge:
+		// A million client blocks approaches the paper's real universe
+		// (7.6M /24s); 600 deployments keeps rank tables realistically
+		// wide without the figure battery's full platform.
+		blocks, deployments = 1_000_000, 600
 	}
 	w := world.MustGenerate(world.Config{Seed: seed, NumBlocks: blocks})
 	p := cdn.MustGenerateUniverse(w, cdn.Config{Seed: seed, NumDeployments: deployments, ServersPerDeployment: 8})

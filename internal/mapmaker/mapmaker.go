@@ -20,6 +20,7 @@ package mapmaker
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,14 @@ type MapMaker struct {
 	dirty atomic.Uint32
 	// wake nudges the Run loop; buffered so signal producers never block.
 	wake chan struct{}
+
+	// scopeMu guards the measurement scope: which ping targets the pending
+	// ReasonMeasurement covers. scopeAll means an unscoped refresh (every
+	// table re-ranked); scopeIDs accumulates target endpoint IDs from
+	// NotifyMeasurement so the builder re-ranks only their partitions.
+	scopeMu  sync.Mutex
+	scopeAll bool
+	scopeIDs map[uint64]struct{}
 
 	published atomic.Uint64 // snapshots built and installed
 	buildNs   atomic.Int64  // duration of the last build, nanoseconds
@@ -112,12 +121,78 @@ func (m *MapMaker) System() *mapping.System { return m.sys }
 
 // Notify marks the map dirty for the given reasons and wakes the pipeline.
 // It never blocks and never builds; any number of notifications between
-// builds fold into one.
+// builds fold into one. A plain ReasonMeasurement is unscoped: every
+// scoring table is considered stale (use NotifyMeasurement to scope the
+// refresh to specific ping targets).
 func (m *MapMaker) Notify(r Reason) {
+	if r&ReasonMeasurement != 0 {
+		m.scopeMu.Lock()
+		m.scopeAll = true
+		m.scopeMu.Unlock()
+	}
 	m.markDirty(r)
 	select {
 	case m.wake <- struct{}{}:
 	default:
+	}
+}
+
+// NotifyMeasurement feeds a measurement refresh scoped to specific ping
+// targets (by endpoint ID) through the change feed: the next build
+// invalidates and re-ranks only the mapping partitions those targets
+// serve, copying every untouched table from the previous snapshot. Scopes
+// from successive notifications accumulate until a build claims them.
+// Called with no IDs it is equivalent to Notify(ReasonMeasurement).
+func (m *MapMaker) NotifyMeasurement(targetIDs ...uint64) {
+	m.scopeMu.Lock()
+	if len(targetIDs) == 0 {
+		m.scopeAll = true
+	} else if !m.scopeAll {
+		if m.scopeIDs == nil {
+			m.scopeIDs = make(map[uint64]struct{}, len(targetIDs))
+		}
+		for _, id := range targetIDs {
+			m.scopeIDs[id] = struct{}{}
+		}
+	}
+	m.scopeMu.Unlock()
+	m.markDirty(ReasonMeasurement)
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takeMeasurementScope atomically claims and clears the pending
+// measurement scope.
+func (m *MapMaker) takeMeasurementScope() (all bool, ids []uint64) {
+	m.scopeMu.Lock()
+	defer m.scopeMu.Unlock()
+	all = m.scopeAll
+	m.scopeAll = false
+	if !all {
+		for id := range m.scopeIDs {
+			ids = append(ids, id)
+		}
+	}
+	m.scopeIDs = nil
+	return all, ids
+}
+
+// rearmMeasurementScope puts a claimed scope back after a failed build so
+// the retry re-ranks at least as much as the failed attempt would have.
+func (m *MapMaker) rearmMeasurementScope(all bool, ids []uint64) {
+	m.scopeMu.Lock()
+	defer m.scopeMu.Unlock()
+	if all {
+		m.scopeAll = true
+		return
+	}
+	if m.scopeIDs == nil {
+		m.scopeIDs = make(map[uint64]struct{}, len(ids))
+	}
+	for _, id := range ids {
+		m.scopeIDs[id] = struct{}{}
 	}
 }
 
@@ -165,13 +240,22 @@ func (m *MapMaker) takeDirty() Reason {
 // serving it, and the authority's staleness watchdog degrades answers if
 // the failures persist long enough.
 func (m *MapMaker) build(r Reason) *mapping.Snapshot {
-	sn, err := m.tryBuild(r)
+	var scopeAll bool
+	var scopeIDs []uint64
+	if r&ReasonMeasurement != 0 {
+		scopeAll, scopeIDs = m.takeMeasurementScope()
+	}
+	sn, err := m.tryBuild(r, scopeAll, scopeIDs)
 	if err != nil {
 		m.buildFailures.Add(1)
 		m.lastFailure.Store(&BuildFailure{Reasons: r, Err: err, At: time.Now()})
-		// Re-arm the claimed reasons without waking the loop: an immediate
-		// wake would spin a persistently failing build into a hot retry
-		// loop; the periodic tick is the retry cadence.
+		// Re-arm the claimed reasons (and measurement scope) without waking
+		// the loop: an immediate wake would spin a persistently failing
+		// build into a hot retry loop; the periodic tick is the retry
+		// cadence.
+		if r&ReasonMeasurement != 0 {
+			m.rearmMeasurementScope(scopeAll, scopeIDs)
+		}
 		m.markDirty(r)
 		return m.sys.Current()
 	}
@@ -181,7 +265,7 @@ func (m *MapMaker) build(r Reason) *mapping.Snapshot {
 
 // tryBuild performs the build, converting a panic anywhere in the pipeline
 // (fault hook, scorer invalidation, snapshot construction) into an error.
-func (m *MapMaker) tryBuild(r Reason) (sn *mapping.Snapshot, err error) {
+func (m *MapMaker) tryBuild(r Reason, scopeAll bool, scopeIDs []uint64) (sn *mapping.Snapshot, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("mapmaker: build panicked: %v", p)
@@ -191,7 +275,14 @@ func (m *MapMaker) tryBuild(r Reason) (sn *mapping.Snapshot, err error) {
 		(*f)()
 	}
 	if r&ReasonMeasurement != 0 {
-		m.sys.Scorer().Invalidate()
+		// Hand the refresh scope to the builder: scoped IDs re-rank only
+		// the partitions interned on those ping targets; an unscoped
+		// refresh (or an ID that is not a target) re-ranks everything.
+		if scopeAll || len(scopeIDs) == 0 {
+			m.sys.Builder().MarkMeasurementsDirty()
+		} else {
+			m.sys.Builder().MarkMeasurementsDirty(scopeIDs...)
+		}
 	}
 	start := time.Now()
 	sn = m.sys.Rebuild()

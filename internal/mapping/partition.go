@@ -1,0 +1,246 @@
+package mapping
+
+import (
+	"math"
+	"sort"
+	"unsafe"
+
+	"eum/internal/netmodel"
+	"eum/internal/par"
+)
+
+// milesPerDegreeLat is a conservative (slightly low) miles-per-degree-of-
+// latitude constant. Quantization cells and latitude-band pruning both use
+// it as a lower bound on great-circle distance, so rounding down keeps the
+// bounds sound.
+const milesPerDegreeLat = 69.0
+
+// sigKey is the routing signature partitions cluster on. The network model
+// derives path quality from geographic distance, AS crossings and the
+// access tier, so endpoints sharing a quantized geo cell, an origin AS and
+// an access technology have near-identical measurement vectors — the
+// "routing-aware partitioning" observation: such blocks can share one
+// server ranking.
+type sigKey struct {
+	row, col int32
+	asn      uint32
+	access   netmodel.AccessType
+}
+
+// segmentInfo describes one distinct rank table (an arena segment).
+// Partitions whose representatives resolve to the same scorer ping target
+// are interned onto one segment; target is the scorer target index ranked
+// into the segment, or -1 when clustering is off and rep itself is ranked.
+type segmentInfo struct {
+	target int32
+	rep    netmodel.Endpoint
+}
+
+// partitionLayout is the partitioner's output: the immutable shape shared
+// by every snapshot built until the endpoint universe changes. It holds the
+// block→partition index (dense array for the world's compact ID space,
+// sorted spill arrays for hashed IDs), the per-partition table headers, and
+// the interned segment list the builder ranks into the arena.
+type partitionLayout struct {
+	nParts int // universe partitions, excluding the two fallbacks
+
+	// Endpoint-ID → partition. IDs below len(dense) index the dense array
+	// (-1 = unknown); larger (hashed) IDs binary-search the spill arrays.
+	dense    []int32
+	spillIDs []uint64
+	spillIdx []int32
+
+	// fallbackLDNS / fallbackClient are the partition indexes of the two
+	// synthetic fallback endpoints (always the last two partitions).
+	fallbackLDNS   int32
+	fallbackClient int32
+
+	// partSeg maps partition → arena segment (4 bytes per partition;
+	// partitions interned onto the same ping target share a segment).
+	partSeg []int32
+
+	// segments are the distinct rank tables; targetSeg inverts the
+	// interning (scorer target index → segment) for incremental re-ranks.
+	segments  []segmentInfo
+	targetSeg map[int32]int32
+
+	// baseSegArena/baseSegOff are the canonical segment locations for a
+	// freshly built (single-arena) snapshot: segment s lives in arena 0 at
+	// offset s*tableLen. Full builds share these slices; incremental
+	// builds copy and repoint the dirty segments at their delta arenas.
+	baseSegArena []int32
+	baseSegOff   []uint32
+
+	tableLen  int // entries per table = len(platform.Deployments)
+	endpoints int // universe endpoints indexed (dense + spill entries)
+}
+
+// partitionOf resolves an endpoint ID to its partition, or -1.
+func (lay *partitionLayout) partitionOf(id uint64) int32 {
+	if id < uint64(len(lay.dense)) {
+		return lay.dense[id]
+	}
+	lo, hi := 0, len(lay.spillIDs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if lay.spillIDs[m] < id {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo < len(lay.spillIDs) && lay.spillIDs[lo] == id {
+		return lay.spillIdx[lo]
+	}
+	return -1
+}
+
+// memoryBytes is the resident size of the layout's index structures.
+func (lay *partitionLayout) memoryBytes() uint64 {
+	return uint64(len(lay.dense))*uint64(unsafe.Sizeof(int32(0))) +
+		uint64(len(lay.spillIDs))*uint64(unsafe.Sizeof(uint64(0))) +
+		uint64(len(lay.spillIdx))*uint64(unsafe.Sizeof(int32(0))) +
+		uint64(len(lay.partSeg))*uint64(unsafe.Sizeof(int32(0))) +
+		uint64(len(lay.baseSegArena))*uint64(unsafe.Sizeof(int32(0))) +
+		uint64(len(lay.baseSegOff))*uint64(unsafe.Sizeof(uint32(0))) +
+		uint64(len(lay.segments))*uint64(unsafe.Sizeof(segmentInfo{}))
+}
+
+// signatureFor quantizes an endpoint's routing signature at the given cell
+// size in miles. Longitude cells use the same angular width as latitude
+// cells, so cells shrink in east-west miles toward the poles — finer, never
+// coarser, than the configured similarity threshold.
+func signatureFor(ep netmodel.Endpoint, miles float64) sigKey {
+	cellDeg := miles / milesPerDegreeLat
+	return sigKey{
+		row:    int32(math.Floor((ep.Loc.Lat + 90) / cellDeg)),
+		col:    int32(math.Floor((ep.Loc.Lon + 180) / cellDeg)),
+		asn:    ep.ASN,
+		access: ep.Access,
+	}
+}
+
+// buildLayout partitions the endpoint universe. miles <= 0 selects identity
+// partitioning: every distinct endpoint ID is its own partition, which
+// reproduces the pre-partition per-endpoint tables exactly (the equivalence
+// property pinned by TestPartitionIdentityEquivalence). miles > 0 clusters
+// endpoints by routing signature; the first member seen (universe order, so
+// deterministic) represents the partition.
+func buildLayout(universe []netmodel.Endpoint, fLDNS, fClient netmodel.Endpoint,
+	miles float64, sc *Scorer, tableLen int) *partitionLayout {
+
+	lay := &partitionLayout{tableLen: tableLen}
+
+	// Pass 1: assign partitions first-seen by signature.
+	assign := make([]int32, len(universe))
+	var reps []netmodel.Endpoint
+	if miles <= 0 {
+		byID := make(map[uint64]int32, len(universe))
+		for i, ep := range universe {
+			p, ok := byID[ep.ID]
+			if !ok {
+				p = int32(len(reps))
+				byID[ep.ID] = p
+				reps = append(reps, ep)
+			}
+			assign[i] = p
+		}
+	} else {
+		bySig := make(map[sigKey]int32, len(universe)/4+16)
+		for i, ep := range universe {
+			k := signatureFor(ep, miles)
+			p, ok := bySig[k]
+			if !ok {
+				p = int32(len(reps))
+				bySig[k] = p
+				reps = append(reps, ep)
+			}
+			assign[i] = p
+		}
+	}
+	lay.nParts = len(reps)
+
+	// The two fallback partitions ride at the end; their synthetic IDs (top
+	// of the uint64 space) never enter the index.
+	lay.fallbackLDNS = int32(len(reps))
+	reps = append(reps, fLDNS)
+	lay.fallbackClient = int32(len(reps))
+	reps = append(reps, fClient)
+
+	// Pass 2: the endpoint index. World IDs are allocated from one small
+	// counter, so almost everything lands in the dense array at 4 bytes per
+	// endpoint; hashed IDs (extra experiment endpoints) spill to sorted
+	// arrays.
+	denseLimit := uint64(2*len(universe) + 1024)
+	maxDense := uint64(0)
+	for _, ep := range universe {
+		if ep.ID < denseLimit && ep.ID > maxDense {
+			maxDense = ep.ID
+		}
+	}
+	lay.dense = make([]int32, maxDense+1)
+	for i := range lay.dense {
+		lay.dense[i] = -1
+	}
+	type spillEnt struct {
+		id  uint64
+		idx int32
+	}
+	var spill []spillEnt
+	for i, ep := range universe {
+		if ep.ID < denseLimit {
+			if lay.dense[ep.ID] < 0 {
+				lay.endpoints++
+			}
+			lay.dense[ep.ID] = assign[i]
+		} else {
+			spill = append(spill, spillEnt{ep.ID, assign[i]})
+		}
+	}
+	if len(spill) > 0 {
+		sort.Slice(spill, func(i, j int) bool { return spill[i].id < spill[j].id })
+		lay.spillIDs = make([]uint64, 0, len(spill))
+		lay.spillIdx = make([]int32, 0, len(spill))
+		for _, e := range spill {
+			if n := len(lay.spillIDs); n > 0 && lay.spillIDs[n-1] == e.id {
+				lay.spillIdx[n-1] = e.idx // later universe entries win, as before
+				continue
+			}
+			lay.spillIDs = append(lay.spillIDs, e.id)
+			lay.spillIdx = append(lay.spillIdx, e.idx)
+			lay.endpoints++
+		}
+	}
+
+	// Pass 3: intern partitions onto arena segments. With clustering on,
+	// partitions resolving to the same ping target share one table, so the
+	// arena is bounded by the distinct targets in use — not by the
+	// partition count; with clustering off each partition ranks its own
+	// representative.
+	lay.partSeg = make([]int32, len(reps))
+	if sc.Targeted() {
+		tIdx := par.Map(len(reps), func(i int) int { return sc.targetFor(reps[i]) })
+		lay.targetSeg = make(map[int32]int32, 64)
+		for p, rep := range reps {
+			t := int32(tIdx[p])
+			seg, ok := lay.targetSeg[t]
+			if !ok {
+				seg = int32(len(lay.segments))
+				lay.targetSeg[t] = seg
+				lay.segments = append(lay.segments, segmentInfo{target: t, rep: rep})
+			}
+			lay.partSeg[p] = seg
+		}
+	} else {
+		for p, rep := range reps {
+			lay.segments = append(lay.segments, segmentInfo{target: -1, rep: rep})
+			lay.partSeg[p] = int32(p)
+		}
+	}
+	lay.baseSegArena = make([]int32, len(lay.segments))
+	lay.baseSegOff = make([]uint32, len(lay.segments))
+	for s := range lay.baseSegOff {
+		lay.baseSegOff[s] = uint32(s * tableLen)
+	}
+	return lay
+}

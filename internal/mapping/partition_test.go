@@ -1,0 +1,160 @@
+package mapping
+
+import (
+	"testing"
+
+	"eum/internal/geo"
+	"eum/internal/netmodel"
+)
+
+// TestPartitionIdentityEquivalence is the partition-equivalence property
+// test: with the similarity threshold at 0 (identity partitioning — every
+// endpoint its own partition), the partitioned, interned-arena snapshot
+// must return byte-identical RankOf and Best answers to the pre-partition
+// per-endpoint tables, whose contract is the scorer's own ranking for the
+// same endpoint. Checked for every block and every LDNS, not a sample.
+func TestPartitionIdentityEquivalence(t *testing.T) {
+	sys := NewSystem(testW, testP, testNet, Config{Policy: EndUser, PingTargets: 1000})
+	sn := sys.Current()
+	sc := sys.Scorer()
+
+	if got, want := sn.Partitions(), sn.Endpoints(); got != want {
+		t.Fatalf("identity partitioning: %d partitions for %d endpoints", got, want)
+	}
+
+	checkEndpoint := func(ep netmodel.Endpoint, client bool, what string) {
+		t.Helper()
+		got := sn.RankOf(ep.ID, client)
+		want := sc.Rank(ep)
+		if len(got) != len(want) {
+			t.Fatalf("%s %d: %d ranked, want %d", what, ep.ID, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Deployment != want[j].Deployment || got[j].Score != want[j].Score {
+				t.Fatalf("%s %d rank %d: %s/%v, want %s/%v", what, ep.ID, j,
+					got[j].Deployment.Name, got[j].Score, want[j].Deployment.Name, want[j].Score)
+			}
+		}
+		// Best = first live entry of the reference table.
+		gotD, gotS := sn.Best(ep.ID, client)
+		var wantD = gotD
+		var wantS = gotS
+		for _, r := range want {
+			if r.Deployment.Alive() {
+				wantD, wantS = r.Deployment, r.Score
+				break
+			}
+		}
+		if gotD != wantD || gotS != wantS {
+			t.Fatalf("%s %d: Best = %v/%v, want %v/%v", what, ep.ID, gotD, gotS, wantD, wantS)
+		}
+	}
+
+	for _, b := range testW.Blocks {
+		checkEndpoint(b.Endpoint(), true, "block")
+	}
+	for _, l := range testW.LDNSes {
+		checkEndpoint(l.Endpoint(), false, "ldns")
+	}
+}
+
+// TestPartitionThresholdClusters: with a similarity threshold set, nearby
+// same-AS endpoints collapse into shared partitions (fewer partitions than
+// endpoints), every endpoint still resolves to a table, and the interned
+// arena stays bounded by the ping-target set.
+func TestPartitionThresholdClusters(t *testing.T) {
+	sys := NewSystem(testW, testP, testNet,
+		Config{Policy: EndUser, PingTargets: 1000, PartitionMiles: 100})
+	sn := sys.Current()
+
+	if sn.Partitions() >= sn.Endpoints() {
+		t.Fatalf("threshold partitioning did not cluster: %d partitions for %d endpoints",
+			sn.Partitions(), sn.Endpoints())
+	}
+	if sn.Tables() > 1000+2 {
+		t.Fatalf("interning failed: %d tables for 1000 ping targets", sn.Tables())
+	}
+	for i := 0; i < len(testW.Blocks); i += 97 {
+		b := testW.Blocks[i]
+		r := sn.RankOf(b.ID, true)
+		if len(r) != len(testP.Deployments) {
+			t.Fatalf("block %v: table has %d entries, want %d", b.Prefix, len(r), len(testP.Deployments))
+		}
+		if d, _ := sn.Best(b.ID, true); d == nil {
+			t.Fatalf("block %v: no live deployment", b.Prefix)
+		}
+	}
+
+	// Partition sharing must respect the routing signature: two blocks in
+	// the same partition share a rank table (same backing segment).
+	seen := map[int32][]Ranked{}
+	shared := 0
+	for _, b := range testW.Blocks {
+		p := sn.lay.partitionOf(b.ID)
+		if p < 0 {
+			t.Fatalf("block %v not indexed", b.Prefix)
+		}
+		if prev, ok := seen[p]; ok {
+			cur := sn.table(p)
+			if &prev[0] != &cur[0] {
+				t.Fatalf("partition %d: table backing changed between lookups", p)
+			}
+			shared++
+		} else {
+			seen[p] = sn.table(p)
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no two blocks shared a partition at a 100-mile threshold")
+	}
+}
+
+// TestNearestTargetMatchesLinearScan pins the latitude-band nearest-target
+// search to the semantics of the linear argmin it replaced: smallest
+// distance, ties to the lowest target index.
+func TestNearestTargetMatchesLinearScan(t *testing.T) {
+	sc := NewScorer(testW, testP, testNet, 700)
+	linear := func(ep netmodel.Endpoint) int {
+		best, bestD := 0, distanceFor(sc, 0, ep)
+		for i := 1; i < len(sc.targets); i++ {
+			if d := distanceFor(sc, i, ep); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+	for i := 0; i < len(testW.Blocks); i += 13 {
+		ep := testW.Blocks[i].Endpoint()
+		if got, want := sc.nearestTarget(ep), linear(ep); got != want {
+			t.Fatalf("block %d: nearestTarget = %d, linear scan = %d", ep.ID, got, want)
+		}
+	}
+	for _, l := range testW.LDNSes {
+		ep := l.Endpoint()
+		if got, want := sc.nearestTarget(ep), linear(ep); got != want {
+			t.Fatalf("ldns %d: nearestTarget = %d, linear scan = %d", ep.ID, got, want)
+		}
+	}
+}
+
+// TestSnapshotMemoryAccounting: the reported footprint covers the arena
+// and indexes, and stays far below a map-of-slices layout (which cost a
+// map entry plus a slice header per endpoint).
+func TestSnapshotMemoryAccounting(t *testing.T) {
+	sys := NewSystem(testW, testP, testNet,
+		Config{Policy: EndUser, PingTargets: 500, PartitionMiles: 50})
+	sn := sys.Current()
+	if sn.MemoryBytes() == 0 || sys.IndexBytes() == 0 {
+		t.Fatal("zero memory accounting")
+	}
+	// The per-endpoint index cost (everything but the target-bounded
+	// arena chain) must be a few bytes per endpoint.
+	perEndpoint := float64(sn.MemoryBytes()-sn.arenaBytes()) / float64(sn.Endpoints())
+	if perEndpoint > 16 {
+		t.Fatalf("index cost %.1f bytes/endpoint, want a few", perEndpoint)
+	}
+}
+
+func distanceFor(sc *Scorer, i int, ep netmodel.Endpoint) float64 {
+	return geo.Distance(ep.Loc, sc.targets[i].Loc)
+}

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -51,6 +52,20 @@ type Scorer struct {
 	net      Prober
 	targets  []netmodel.Endpoint
 
+	// targetIdx maps a ping target's endpoint ID to its index, so
+	// measurement updates scoped to specific targets (the MapMaker's
+	// NotifyMeasurement feed) can invalidate just those tables.
+	targetIdx map[uint64]int
+
+	// latSorted/latOrder index the targets by latitude for nearest-target
+	// search: latSorted is ascending target latitudes, latOrder the target
+	// index at each sorted position. Latitude difference lower-bounds
+	// great-circle distance, so the search scans outward from the query
+	// latitude and stops once the band cannot beat the best hit — exact,
+	// but examining a narrow band instead of every target.
+	latSorted []float64
+	latOrder  []int32
+
 	// gen counts invalidations; answer caches layered above compare it
 	// to decide whether their entries predate a liveness change.
 	gen atomic.Uint64
@@ -94,6 +109,24 @@ func NewScorer(w *world.World, p *cdn.Platform, net Prober, numTargets int) *Sco
 		}
 		s.rankCache = make([]atomic.Pointer[[]Ranked], len(s.targets))
 		s.bestCache = make([]atomic.Pointer[Ranked], len(s.targets))
+		s.targetIdx = make(map[uint64]int, len(s.targets))
+		for i, t := range s.targets {
+			if _, ok := s.targetIdx[t.ID]; !ok {
+				s.targetIdx[t.ID] = i
+			}
+		}
+		order := make([]int32, len(s.targets))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return s.targets[order[i]].Loc.Lat < s.targets[order[j]].Loc.Lat
+		})
+		s.latOrder = order
+		s.latSorted = make([]float64, len(order))
+		for i, t := range order {
+			s.latSorted[i] = s.targets[t].Loc.Lat
+		}
 	}
 	return s
 }
@@ -120,15 +153,55 @@ func (s *Scorer) targetFor(ep netmodel.Endpoint) int {
 		return idx
 	}
 
-	best, bestD := 0, geo.Distance(ep.Loc, s.targets[0].Loc)
-	for i := 1; i < len(s.targets); i++ {
-		if d := geo.Distance(ep.Loc, s.targets[i].Loc); d < bestD {
-			best, bestD = i, d
-		}
-	}
+	best := s.nearestTarget(ep)
 	sh.mu.Lock()
 	sh.byID[ep.ID] = best
 	sh.mu.Unlock()
+	return best
+}
+
+// nearestTarget finds the ping target geographically closest to ep,
+// breaking distance ties toward the lowest target index (the semantics of
+// a linear argmin scan with strict <). It walks the latitude-sorted target
+// index outward from ep's latitude, pruning with the invariant that
+// great-circle distance is at least the latitude difference — so only a
+// narrow latitude band is ever examined, which is what makes million-block
+// partition layouts affordable.
+func (s *Scorer) nearestTarget(ep netmodel.Endpoint) int {
+	n := len(s.latSorted)
+	j := sort.SearchFloat64s(s.latSorted, ep.Loc.Lat)
+	i := j - 1
+	best, bestD := -1, math.Inf(1)
+	consider := func(k int) {
+		t := int(s.latOrder[k])
+		d := geo.Distance(ep.Loc, s.targets[t].Loc)
+		if d < bestD || (d == bestD && t < best) {
+			best, bestD = t, d
+		}
+	}
+	for i >= 0 || j < n {
+		// Lower-bound each frontier by its latitude gap (milesPerDegreeLat
+		// rounds down, keeping the bound sound); a frontier that cannot
+		// beat — or tie, since ties can win on index — the best hit is
+		// done, and when both are done so is the search.
+		di, dj := math.Inf(1), math.Inf(1)
+		if i >= 0 {
+			di = math.Abs(ep.Loc.Lat-s.latSorted[i]) * milesPerDegreeLat
+		}
+		if j < n {
+			dj = math.Abs(s.latSorted[j]-ep.Loc.Lat) * milesPerDegreeLat
+		}
+		if best >= 0 && di > bestD && dj > bestD {
+			break
+		}
+		if di <= dj {
+			consider(i)
+			i--
+		} else {
+			consider(j)
+			j++
+		}
+	}
 	return best
 }
 
@@ -216,6 +289,40 @@ func (s *Scorer) Invalidate() {
 		s.rankCache[i].Store(nil)
 	}
 	s.gen.Add(1)
+}
+
+// InvalidateTargets drops the cached results for specific ping targets
+// only — the scoped counterpart of Invalidate, used when a measurement
+// sweep refreshed a known subset of targets. Tables for every other target
+// stay warm, which is what lets the snapshot builder re-rank only the
+// partitions those targets serve. The generation counter still advances so
+// layered caches see the change.
+func (s *Scorer) InvalidateTargets(idxs ...int) {
+	for _, i := range idxs {
+		if i >= 0 && i < len(s.rankCache) {
+			s.rankCache[i].Store(nil)
+			s.bestCache[i].Store(nil)
+		}
+	}
+	s.gen.Add(1)
+}
+
+// TargetIndex resolves an endpoint ID to its ping-target index, reporting
+// whether the endpoint is one of the scorer's targets.
+func (s *Scorer) TargetIndex(id uint64) (int, bool) {
+	i, ok := s.targetIdx[id]
+	return i, ok
+}
+
+// TargetFor returns the ping target standing in for ep under clustering,
+// reporting false when clustering is off. Measurement feeds use it to
+// learn which target's tables a refreshed endpoint contributes to.
+func (s *Scorer) TargetFor(ep netmodel.Endpoint) (netmodel.Endpoint, bool) {
+	idx := s.targetFor(ep)
+	if idx < 0 {
+		return netmodel.Endpoint{}, false
+	}
+	return s.targets[idx], true
 }
 
 // Targeted reports whether clustering is on (a bounded ping-target set).

@@ -1,7 +1,10 @@
 package mapping
 
 import (
+	"sort"
+	"sync"
 	"time"
+	"unsafe"
 
 	"eum/internal/cdn"
 	"eum/internal/geo"
@@ -25,6 +28,13 @@ const (
 // currently installed snapshot — it never computes scores, takes locks, or
 // invalidates anything.
 //
+// Storage is partitioned and interned: endpoints are clustered into mapping
+// partitions (see buildLayout), every partition's rank table is an
+// (offset, length) header into one shared []Ranked arena, and partitions
+// whose measurements resolve to the same ping target share one arena
+// segment. The endpoint→partition index is a flat int32 array over the
+// world's dense ID space, so resident memory per block is a few bytes.
+//
 // This is the paper's two-plane architecture (§3–§5): topology discovery
 // and scoring feed a map-making pipeline that publishes maps on a cadence,
 // and the authoritative name servers serve whichever map is current.
@@ -33,18 +43,18 @@ type Snapshot struct {
 	policy Policy
 	ttl    time.Duration
 
-	// tables holds the rank tables, each ordered best (lowest ping) first.
-	// byID maps an endpoint ID (client block or LDNS) to its table. With
-	// clustering, table i is ping target i's table and many endpoints share
-	// it; without, each distinct endpoint gets its own.
-	tables [][]Ranked
-	byID   map[uint64]int32
-
-	// fallbackLDNS / fallbackClient index the tables used for endpoints
-	// the map was not built for (a lab resolver, a never-seen prefix):
-	// they rank from the builder's fallback location. -1 when absent.
-	fallbackLDNS   int32
-	fallbackClient int32
+	// lay is the partition layout (index + partition→segment map), shared
+	// across every snapshot built for the same endpoint universe.
+	lay *partitionLayout
+	// arenas holds the rank tables, each ordered best (lowest ping) first.
+	// arenas[0] is a full base arena (segment s at offset s*tableLen);
+	// incremental builds append small delta arenas carrying only the
+	// re-ranked segments, and segArena/segOff locate segment s's current
+	// table. A republish that changed nothing shares all three wholesale;
+	// the chain is compacted back to one arena at maxArenaChain.
+	arenas   [][]Ranked
+	segArena []int32
+	segOff   []uint32
 
 	// cans maps an LDNS ID to its precomputed ClientAwareNS candidate
 	// list: the traffic-weighted winner first, then the LDNS's own rank
@@ -63,37 +73,71 @@ func (sn *Snapshot) Policy() Policy { return sn.policy }
 // TTL returns the answer TTL the snapshot carries.
 func (sn *Snapshot) TTL() time.Duration { return sn.ttl }
 
-// Tables returns the number of rank tables in the snapshot.
-func (sn *Snapshot) Tables() int { return len(sn.tables) }
+// Tables returns the number of distinct rank tables (arena segments) in
+// the snapshot. Interning keeps this bounded by the ping-target set, not
+// the endpoint count.
+func (sn *Snapshot) Tables() int { return len(sn.lay.segments) }
 
-// rankByID returns the rank table for a known endpoint ID, or nil.
-func (sn *Snapshot) rankByID(id uint64) []Ranked {
-	if i, ok := sn.byID[id]; ok {
-		return sn.tables[i]
+// Partitions returns the number of mapping partitions the endpoint
+// universe was clustered into (excluding the two fallback partitions).
+func (sn *Snapshot) Partitions() int { return sn.lay.nParts }
+
+// Endpoints returns how many distinct endpoint IDs the snapshot indexes.
+func (sn *Snapshot) Endpoints() int { return sn.lay.endpoints }
+
+// arenaBytes is the resident size of the snapshot's table data across the
+// arena chain (superseded segments in older arenas included — they stay
+// resident until compaction drops them).
+func (sn *Snapshot) arenaBytes() uint64 {
+	var n uint64
+	for _, a := range sn.arenas {
+		n += uint64(len(a)) * uint64(unsafe.Sizeof(Ranked{}))
 	}
-	return nil
+	return n
+}
+
+// MemoryBytes returns the resident size of the snapshot's table storage:
+// the arena chain plus the partition index and segment locators. The CANS
+// candidate map (ClientAwareNS only) is excluded.
+func (sn *Snapshot) MemoryBytes() uint64 {
+	return sn.lay.memoryBytes() + sn.arenaBytes() +
+		uint64(len(sn.segArena))*uint64(unsafe.Sizeof(int32(0))) +
+		uint64(len(sn.segOff))*uint64(unsafe.Sizeof(uint32(0)))
+}
+
+// segData returns segment s's rank table as a capped subslice of its
+// arena; callers must not modify it.
+func (sn *Snapshot) segData(s int32) []Ranked {
+	off := sn.segOff[s]
+	end := off + uint32(sn.lay.tableLen)
+	return sn.arenas[sn.segArena[s]][off:end:end]
+}
+
+// table returns partition p's rank table; callers must not modify it.
+func (sn *Snapshot) table(p int32) []Ranked {
+	return sn.segData(sn.lay.partSeg[p])
 }
 
 // fallbackTable returns the shared table for endpoints the map does not
 // cover; client selects the client-side fallback (access network, client
 // fallback location) over the resolver-side one.
 func (sn *Snapshot) fallbackTable(client bool) []Ranked {
-	i := sn.fallbackLDNS
+	p := sn.lay.fallbackLDNS
 	if client {
-		i = sn.fallbackClient
+		p = sn.lay.fallbackClient
 	}
-	if i < 0 || int(i) >= len(sn.tables) {
+	if p < 0 {
 		return nil
 	}
-	return sn.tables[i]
+	return sn.table(p)
 }
 
 // RankOf returns the rank table serving endpoint id, falling back to the
 // shared fallback table when the map does not cover it. The slice is
 // immutable; callers must not modify it.
 func (sn *Snapshot) RankOf(id uint64, client bool) []Ranked {
-	if r := sn.rankByID(id); r != nil {
-		return r
+	if p := sn.lay.partitionOf(id); p >= 0 {
+		return sn.table(p)
 	}
 	return sn.fallbackTable(client)
 }
@@ -119,18 +163,38 @@ func (sn *Snapshot) CANSCandidates(id uint64) []Ranked { return sn.cans[id] }
 // SnapshotBuilder assembles snapshots. It is the control plane's compute
 // stage: it owns a Scorer (measurement + clustering) and, per Build,
 // produces a complete immutable map for one (epoch, policy) pair. The same
-// builder is reused across epochs so the scorer's clustering index and
-// cached rank tables persist; after a measurement refresh the caller
-// invalidates the scorer and the next Build recomputes.
+// builder is reused across epochs so the partition layout, the scorer's
+// clustering index and the previous snapshot's arena persist — builds are
+// incremental: only partitions whose ping targets were marked dirty since
+// the last build are re-ranked, untouched table segments are copied (or,
+// when nothing changed, the whole arena is shared) from the previous
+// snapshot.
 //
-// A builder is safe for concurrent Build calls, but the intended use is a
-// single MapMaker goroutine building sequentially.
+// A builder is safe for concurrent use; builds serialize on an internal
+// mutex. The intended use is a single MapMaker goroutine building
+// sequentially.
 type SnapshotBuilder struct {
-	world       *world.World
-	scorer      *Scorer
-	ttl         time.Duration
-	fallbackLoc geo.Point
-	extra       []netmodel.Endpoint
+	world          *world.World
+	scorer         *Scorer
+	ttl            time.Duration
+	fallbackLoc    geo.Point
+	partitionMiles float64
+
+	mu    sync.Mutex
+	extra []netmodel.Endpoint
+	lay   *partitionLayout
+	prev  *Snapshot
+	// expectedGen is the scorer generation the builder has accounted for.
+	// A mismatch at Build time means someone invalidated the scorer behind
+	// the builder's back (e.g. a simulation calling Scorer.Invalidate after
+	// failure injection), so the build conservatively re-ranks everything.
+	expectedGen  uint64
+	dirtyAll     bool
+	dirtyTargets map[int]struct{}
+
+	fullBuilds     uint64
+	incBuilds      uint64
+	rerankedTables uint64
 }
 
 // NewSnapshotBuilder creates a standalone builder over the world and
@@ -151,10 +215,13 @@ func NewSnapshotBuilder(w *world.World, p *cdn.Platform, net Prober, cfg Config)
 // already have defaults applied.
 func newSnapshotBuilder(w *world.World, scorer *Scorer, cfg Config) *SnapshotBuilder {
 	return &SnapshotBuilder{
-		world:       w,
-		scorer:      scorer,
-		ttl:         cfg.TTL,
-		fallbackLoc: cfg.FallbackLoc,
+		world:          w,
+		scorer:         scorer,
+		ttl:            cfg.TTL,
+		fallbackLoc:    cfg.FallbackLoc,
+		partitionMiles: cfg.PartitionMiles,
+		dirtyAll:       true,
+		dirtyTargets:   map[int]struct{}{},
 	}
 }
 
@@ -164,9 +231,59 @@ func (b *SnapshotBuilder) Scorer() *Scorer { return b.scorer }
 
 // AddClientEndpoints extends the set of client endpoints the snapshot will
 // cover beyond the world's blocks (e.g. a sampled block universe an
-// experiment replays).
+// experiment replays). The partition layout is recomputed on the next
+// build.
 func (b *SnapshotBuilder) AddClientEndpoints(eps ...netmodel.Endpoint) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.extra = append(b.extra, eps...)
+	b.lay = nil
+	b.dirtyAll = true
+}
+
+// MarkMeasurementsDirty records which ping targets' measurements changed
+// since the last build, so the next Build re-ranks only the partitions
+// interned onto those targets. Called with no IDs — or with an ID that is
+// not a ping target, or when clustering is off — it degrades to a full
+// invalidation: every table is re-ranked. The matching per-target rank
+// cache entries are dropped either way, so re-ranked tables always reflect
+// fresh measurements.
+func (b *SnapshotBuilder) MarkMeasurementsDirty(targetIDs ...uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(targetIDs) == 0 {
+		b.scorer.Invalidate()
+		b.dirtyAll = true
+		b.expectedGen = b.scorer.Generation()
+		return
+	}
+	idxs := make([]int, 0, len(targetIDs))
+	for _, id := range targetIDs {
+		i, ok := b.scorer.TargetIndex(id)
+		if !ok {
+			b.scorer.Invalidate()
+			b.dirtyAll = true
+			b.expectedGen = b.scorer.Generation()
+			return
+		}
+		idxs = append(idxs, i)
+	}
+	b.scorer.InvalidateTargets(idxs...)
+	for _, i := range idxs {
+		b.dirtyTargets[i] = struct{}{}
+	}
+	b.expectedGen = b.scorer.Generation()
+}
+
+// BuildStats reports how the builder has been working: full builds (every
+// table ranked), incremental builds (previous arena reused), and the total
+// number of tables ranked across all builds. The incremental-build
+// regression test pins "one dirty target re-ranks exactly its own tables"
+// on these counters.
+func (b *SnapshotBuilder) BuildStats() (full, incremental, rerankedTables uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fullBuilds, b.incBuilds, b.rerankedTables
 }
 
 // fallbackEndpoints returns the two synthetic endpoints standing in for
@@ -178,21 +295,15 @@ func (b *SnapshotBuilder) fallbackEndpoints() (ldns, client netmodel.Endpoint) {
 	return ldns, client
 }
 
-// Build produces the snapshot for one epoch under the given policy. The
-// endpoint universe is every world LDNS, every client block, any extra
-// endpoints, and the two fallbacks. The result is a pure function of
-// (world, platform liveness, measurements, policy) — par fan-out inside is
-// index-deterministic — so simulation epochs are reproducible regardless
-// of worker count.
-func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
-	sn := &Snapshot{
-		epoch:        epoch,
-		policy:       policy,
-		ttl:          b.ttl,
-		fallbackLDNS: -1, fallbackClient: -1,
+// layoutLocked returns the cached partition layout, computing it on first
+// use or after AddClientEndpoints. The layout depends only on the endpoint
+// universe, the partitioning threshold and the (fixed) ping-target set —
+// never on measurements — so it survives every invalidation.
+func (b *SnapshotBuilder) layoutLocked() *partitionLayout {
+	if b.lay != nil {
+		return b.lay
 	}
-	w, sc := b.world, b.scorer
-
+	w := b.world
 	universe := make([]netmodel.Endpoint, 0, len(w.LDNSes)+len(w.Blocks)+len(b.extra))
 	for _, l := range w.LDNSes {
 		universe = append(universe, l.Endpoint())
@@ -202,42 +313,138 @@ func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
 	}
 	universe = append(universe, b.extra...)
 	fLDNS, fClient := b.fallbackEndpoints()
+	b.lay = buildLayout(universe, fLDNS, fClient, b.partitionMiles, b.scorer,
+		len(b.scorer.Platform().Deployments))
+	return b.lay
+}
 
-	if sc.Targeted() {
-		// Clustered: one table per ping target; endpoints inherit their
-		// nearest target's table. Tables not recomputed since the last
-		// scorer invalidation are reused as-is.
-		idx := par.Map(len(universe), func(i int) int { return sc.targetFor(universe[i]) })
-		sn.byID = make(map[uint64]int32, len(universe))
-		for i, ep := range universe {
-			sn.byID[ep.ID] = int32(idx[i])
+// segTable ranks segment s: the interned ping target's table under
+// clustering, or the partition representative's own exact ranking without.
+// The returned slice is the scorer's cache entry — callers copy it.
+func (b *SnapshotBuilder) segTable(lay *partitionLayout, s int) []Ranked {
+	seg := lay.segments[s]
+	if seg.target >= 0 {
+		return b.scorer.rankTarget(int(seg.target))
+	}
+	return b.scorer.computeRank(seg.rep)
+}
+
+// maxArenaChain bounds the delta-arena chain an incremental build may
+// grow. At the cap — or as soon as the accumulated delta data would
+// outweigh the base arena — the build compacts: every segment's current
+// table is copied (dirty ones re-ranked) into one fresh base arena,
+// dropping the superseded garbage the deltas accumulated. The size
+// trigger keeps the worst-case resident overhead at 2× the base; the
+// length cap bounds the amortized compaction cost for tiny (one-target)
+// refreshes at base/maxArenaChain copied bytes per build.
+const maxArenaChain = 64
+
+// Build produces the snapshot for one epoch under the given policy. The
+// endpoint universe is every world LDNS, every client block, any extra
+// endpoints, and the two fallbacks. The result is a pure function of
+// (world, platform liveness, measurements, policy) — par fan-out inside is
+// index-deterministic — so simulation epochs are reproducible regardless
+// of worker count.
+//
+// Builds are incremental: when the previous snapshot's layout is current
+// and only specific ping targets were marked dirty, the build allocates a
+// small delta arena holding just the re-ranked segments (filled in
+// parallel, across disjoint slices) and shares everything else with the
+// previous snapshot; when nothing was marked dirty at all, the arena chain
+// is shared wholesale and the build is a near-free epoch bump. Any
+// unaccounted scorer invalidation, layout change, or MarkMeasurementsDirty
+// with no target scope forces a full re-rank, so an incremental build is
+// always bitwise-identical to the cold build at the same epoch.
+func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// A build that panics mid-way (a crashing prober in chaos tests) may
+	// have partially consumed the dirty state; poison the next build to a
+	// full re-rank so a stale arena can never be shared.
+	defer func() {
+		if p := recover(); p != nil {
+			b.dirtyAll = true
+			panic(p)
 		}
-		sn.tables = par.Map(len(sc.targets), func(i int) []Ranked { return sc.rankTarget(i) })
-		sn.fallbackLDNS = int32(sc.targetFor(fLDNS))
-		sn.fallbackClient = int32(sc.targetFor(fClient))
-	} else {
-		// Unclustered: exact per-endpoint tables, one per distinct ID, in
-		// universe order; the fallbacks get their own.
-		sn.byID = make(map[uint64]int32, len(universe))
-		distinct := make([]netmodel.Endpoint, 0, len(universe)+2)
-		for _, ep := range universe {
-			if _, ok := sn.byID[ep.ID]; !ok {
-				sn.byID[ep.ID] = int32(len(distinct))
-				distinct = append(distinct, ep)
+	}()
+
+	lay := b.layoutLocked()
+	sc := b.scorer
+	full := b.dirtyAll || b.prev == nil || b.prev.lay != lay || sc.Generation() != b.expectedGen
+	tl := lay.tableLen
+
+	sn := &Snapshot{epoch: epoch, policy: policy, ttl: b.ttl, lay: lay}
+	switch {
+	case full:
+		arena := make([]Ranked, len(lay.segments)*tl)
+		par.ForEach(len(lay.segments), func(s int) {
+			copy(arena[s*tl:(s+1)*tl], b.segTable(lay, s))
+		})
+		sn.arenas = [][]Ranked{arena}
+		sn.segArena, sn.segOff = lay.baseSegArena, lay.baseSegOff
+		b.fullBuilds++
+		b.rerankedTables += uint64(len(lay.segments))
+	case len(b.dirtyTargets) == 0:
+		// Nothing changed since the last build: share the chain wholesale.
+		sn.arenas, sn.segArena, sn.segOff = b.prev.arenas, b.prev.segArena, b.prev.segOff
+		b.incBuilds++
+	default:
+		segs := make([]int, 0, len(b.dirtyTargets))
+		for t := range b.dirtyTargets {
+			if s, ok := lay.targetSeg[int32(t)]; ok {
+				segs = append(segs, int(s))
 			}
 		}
-		sn.fallbackLDNS = int32(len(distinct))
-		distinct = append(distinct, fLDNS)
-		sn.fallbackClient = int32(len(distinct))
-		distinct = append(distinct, fClient)
-		sn.tables = par.Map(len(distinct), func(i int) []Ranked { return sc.computeRank(distinct[i]) })
-		delete(sn.byID, fLDNS.ID)
-		delete(sn.byID, fClient.ID)
+		sort.Ints(segs)
+		prevDelta := 0
+		for _, a := range b.prev.arenas[1:] {
+			prevDelta += len(a)
+		}
+		if len(b.prev.arenas) >= maxArenaChain || prevDelta+len(segs)*tl > len(b.prev.arenas[0]) {
+			// Compact: re-rank the dirty segments and copy the rest into
+			// one fresh base arena, dropping the delta chain.
+			dirty := make([]bool, len(lay.segments))
+			for _, s := range segs {
+				dirty[s] = true
+			}
+			arena := make([]Ranked, len(lay.segments)*tl)
+			par.ForEach(len(lay.segments), func(s int) {
+				dst := arena[s*tl : (s+1)*tl]
+				if dirty[s] {
+					copy(dst, b.segTable(lay, s))
+				} else {
+					copy(dst, b.prev.segData(int32(s)))
+				}
+			})
+			sn.arenas = [][]Ranked{arena}
+			sn.segArena, sn.segOff = lay.baseSegArena, lay.baseSegOff
+		} else {
+			delta := make([]Ranked, len(segs)*tl)
+			par.ForEach(len(segs), func(i int) {
+				copy(delta[i*tl:(i+1)*tl], b.segTable(lay, segs[i]))
+			})
+			segArena := append([]int32(nil), b.prev.segArena...)
+			segOff := append([]uint32(nil), b.prev.segOff...)
+			ai := int32(len(b.prev.arenas))
+			for i, s := range segs {
+				segArena[s] = ai
+				segOff[s] = uint32(i * tl)
+			}
+			arenas := make([][]Ranked, 0, len(b.prev.arenas)+1)
+			arenas = append(arenas, b.prev.arenas...)
+			sn.arenas = append(arenas, delta)
+			sn.segArena, sn.segOff = segArena, segOff
+		}
+		b.incBuilds++
+		b.rerankedTables += uint64(len(segs))
 	}
-
+	b.dirtyAll = false
+	clear(b.dirtyTargets)
+	b.expectedGen = sc.Generation()
 	if policy == ClientAwareNS {
 		sn.cans = b.buildCANS(sn)
 	}
+	b.prev = sn
 	return sn
 }
 

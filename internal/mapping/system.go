@@ -59,6 +59,15 @@ type Config struct {
 	// PingTargets bounds the scoring measurement set (§6 uses 8K);
 	// 0 disables clustering.
 	PingTargets int
+	// PartitionMiles is the routing-aware partitioning threshold: client
+	// blocks (and resolvers) whose routing signatures agree — same
+	// quantized geo cell of this size, same origin AS, same access tier —
+	// are clustered into one mapping partition sharing a single rank
+	// table. 0 (the default) keeps identity partitioning: every endpoint
+	// is its own partition, byte-identical to per-endpoint tables. Set it
+	// (e.g. 50) for million-block worlds, where it cuts table and index
+	// cost by orders of magnitude.
+	PartitionMiles float64
 	// FallbackLoc locates resolvers the system has never measured (e.g.
 	// a lab resolver); default New York.
 	FallbackLoc geo.Point
@@ -100,9 +109,11 @@ type System struct {
 	// keep failing never advances it.
 	publishedAt atomic.Int64
 
-	blockByLeaf map[netip.Prefix]*world.ClientBlock // /24 (v4) or /48 (v6) -> block
-	unitRep     map[netip.Prefix]*world.ClientBlock // mapping unit -> representative block
-	ldnsBy      map[netip.Addr]*world.LDNS
+	// index holds the flat sorted lookup arrays (leaf prefix → block,
+	// mapping unit → representative block, resolver address → LDNS): a few
+	// bytes per block resident, allocation-free binary search on the hot
+	// path.
+	index *sysIndex
 }
 
 // NewSystem builds a mapping system over the given world and platform.
@@ -119,27 +130,15 @@ func NewSystem(w *world.World, p *cdn.Platform, net Prober, cfg Config) *System 
 		cfg.FallbackLoc = geo.Point{Lat: 40.71, Lon: -74.01}
 	}
 	s := &System{
-		cfg:         cfg,
-		world:       w,
-		platform:    p,
-		scorer:      NewScorer(w, p, net, cfg.PingTargets),
-		lb:          NewLoadBalancer(),
-		blockByLeaf: make(map[netip.Prefix]*world.ClientBlock, len(w.Blocks)),
-		unitRep:     map[netip.Prefix]*world.ClientBlock{},
-		ldnsBy:      make(map[netip.Addr]*world.LDNS, len(w.LDNSes)),
+		cfg:      cfg,
+		world:    w,
+		platform: p,
+		scorer:   NewScorer(w, p, net, cfg.PingTargets),
+		lb:       NewLoadBalancer(),
+		index:    buildSysIndex(w, cfg.Units),
 	}
 	s.desiredPolicy.Store(int32(cfg.Policy))
 	s.lb.LoadPenalty = cfg.LoadPenalty
-	for _, b := range w.Blocks {
-		s.blockByLeaf[b.Prefix] = b
-		u := cfg.Units.UnitFor(b.Prefix.Addr())
-		if rep, ok := s.unitRep[u]; !ok || b.Demand > rep.Demand {
-			s.unitRep[u] = b
-		}
-	}
-	for _, l := range w.LDNSes {
-		s.ldnsBy[l.Addr] = l
-	}
 	s.builder = newSnapshotBuilder(w, s.scorer, cfg)
 	// Prepare the load balancer's rings and publish the first map before
 	// serving, so the data plane never computes anything on the hot path.
@@ -313,7 +312,7 @@ func (s *System) MapAt(sn *Snapshot, req Request) (*Response, error) {
 			candidates = sn.fallbackTable(true)
 		}
 	case sn.policy == ClientAwareNS:
-		if l, ok := s.ldnsBy[req.LDNS]; ok {
+		if l, ok := s.index.ldnsByAddr(req.LDNS); ok {
 			candidates = sn.CANSCandidates(l.Endpoint().ID)
 		}
 		if candidates == nil {
@@ -339,7 +338,7 @@ func (s *System) MapAt(sn *Snapshot, req Request) (*Response, error) {
 // ldnsCandidates returns the snapshot rank table for a resolver address:
 // its measured endpoint's table, or the resolver fallback table.
 func (s *System) ldnsCandidates(sn *Snapshot, addr netip.Addr) []Ranked {
-	if l, ok := s.ldnsBy[addr]; ok {
+	if l, ok := s.index.ldnsByAddr(addr); ok {
 		return sn.RankOf(l.Endpoint().ID, false)
 	}
 	return sn.fallbackTable(false)
@@ -351,13 +350,11 @@ func (s *System) ldnsCandidates(sn *Snapshot, addr netip.Addr) []Ranked {
 // prefix was recognised; unknown prefixes use the snapshot's client
 // fallback table.
 func (s *System) clientEndpointID(unit, query netip.Prefix) (uint64, bool) {
-	if b, ok := s.unitRep[unit]; ok {
+	if b, ok := s.index.unitRep(unit); ok {
 		return b.ID, true
 	}
-	if leaf, err := query.Addr().Unmap().Prefix(leafBits(query.Addr())); err == nil {
-		if b, ok := s.blockByLeaf[leaf]; ok {
-			return b.ID, true
-		}
+	if b, ok := s.index.blockByLeaf(query.Addr()); ok {
+		return b.ID, true
 	}
 	return 0, false
 }
@@ -365,7 +362,7 @@ func (s *System) clientEndpointID(unit, query netip.Prefix) (uint64, bool) {
 // ldnsEndpoint resolves a resolver address to its measured endpoint, or a
 // fallback endpoint for unknown resolvers.
 func (s *System) ldnsEndpoint(addr netip.Addr) netmodel.Endpoint {
-	if l, ok := s.ldnsBy[addr]; ok {
+	if l, ok := s.index.ldnsByAddr(addr); ok {
 		return l.Endpoint()
 	}
 	return netmodel.Endpoint{ID: hashAddr(addr), Loc: s.cfg.FallbackLoc,
@@ -382,21 +379,19 @@ func (s *System) LDNSEndpoint(addr netip.Addr) netmodel.Endpoint {
 
 // LookupLDNS returns the world LDNS behind addr, if known.
 func (s *System) LookupLDNS(addr netip.Addr) (*world.LDNS, bool) {
-	l, ok := s.ldnsBy[addr]
-	return l, ok
+	return s.index.ldnsByAddr(addr)
 }
 
 // LookupBlock returns the world client block owning the leaf prefix
 // (IPv4 /24 or IPv6 /48) around addr.
 func (s *System) LookupBlock(addr netip.Addr) (*world.ClientBlock, bool) {
-	addr = addr.Unmap()
-	p, err := addr.Prefix(leafBits(addr))
-	if err != nil {
-		return nil, false
-	}
-	b, ok := s.blockByLeaf[p]
-	return b, ok
+	return s.index.blockByLeaf(addr)
 }
+
+// IndexBytes returns the resident size of the system's flat lookup
+// arrays; with Snapshot.MemoryBytes it is the scale guard's
+// bytes-per-block accounting.
+func (s *System) IndexBytes() uint64 { return s.index.memoryBytes() }
 
 // leafBits is the finest-grain block size per family: /24 v4, /48 v6.
 func leafBits(addr netip.Addr) int {
