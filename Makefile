@@ -21,15 +21,21 @@ QPSBENCH = BenchmarkShardedThroughput
 # "Partitioned mapping & incremental builds"; numbers in BENCH_scale.json).
 SCALEBENCH = BenchmarkSnapshotScale
 
-.PHONY: all check vet build test race chaos obs crossbuild scale-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-figures
+# Distribution-plane codec over the Huge lab: full image encode/decode and
+# the one-target delta (see DESIGN.md "Distributed map distribution";
+# numbers and the <10% delta guard in BENCH_wire.json).
+WIREBENCH = BenchmarkSnapshotWire
+
+.PHONY: all check vet build test race chaos dist-chaos obs crossbuild scale-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-wire bench-figures
 
 all: check
 
 # The full verification gate: vet, build, tests with the race detector,
-# the chaos harness (faultnet integration tests, also under -race), then
-# the observability smoke test against a live in-process stack, then
-# cross-compiles of the non-linux / non-amd64 fallback paths.
-check: vet build race chaos obs scale-smoke crossbuild
+# the chaos harness (faultnet integration tests, also under -race), the
+# distribution-plane partition/heal drill, then the observability smoke
+# test against a live in-process stack, then cross-compiles of the
+# non-linux / non-amd64 fallback paths.
+check: vet build race chaos dist-chaos obs scale-smoke crossbuild
 
 vet:
 	$(GO) vet ./...
@@ -52,12 +58,20 @@ race:
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestEndToEndThroughFaults' ./internal/faultnet/
 
+# Distribution-plane drill: one publisher and three fetching replicas over
+# real sockets, a total control-network partition cut with faultnet, >=99%
+# query success through the round-robin client while replicas degrade
+# independently, reconvergence within two fetch intervals after the heal
+# (see DESIGN.md "Distributed map distribution").
+dist-chaos:
+	$(GO) test -race -v -run 'TestDistClusterPartitionHeal' ./internal/mapdist/
+
 # Observability smoke test: boots the full stack (world, platform, map
 # maker, authority, live UDP server) in-process, serves a real query, and
 # scrapes /metrics, /healthz and /mapz (see DESIGN.md "Observability
 # plane").
 obs:
-	$(GO) test -race -v -run 'TestObsSmoke|TestHealthzDegraded' ./cmd/eumdns/
+	$(GO) test -race -v -run 'TestObsSmoke|TestHealthzDegraded|TestAdminDistRoles' ./cmd/eumdns/
 
 # Small-N smoke of the million-block (Huge) codepath: partitioned layout,
 # interned arena, incremental republish and the resident bytes/block
@@ -100,4 +114,9 @@ bench-scale:
 bench-figures:
 	$(GO) test -run 'TestNone' -bench . -benchmem .
 
-bench: bench-hot bench-sim bench-qps bench-scale
+# Distribution-plane codec over the Huge lab (the wire sizes and the
+# one-target delta ratio guard recorded in BENCH_wire.json).
+bench-wire:
+	$(GO) test -run 'TestNone' -bench '$(WIREBENCH)' -benchmem .
+
+bench: bench-hot bench-sim bench-qps bench-scale bench-wire

@@ -27,6 +27,7 @@ import (
 	"eum/internal/geo"
 	"eum/internal/mapmaker"
 	"eum/internal/mapping"
+	"eum/internal/mapwire"
 	"eum/internal/par"
 	"eum/internal/resolver"
 	"eum/internal/simulation"
@@ -808,6 +809,89 @@ func BenchmarkSnapshotScale(b *testing.B) {
 		b.ReportMetric(float64(bytes)/float64(len(l.World.Blocks)), "bytes/block")
 		b.ReportMetric(float64(sn.MemoryBytes()), "snapshot_bytes")
 		b.ReportMetric(float64(sys.IndexBytes()), "index_bytes")
+	})
+}
+
+// BenchmarkSnapshotWire measures the distribution plane's codec at the
+// million-block Huge lab: encoding the full wire image a replica
+// bootstraps from, decoding it back into a servable snapshot, and the
+// delta a one-ping-target measurement refresh ships between epochs.
+// full_bytes/delta_bytes report the wire sizes and delta_pct their ratio
+// — the bench also enforces the distribution plane's scaling guarantee
+// that a one-target change ships under 10% of the full image (numbers
+// recorded in BENCH_wire.json).
+func BenchmarkSnapshotWire(b *testing.B) {
+	hugeLabOnce.Do(func() { hugeLab = experiments.NewLab(experiments.Huge, 1) })
+	l := hugeLab
+	cfg := experiments.DefaultScaleConfig(experiments.Huge)
+	sys := mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+		Policy:         mapping.EndUser,
+		PingTargets:    cfg.PingTargets,
+		PartitionMiles: cfg.PartitionMiles,
+	})
+	codec := mapwire.NewCodec(l.Platform)
+	prev := sys.Current()
+	full, err := codec.EncodeFull(prev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, ok := sys.Scorer().TargetFor(l.World.LDNSes[0].Endpoint())
+	if !ok {
+		b.Fatal("clustering off")
+	}
+	sys.Builder().MarkMeasurementsDirty(target.ID)
+	next := sys.Rebuild()
+	delta, ok, err := codec.EncodeDelta(prev, next)
+	if err != nil || !ok {
+		b.Fatalf("EncodeDelta: ok=%v err=%v", ok, err)
+	}
+	if 10*len(delta) >= len(full) {
+		b.Fatalf("one-target delta %d bytes is not <10%% of the %d-byte full image", len(delta), len(full))
+	}
+	wireSize := func(b *testing.B) {
+		b.ReportMetric(float64(len(full)), "full_bytes")
+		b.ReportMetric(float64(len(delta)), "delta_bytes")
+		b.ReportMetric(100*float64(len(delta))/float64(len(full)), "delta_pct")
+	}
+	b.Run("encode_full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.EncodeFull(prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wireSize(b)
+	})
+	b.Run("decode_full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.Decode(full, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wireSize(b)
+	})
+	b.Run("encode_delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := codec.EncodeDelta(prev, next); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+		wireSize(b)
+	})
+	base, err := codec.Decode(full, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("apply_delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.Decode(delta, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wireSize(b)
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"eum/internal/dnsclient"
 	"eum/internal/dnsmsg"
 	"eum/internal/dnsserver"
+	"eum/internal/mapdist"
 	"eum/internal/mapmaker"
 	"eum/internal/mapping"
 	"eum/internal/telemetry"
@@ -21,12 +22,18 @@ import (
 
 // adminState is everything the admin HTTP endpoints report on. auth is nil
 // when this process serves the two-level hierarchy: the top level delegates
-// instead of mapping, so it has no degradation ladder of its own.
+// instead of mapping, so it has no degradation ladder of its own. mm is
+// nil on replicas (no local control plane); fetcher is non-nil only on
+// replicas; pub is non-nil only in publisher mode.
 type adminState struct {
-	reg    *telemetry.Registry
-	system *mapping.System
-	mm     *mapmaker.MapMaker
-	auth   *authority.Authority
+	reg     *telemetry.Registry
+	system  *mapping.System
+	mm      *mapmaker.MapMaker
+	auth    *authority.Authority
+	fetcher *mapdist.Fetcher
+	pub     *mapdist.Publisher
+	mode    string
+	blocks  int
 }
 
 // newAdminMux builds the admin HTTP surface: /metrics (Prometheus text, or
@@ -42,6 +49,9 @@ func newAdminMux(st adminState) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if st.pub != nil {
+		mux.Handle(mapdist.SnapshotPath, st.pub)
+	}
 	return mux
 }
 
@@ -66,28 +76,50 @@ func (st adminState) healthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "%s degrade=%s map_epoch=%d\n", status, level, st.system.Current().Epoch())
 }
 
+// mapzBuild is the /mapz view of the map's storage shape and the
+// builder's work counters — the PR 7 scale machinery an operator checks
+// when resident memory or republish latency looks wrong.
+type mapzBuild struct {
+	Partitions        int     `json:"partitions"`
+	Tables            int     `json:"tables"`
+	ArenaChain        int     `json:"arena_chain"`
+	Endpoints         int     `json:"endpoints"`
+	ResidentBytes     uint64  `json:"resident_bytes"`
+	BytesPerBlock     float64 `json:"bytes_per_block,omitempty"`
+	FullBuilds        uint64  `json:"full_builds"`
+	IncrementalBuilds uint64  `json:"incremental_builds"`
+	RerankedTables    uint64  `json:"reranked_tables"`
+}
+
 // mapz describes the currently installed map snapshot as JSON: what an
 // operator checks first when answers look wrong ("is the map fresh, and
-// which epoch is serving?").
+// which epoch is serving?"). Replicas add their distribution sync status;
+// every node adds the snapshot's build/storage statistics.
 func (st adminState) mapz(w http.ResponseWriter, _ *http.Request) {
 	snap := st.system.Current()
 	doc := struct {
-		Epoch          uint64  `json:"epoch"`
-		Policy         string  `json:"policy"`
-		TTLSeconds     float64 `json:"ttl_seconds"`
-		Tables         int     `json:"tables"`
-		PublishedAt    string  `json:"published_at"`
-		AgeSeconds     float64 `json:"age_seconds"`
-		PublishedTotal uint64  `json:"published_total"`
-		BuildFailures  uint64  `json:"build_failures"`
-		Degrade        string  `json:"degrade,omitempty"`
+		Epoch          uint64              `json:"epoch"`
+		Policy         string              `json:"policy"`
+		Mode           string              `json:"mode,omitempty"`
+		TTLSeconds     float64             `json:"ttl_seconds"`
+		Tables         int                 `json:"tables"`
+		PublishedAt    string              `json:"published_at"`
+		AgeSeconds     float64             `json:"age_seconds"`
+		PublishedTotal uint64              `json:"published_total"`
+		BuildFailures  uint64              `json:"build_failures"`
+		Degrade        string              `json:"degrade,omitempty"`
+		Build          *mapzBuild          `json:"build,omitempty"`
+		Sync           *mapdist.SyncStatus `json:"sync,omitempty"`
 	}{
-		Epoch:          snap.Epoch(),
-		Policy:         snap.Policy().String(),
-		TTLSeconds:     snap.TTL().Seconds(),
-		Tables:         snap.Tables(),
-		PublishedTotal: st.mm.Published(),
-		BuildFailures:  st.mm.BuildFailures(),
+		Epoch:      snap.Epoch(),
+		Policy:     snap.Policy().String(),
+		Mode:       st.mode,
+		TTLSeconds: snap.TTL().Seconds(),
+		Tables:     snap.Tables(),
+	}
+	if st.mm != nil {
+		doc.PublishedTotal = st.mm.Published()
+		doc.BuildFailures = st.mm.BuildFailures()
 	}
 	if ns := st.system.PublishedAtNanos(); ns > 0 {
 		doc.PublishedAt = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
@@ -95,6 +127,22 @@ func (st adminState) mapz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if st.auth != nil {
 		doc.Degrade = st.auth.Degradation().String()
+	}
+	b := &mapzBuild{
+		Partitions:    snap.Partitions(),
+		Tables:        snap.Tables(),
+		ArenaChain:    snap.ArenaChainLen(),
+		Endpoints:     snap.Endpoints(),
+		ResidentBytes: snap.MemoryBytes() + st.system.IndexBytes(),
+	}
+	if st.blocks > 0 {
+		b.BytesPerBlock = float64(b.ResidentBytes) / float64(st.blocks)
+	}
+	b.FullBuilds, b.IncrementalBuilds, b.RerankedTables = st.system.Builder().BuildStats()
+	doc.Build = b
+	if st.fetcher != nil {
+		sync := st.fetcher.Status()
+		doc.Sync = &sync
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -16,8 +16,10 @@ import (
 	"eum/internal/dnsclient"
 	"eum/internal/dnsmsg"
 	"eum/internal/dnsserver"
+	"eum/internal/mapdist"
 	"eum/internal/mapmaker"
 	"eum/internal/mapping"
+	"eum/internal/mapwire"
 	"eum/internal/netmodel"
 	"eum/internal/telemetry"
 	"eum/internal/world"
@@ -80,7 +82,10 @@ func TestObsSmoke(t *testing.T) {
 		t.Fatalf("self-probe answer: rcode=%v answers=%d", resp.RCode, len(resp.Answers))
 	}
 
-	admin := httptest.NewServer(newAdminMux(adminState{reg: reg, system: system, mm: mm, auth: auth}))
+	admin := httptest.NewServer(newAdminMux(adminState{
+		reg: reg, system: system, mm: mm, auth: auth,
+		mode: config.ModeStandalone, blocks: cfg.World.Blocks,
+	}))
 	defer admin.Close()
 
 	// /metrics must expose at least one metric from each instrumented
@@ -119,12 +124,23 @@ func TestObsSmoke(t *testing.T) {
 		t.Errorf("/healthz = %q, want fresh", body)
 	}
 
-	// /mapz describes the installed snapshot.
+	// /mapz describes the installed snapshot, including the build/storage
+	// statistics an operator checks when resident memory looks wrong.
 	var mapz struct {
 		Epoch          uint64 `json:"epoch"`
 		Policy         string `json:"policy"`
+		Mode           string `json:"mode"`
 		PublishedTotal uint64 `json:"published_total"`
 		Degrade        string `json:"degrade"`
+		Build          *struct {
+			Partitions    int     `json:"partitions"`
+			Tables        int     `json:"tables"`
+			ArenaChain    int     `json:"arena_chain"`
+			ResidentBytes uint64  `json:"resident_bytes"`
+			BytesPerBlock float64 `json:"bytes_per_block"`
+			FullBuilds    uint64  `json:"full_builds"`
+		} `json:"build"`
+		Sync *struct{} `json:"sync"`
 	}
 	if err := json.Unmarshal([]byte(get(t, admin.URL+"/mapz", http.StatusOK)), &mapz); err != nil {
 		t.Fatal(err)
@@ -132,9 +148,94 @@ func TestObsSmoke(t *testing.T) {
 	if mapz.Epoch == 0 || mapz.Policy == "" || mapz.PublishedTotal == 0 || mapz.Degrade != "fresh" {
 		t.Errorf("/mapz = %+v", mapz)
 	}
+	if mapz.Mode != config.ModeStandalone {
+		t.Errorf("/mapz mode = %q, want standalone", mapz.Mode)
+	}
+	if b := mapz.Build; b == nil {
+		t.Error("/mapz missing the build section")
+	} else if b.Partitions == 0 || b.Tables == 0 || b.ArenaChain == 0 ||
+		b.ResidentBytes == 0 || b.BytesPerBlock <= 0 || b.FullBuilds == 0 {
+		t.Errorf("/mapz build = %+v", b)
+	}
+	if mapz.Sync != nil {
+		t.Error("/mapz grew a sync section on a standalone node")
+	}
 
 	// pprof rides along on the same mux.
 	get(t, admin.URL+"/debug/pprof/cmdline", http.StatusOK)
+}
+
+// TestAdminDistRoles exercises the admin plane in the two distribution
+// roles: a publisher's mux must serve wire images at /mapdist/snapshot,
+// and a replica's /mapz — with no local MapMaker at all — must report
+// its sync status instead of panicking on the missing control plane.
+func TestAdminDistRoles(t *testing.T) {
+	w := world.MustGenerate(world.Config{Seed: 13, NumBlocks: 400})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 13, NumDeployments: 40})
+	mapCfg := mapping.Config{Policy: mapping.EndUser, PingTargets: 40}
+
+	pubSys := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapCfg)
+	pub := mapdist.NewPublisher(pubSys, platform, mapdist.PublisherConfig{})
+	pubAdmin := httptest.NewServer(newAdminMux(adminState{
+		reg: telemetry.NewRegistry(), system: pubSys,
+		mm:  mapmaker.New(pubSys, mapmaker.Config{}),
+		pub: pub, mode: config.ModePublisher, blocks: 400,
+	}))
+	defer pubAdmin.Close()
+
+	// The publisher's admin mux serves a decodable full image.
+	img := get(t, pubAdmin.URL+mapdist.SnapshotPath+"?have=0", http.StatusOK)
+	if h, err := mapwire.ParseHeader([]byte(img)); err != nil || h.Epoch != pubSys.Current().Epoch() {
+		t.Fatalf("published image header %+v, err=%v", h, err)
+	}
+
+	// A replica synced off that publisher reports the distribution state.
+	repSys := mapping.NewSystem(w, platform, netmodel.NewDefault(), mapCfg)
+	repSys.BootstrapReplica()
+	fetcher, err := mapdist.NewFetcher(repSys, platform, mapdist.FetcherConfig{
+		Source: strings.TrimPrefix(pubAdmin.URL, "http://"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fetcher.FetchOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	repAdmin := httptest.NewServer(newAdminMux(adminState{
+		reg: telemetry.NewRegistry(), system: repSys,
+		fetcher: fetcher, mode: config.ModeReplica, blocks: 400,
+	}))
+	defer repAdmin.Close()
+
+	var mapz struct {
+		Epoch          uint64 `json:"epoch"`
+		Mode           string `json:"mode"`
+		PublishedTotal uint64 `json:"published_total"`
+		Sync           *struct {
+			Source         string `json:"source"`
+			InstalledEpoch uint64 `json:"installed_epoch"`
+			EpochLag       uint64 `json:"epoch_lag"`
+			FullImages     uint64 `json:"full_images"`
+		} `json:"sync"`
+	}
+	if err := json.Unmarshal([]byte(get(t, repAdmin.URL+"/mapz", http.StatusOK)), &mapz); err != nil {
+		t.Fatal(err)
+	}
+	if mapz.Mode != config.ModeReplica || mapz.PublishedTotal != 0 {
+		t.Errorf("replica /mapz = %+v", mapz)
+	}
+	if s := mapz.Sync; s == nil {
+		t.Fatal("replica /mapz missing the sync section")
+	} else if s.Source == "" || s.InstalledEpoch != pubSys.Current().Epoch() ||
+		s.EpochLag != 0 || s.FullImages != 1 {
+		t.Errorf("replica /mapz sync = %+v", s)
+	}
+	if mapz.Epoch != pubSys.Current().Epoch() {
+		t.Errorf("replica serves epoch %d, publisher at %d", mapz.Epoch, pubSys.Current().Epoch())
+	}
+
+	// A replica's mux must not serve snapshots (no publisher mounted).
+	get(t, repAdmin.URL+mapdist.SnapshotPath, http.StatusNotFound)
 }
 
 // TestHealthzDegraded checks the load-balancer contract: once the

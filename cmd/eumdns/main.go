@@ -33,6 +33,7 @@ import (
 	"eum/internal/dnsclient"
 	"eum/internal/dnsmsg"
 	"eum/internal/dnsserver"
+	"eum/internal/mapdist"
 	"eum/internal/mapmaker"
 	"eum/internal/mapping"
 	"eum/internal/netmodel"
@@ -65,6 +66,12 @@ func main() {
 		"datagrams drained/flushed per syscall via recvmmsg/sendmmsg, linux only (0 or 1 = single-packet)")
 	staleMaxAge := flag.Duration("stale-max-age", 30*time.Second,
 		"serve-stale watchdog: map age entering degraded answers (0 disables)")
+	mapmakerAddr := flag.String("mapmaker-addr", "",
+		"replica mode: fetch maps from this MapMaker admin address instead of building locally")
+	publisher := flag.Bool("publisher", false,
+		"serve encoded map snapshots to replicas on the admin listener (requires -admin)")
+	mapFetch := flag.Duration("map-fetch", 5*time.Second,
+		"replica mode: map fetch cadence against the MapMaker")
 	verbose := flag.Bool("verbose", false, "log every query (structured JSON on stderr)")
 	flag.Parse()
 
@@ -83,18 +90,37 @@ func main() {
 	cfg.StaleMaxAgeSeconds = int(staleMaxAge.Seconds())
 	cfg.MapRefreshSeconds = int(mapRefresh.Seconds())
 	cfg.AdminAddr = *adminAddr
+	if *mapmakerAddr != "" {
+		cfg.Mode = config.ModeReplica
+		cfg.MapMakerAddr = *mapmakerAddr
+		cfg.MapFetchSeconds = int(mapFetch.Seconds())
+	} else if *publisher {
+		cfg.Mode = config.ModePublisher
+	}
 	if *configPath != "" {
 		var err error
 		if cfg, err = config.Load(*configPath); err != nil {
 			log.Fatal(err)
 		}
 		// -admin still applies beside a config file (like -addr, the
-		// listen addresses stay operator-controlled).
+		// listen addresses stay operator-controlled), and so do the
+		// distribution-role flags.
 		if *adminAddr != "" {
 			cfg.AdminAddr = *adminAddr
 		}
+		if *mapmakerAddr != "" {
+			cfg.Mode = config.ModeReplica
+			cfg.MapMakerAddr = *mapmakerAddr
+			cfg.MapFetchSeconds = int(mapFetch.Seconds())
+		} else if *publisher {
+			cfg.Mode = config.ModePublisher
+		}
 	}
 	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	mode, err := cfg.DistMode()
+	if err != nil {
 		log.Fatal(err)
 	}
 	policy, err := cfg.MappingPolicy()
@@ -117,19 +143,45 @@ func main() {
 		PartitionMiles: cfg.PartitionMiles,
 	})
 
-	// Control plane: a background MapMaker republishes the map on a cadence
-	// (and on change-feed signals); the serving path below only ever reads
-	// the currently installed snapshot.
-	refresh := *mapRefresh
-	if *configPath != "" {
-		refresh = time.Duration(cfg.MapRefreshSeconds) * time.Second
-	}
-	mm := mapmaker.New(system, mapmaker.Config{Interval: refresh})
-	ctx, stopMapMaker := context.WithCancel(context.Background())
-	defer stopMapMaker()
-	if refresh > 0 {
-		go mm.Run(ctx)
-		log.Printf("map maker publishing every %v", refresh)
+	// Control plane. Standalone and publisher nodes run a background
+	// MapMaker republishing the map on a cadence (and on change-feed
+	// signals); a publisher additionally encodes each published snapshot
+	// for replicas. A replica builds nothing: it rewinds to epoch 0 and
+	// installs whatever the MapMaker node ships. Either way the serving
+	// path below only ever reads the currently installed snapshot.
+	ctx, stopControl := context.WithCancel(context.Background())
+	defer stopControl()
+	var (
+		mm      *mapmaker.MapMaker
+		pub     *mapdist.Publisher
+		fetcher *mapdist.Fetcher
+	)
+	if mode == config.ModeReplica {
+		system.BootstrapReplica()
+		fetcher, err = mapdist.NewFetcher(system, platform, mapdist.FetcherConfig{
+			Source:   cfg.MapMakerAddr,
+			Interval: cfg.FetchInterval(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go fetcher.Run(ctx)
+		log.Printf("replica: fetching maps from %s every %v", cfg.MapMakerAddr, cfg.FetchInterval())
+	} else {
+		refresh := *mapRefresh
+		if *configPath != "" {
+			refresh = time.Duration(cfg.MapRefreshSeconds) * time.Second
+		}
+		mm = mapmaker.New(system, mapmaker.Config{Interval: refresh})
+		if mode == config.ModePublisher {
+			pub = mapdist.NewPublisher(system, platform, mapdist.PublisherConfig{})
+			mm.SetOnPublish(pub.Observe)
+			log.Printf("publisher: serving snapshots at %s%s", cfg.AdminAddr, mapdist.SnapshotPath)
+		}
+		if refresh > 0 {
+			go mm.Run(ctx)
+			log.Printf("map maker publishing every %v", refresh)
+		}
 	}
 
 	handler, auth, described, err := buildHandler(cfg, system, platform)
@@ -167,7 +219,13 @@ func main() {
 	// self-probe exercises the full socket path through a real DNS client.
 	if cfg.AdminAddr != "" {
 		reg := telemetry.NewRegistry()
-		mon, err := cdn.NewMonitor(platform, &cdn.ScheduledFaults{}, 10*time.Second, mm.OnDeploymentChange)
+		// A replica has no MapMaker to nudge; its health monitor still
+		// tracks liveness for the metrics plane, it just signals nobody.
+		onChange := func(*cdn.Deployment) {}
+		if mm != nil {
+			onChange = mm.OnDeploymentChange
+		}
+		mon, err := cdn.NewMonitor(platform, &cdn.ScheduledFaults{}, 10*time.Second, onChange)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -176,7 +234,16 @@ func main() {
 		}
 		probe := &dnsclient.Client{}
 		registerAll(reg, srv, auth, mm, mon, probe)
-		mux := newAdminMux(adminState{reg: reg, system: system, mm: mm, auth: auth})
+		if fetcher != nil {
+			fetcher.RegisterMetrics(reg)
+		}
+		if pub != nil {
+			pub.RegisterMetrics(reg)
+		}
+		mux := newAdminMux(adminState{
+			reg: reg, system: system, mm: mm, auth: auth,
+			fetcher: fetcher, pub: pub, mode: mode, blocks: cfg.World.Blocks,
+		})
 		go func() {
 			log.Printf("admin HTTP on %s (/metrics /healthz /mapz /debug/pprof)", cfg.AdminAddr)
 			if err := http.ListenAndServe(cfg.AdminAddr, mux); err != nil {
@@ -202,7 +269,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("shutting down")
-		stopMapMaker()
+		stopControl()
 		_ = srv.Close()
 		_ = tcpSrv.Close()
 	}()

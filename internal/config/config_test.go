@@ -137,6 +137,90 @@ func TestValidateRRLMessages(t *testing.T) {
 	}
 }
 
+// TestDistModes covers the distribution-plane role knobs: which
+// mode/address/interval combinations are coherent, and that the
+// staleness watchdog cross-checks whichever cadence actually refreshes
+// the map (the local rebuild in standalone/publisher mode, the fetch
+// interval on a replica).
+func TestDistModes(t *testing.T) {
+	valid := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"replica", func(c *Config) {
+			c.Mode = "replica"
+			c.MapMakerAddr = "127.0.0.1:9153"
+		}},
+		{"replica-explicit-fetch", func(c *Config) {
+			c.Mode = "replica"
+			c.MapMakerAddr = "127.0.0.1:9153"
+			c.MapFetchSeconds = 3
+		}},
+		{"publisher", func(c *Config) {
+			c.Mode = "publisher"
+			c.AdminAddr = "127.0.0.1:9153"
+		}},
+		{"explicit-standalone", func(c *Config) { c.Mode = "Standalone" }},
+	}
+	for _, tc := range valid {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("valid config rejected: %v", err)
+			}
+		})
+	}
+
+	invalid := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"unknown-mode", func(c *Config) { c.Mode = "anycast" }, "unknown mode"},
+		{"replica-without-addr", func(c *Config) { c.Mode = "replica" }, "mapmaker_addr"},
+		{"replica-bad-addr", func(c *Config) {
+			c.Mode = "replica"
+			c.MapMakerAddr = "not-an-addr"
+		}, "mapmaker_addr"},
+		{"publisher-without-admin", func(c *Config) { c.Mode = "publisher" }, "admin_addr"},
+		{"standalone-with-mapmaker-addr", func(c *Config) {
+			c.MapMakerAddr = "127.0.0.1:9153"
+		}, `set mode to "replica"`},
+		{"standalone-with-fetch-interval", func(c *Config) {
+			c.MapFetchSeconds = 5
+		}, "only applies to replicas"},
+		{"negative-fetch-interval", func(c *Config) {
+			c.Mode = "replica"
+			c.MapMakerAddr = "127.0.0.1:9153"
+			c.MapFetchSeconds = -1
+		}, "map_fetch_seconds"},
+		{"replica-stale-below-fetch", func(c *Config) {
+			c.Mode = "replica"
+			c.MapMakerAddr = "127.0.0.1:9153"
+			c.MapFetchSeconds = 60
+			c.StaleMaxAgeSeconds = 10
+		}, "fetch cadence"},
+		{"stale-armed-without-refresh", func(c *Config) {
+			c.MapRefreshSeconds = 0
+			c.StaleMaxAgeSeconds = 30
+		}, "map_refresh_seconds is 0"},
+	}
+	for _, tc := range invalid {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
 // TestShardingKnobs covers listener_shards/batch_size validation and
 // translation, including the off-Linux rejections (exercised by swapping
 // the package's serverGOOS hook, since CI runs on Linux).

@@ -1,0 +1,181 @@
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"eum/internal/dnsmsg"
+)
+
+// RoundRobin fans queries across several DNS servers with per-server
+// health tracking — the stand-in for an anycast VIP fronting a replica
+// fleet: real anycast spreads resolvers across replicas by routing, the
+// round-robin spreads them by rotation, and either way a query whose
+// replica fails moves on to the next one.
+//
+// Each exchange starts at the next server in rotation and walks the list
+// until one answers. A server that fails FailThreshold consecutive
+// exchanges is marked down and skipped for Cooloff; a success resets it.
+// When every server is down the rotation ignores health and tries them
+// all anyway — serving through a flapping fleet beats failing fast.
+type RoundRobin struct {
+	client  *Client
+	servers []string
+	states  []rrState
+
+	// FailThreshold is how many consecutive failures mark a server down
+	// (default 3). Cooloff is how long a down server is skipped before it
+	// is probed again (default 5s).
+	failThreshold uint32
+	cooloff       time.Duration
+
+	next atomic.Uint64
+}
+
+// rrState is one server's health record.
+type rrState struct {
+	consecFails atomic.Uint32
+	downUntil   atomic.Int64 // unix nanos; 0 = healthy
+
+	exchanges atomic.Uint64
+	failures  atomic.Uint64
+	skips     atomic.Uint64
+}
+
+// RoundRobinConfig tunes server health tracking; the zero value applies
+// the defaults.
+type RoundRobinConfig struct {
+	FailThreshold int
+	Cooloff       time.Duration
+}
+
+// NewRoundRobin builds a round-robin front over the client for the given
+// servers ("host:port" each).
+func NewRoundRobin(c *Client, cfg RoundRobinConfig, servers ...string) (*RoundRobin, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("dnsclient: round-robin needs at least one server")
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.Cooloff <= 0 {
+		cfg.Cooloff = 5 * time.Second
+	}
+	return &RoundRobin{
+		client:        c,
+		servers:       append([]string(nil), servers...),
+		states:        make([]rrState, len(servers)),
+		failThreshold: uint32(cfg.FailThreshold),
+		cooloff:       cfg.Cooloff,
+	}, nil
+}
+
+// Servers returns the configured server list.
+func (r *RoundRobin) Servers() []string { return append([]string(nil), r.servers...) }
+
+// Exchange sends the query to the fleet: the next healthy server in
+// rotation first, then the rest of the list on failure. The per-server
+// exchange keeps the client's own retry/backoff behaviour.
+func (r *RoundRobin) Exchange(ctx context.Context, query *dnsmsg.Message) (*dnsmsg.Message, error) {
+	start := r.next.Add(1) - 1
+	now := time.Now().UnixNano()
+
+	var lastErr error
+	tried := 0
+	for i := 0; i < len(r.servers); i++ {
+		idx := int((start + uint64(i)) % uint64(len(r.servers)))
+		st := &r.states[idx]
+		if st.downUntil.Load() > now {
+			st.skips.Add(1)
+			continue
+		}
+		tried++
+		resp, err := r.tryServer(ctx, idx, query)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	if tried == 0 {
+		// Whole fleet in cooloff: health says nothing is left, so ignore
+		// it and probe everyone — any answer beats a guaranteed failure.
+		for i := 0; i < len(r.servers); i++ {
+			idx := int((start + uint64(i)) % uint64(len(r.servers)))
+			resp, err := r.tryServer(ctx, idx, query)
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+		}
+	}
+	return nil, fmt.Errorf("dnsclient: all %d servers failed: %w", len(r.servers), lastErr)
+}
+
+// tryServer runs one exchange against server idx and updates its health.
+func (r *RoundRobin) tryServer(ctx context.Context, idx int, query *dnsmsg.Message) (*dnsmsg.Message, error) {
+	st := &r.states[idx]
+	st.exchanges.Add(1)
+	// Each server attempt re-randomises the ID so a late answer from a
+	// previous server cannot satisfy this one's exchange.
+	q := *query
+	q.ID = randomID()
+	resp, err := r.client.Exchange(ctx, r.servers[idx], &q)
+	if err != nil {
+		st.failures.Add(1)
+		if st.consecFails.Add(1) >= r.failThreshold {
+			st.downUntil.Store(time.Now().Add(r.cooloff).UnixNano())
+		}
+		return nil, err
+	}
+	st.consecFails.Store(0)
+	st.downUntil.Store(0)
+	return resp, nil
+}
+
+// Lookup builds an A/AAAA query (with an ECS option when clientPrefix is
+// valid) and exchanges it against the fleet.
+func (r *RoundRobin) Lookup(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type, clientPrefix netip.Prefix) (*dnsmsg.Message, error) {
+	q := dnsmsg.NewQuery(randomID(), name, typ)
+	if clientPrefix.IsValid() {
+		if err := q.SetClientSubnet(clientPrefix.Addr(), uint8(clientPrefix.Bits())); err != nil {
+			return nil, err
+		}
+	}
+	return r.Exchange(ctx, q)
+}
+
+// ServerStats is one server's health and traffic counters.
+type ServerStats struct {
+	Server    string
+	Healthy   bool
+	Exchanges uint64
+	Failures  uint64
+	Skips     uint64
+}
+
+// Stats returns a point-in-time view of every server's health.
+func (r *RoundRobin) Stats() []ServerStats {
+	now := time.Now().UnixNano()
+	out := make([]ServerStats, len(r.servers))
+	for i := range r.servers {
+		st := &r.states[i]
+		out[i] = ServerStats{
+			Server:    r.servers[i],
+			Healthy:   st.downUntil.Load() <= now,
+			Exchanges: st.exchanges.Load(),
+			Failures:  st.failures.Load(),
+			Skips:     st.skips.Load(),
+		}
+	}
+	return out
+}

@@ -22,6 +22,9 @@ func (in *Injector) NewDialer() *Dialer { return &Dialer{in: in} }
 
 // DialContext implements dnsclient.ContextDialer.
 func (d *Dialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if err := d.in.dialPartitioned(network, address); err != nil {
+		return nil, err
+	}
 	base := d.Base
 	if base == nil {
 		base = &net.Dialer{}
@@ -50,6 +53,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if err != nil {
 			return n, err
 		}
+		if c.in.partitioned.Load() {
+			c.in.Stats.PartitionDropped.Add(1)
+			holdWhilePartitioned()
+			continue
+		}
 		if c.in.rng.roll(c.in.cfg.DropProb) {
 			c.in.Stats.Dropped.Add(1)
 			continue
@@ -66,6 +74,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 // Write sends p subject to the injector's plan (drops still report
 // success, as on a real lossy path).
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.in.partitionDropSend() {
+		return len(p), nil
+	}
 	plan := c.in.planSend()
 	if plan.drop {
 		c.in.Stats.Dropped.Add(1)

@@ -72,6 +72,9 @@ type Stats struct {
 	Delayed atomic.Uint64
 	// Truncated counts packets cut short.
 	Truncated atomic.Uint64
+	// PartitionDropped counts packets and dials refused while the
+	// injector was partitioned (see Injector.SetPartitioned).
+	PartitionDropped atomic.Uint64
 }
 
 // Register wires the fault counters into reg, prefixed (e.g. "faultnet"
@@ -88,6 +91,8 @@ func (s *Stats) Register(reg *telemetry.Registry, prefix string) {
 		"Packets held for reordering or latency.", s.Delayed.Load)
 	reg.Counter(prefix+"_truncated_total",
 		"Packets cut short.", s.Truncated.Load)
+	reg.Counter(prefix+"_partition_dropped_total",
+		"Packets and dials refused while partitioned.", s.PartitionDropped.Load)
 }
 
 // rng is a locked splitmix64 stream shared by all wrappers of one config,
@@ -128,6 +133,9 @@ func (r *rng) uniform(d time.Duration) time.Duration {
 type Injector struct {
 	cfg Config
 	rng rng
+	// partitioned, while set, makes every wrapped transport drop all
+	// traffic and every dial fail (see SetPartitioned).
+	partitioned atomic.Bool
 	// Stats counts this injector's faults across all its connections.
 	Stats Stats
 }
@@ -183,6 +191,11 @@ func (c *PacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
 		if err != nil {
 			return n, addr, err
 		}
+		if c.in.partitioned.Load() {
+			c.in.Stats.PartitionDropped.Add(1)
+			holdWhilePartitioned()
+			continue
+		}
 		if c.in.rng.roll(c.in.cfg.DropProb) {
 			c.in.Stats.Dropped.Add(1)
 			continue
@@ -200,6 +213,9 @@ func (c *PacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
 // the caller: a dropped packet still reports success, exactly like a real
 // lossy network.
 func (c *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	if c.in.partitionDropSend() {
+		return len(p), nil
+	}
 	plan := c.in.planSend()
 	if plan.drop {
 		c.in.Stats.Dropped.Add(1)

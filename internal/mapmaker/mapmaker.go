@@ -90,6 +90,11 @@ type MapMaker struct {
 	// injection hook for chaos tests (a panicking hook simulates a build
 	// crash).
 	buildFault atomic.Pointer[func()]
+
+	// onPublish, when set, observes every successfully built and installed
+	// snapshot. The distribution plane's publisher hooks here so its
+	// delta-base retention ring sees every epoch (see mapdist.Publisher).
+	onPublish atomic.Pointer[func(*mapping.Snapshot)]
 }
 
 // BuildFailure describes one failed map build.
@@ -260,7 +265,21 @@ func (m *MapMaker) build(r Reason) *mapping.Snapshot {
 		return m.sys.Current()
 	}
 	m.published.Add(1)
+	if f := m.onPublish.Load(); f != nil {
+		(*f)(sn)
+	}
 	return sn
+}
+
+// SetOnPublish installs a hook observing every successfully published
+// snapshot, called from the build goroutine after the install. Pass nil
+// to remove. Set before Run starts.
+func (m *MapMaker) SetOnPublish(f func(*mapping.Snapshot)) {
+	if f == nil {
+		m.onPublish.Store(nil)
+		return
+	}
+	m.onPublish.Store(&f)
 }
 
 // tryBuild performs the build, converting a panic anywhere in the pipeline

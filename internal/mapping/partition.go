@@ -3,6 +3,7 @@ package mapping
 import (
 	"math"
 	"sort"
+	"sync"
 	"unsafe"
 
 	"eum/internal/netmodel"
@@ -73,6 +74,12 @@ type partitionLayout struct {
 
 	tableLen  int // entries per table = len(platform.Deployments)
 	endpoints int // universe endpoints indexed (dense + spill entries)
+
+	// fpOnce/fp cache the layout fingerprint the wire protocol negotiates
+	// deltas with (see Snapshot.LayoutFingerprint). Layouts are immutable
+	// after buildLayout, so the hash is computed at most once.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // partitionOf resolves an endpoint ID to its partition, or -1.

@@ -1,0 +1,517 @@
+// Package mapwire is the versioned binary wire format map snapshots travel
+// in between the MapMaker node and replica map servers.
+//
+// The format is deterministic: encoding the same snapshot twice — or
+// encoding a decoded snapshot — produces byte-identical output, so the
+// distribution plane can compare, cache and checksum images without
+// normalisation. A full image carries the partition layout (dense index,
+// spill arrays, partition→segment map, segment headers) followed by one
+// flat rank-table arena and, for ClientAwareNS snapshots, the candidate
+// map; a delta image carries only the arena segments that changed since a
+// base epoch, riding the builder's dirty-segment machinery. Scores travel
+// as raw IEEE-754 bits and deployments as indexes into the platform's
+// deployment list, so a decoded snapshot answers bitwise-identically to
+// the original — provided both sides hold the same platform, which the
+// header's platform fingerprint enforces.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	     0     4  magic "EUMw"
+//	     4     2  format version (currently 1)
+//	     6     1  kind (0 full, 1 delta)
+//	     7     1  policy
+//	     8     8  epoch
+//	    16     8  base epoch (deltas; 0 for full images)
+//	    24     8  answer TTL, nanoseconds
+//	    32     8  platform fingerprint
+//	    40     8  layout fingerprint
+//	    48     4  partitions (excluding fallbacks)
+//	    52     4  tables (arena segments)
+//	    56     4  table length (entries per table)
+//	    60     4  endpoints indexed
+//	    64     …  body (kind-dependent)
+//	  last     8  FNV-1a checksum of everything before it
+package mapwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/geo"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+)
+
+// Version is the wire format version this package encodes and decodes.
+const Version = 1
+
+// Image kinds.
+const (
+	KindFull  = 0 // complete snapshot: layout + full arena (+ CANS tables)
+	KindDelta = 1 // changed arena segments against a base epoch
+)
+
+const (
+	magic      = "EUMw"
+	headerSize = 64
+	// rankedSize is one wire rank entry: deployment index + score bits.
+	rankedSize = 4 + 8
+	// repSize is one wire segment representative: id, lat, lon, asn, access.
+	repSize = 8 + 8 + 8 + 4 + 1
+)
+
+// Decode error categories, wrapped by the errors Decode returns.
+var (
+	ErrFormat           = errors.New("mapwire: malformed image")
+	ErrVersion          = errors.New("mapwire: unsupported format version")
+	ErrChecksum         = errors.New("mapwire: checksum mismatch")
+	ErrPlatformMismatch = errors.New("mapwire: image built for a different platform")
+	ErrDeltaBase        = errors.New("mapwire: delta base unavailable")
+)
+
+// Header is the fixed-size image header, readable without decoding the
+// body (ParseHeader). The fetcher uses it to learn the publisher's epoch
+// and kind before committing to a decode.
+type Header struct {
+	Version    uint16
+	Kind       uint8
+	Policy     mapping.Policy
+	Epoch      uint64
+	BaseEpoch  uint64 // deltas: the epoch the segments patch; full: 0
+	TTL        time.Duration
+	PlatformFP uint64
+	LayoutFP   uint64
+	Partitions uint32
+	Tables     uint32
+	TableLen   uint32
+	Endpoints  uint32
+}
+
+// Codec encodes and decodes snapshots against one CDN platform. Both ends
+// of the wire construct their platform deterministically from the same
+// seeds; the codec's platform fingerprint — hashed over deployment and
+// server identities — is carried in every header so a mismatch is an
+// explicit error instead of silently misrouted traffic.
+type Codec struct {
+	platform *cdn.Platform
+	depIdx   map[*cdn.Deployment]uint32
+	fp       uint64
+}
+
+// NewCodec builds a codec for the given platform.
+func NewCodec(p *cdn.Platform) *Codec {
+	c := &Codec{
+		platform: p,
+		depIdx:   make(map[*cdn.Deployment]uint32, len(p.Deployments)),
+		fp:       PlatformFingerprint(p),
+	}
+	for i, d := range p.Deployments {
+		c.depIdx[d] = uint32(i)
+	}
+	return c
+}
+
+// PlatformFingerprint hashes the platform's structural identity: the
+// deployment list (order, IDs, locations) and each deployment's server
+// IDs. Liveness and load are excluded — they are read at query time and
+// may legitimately differ across nodes.
+func PlatformFingerprint(p *cdn.Platform) uint64 {
+	h := newFNV()
+	h.u64(uint64(len(p.Deployments)))
+	for _, d := range p.Deployments {
+		h.u64(d.ID)
+		h.u64(math.Float64bits(d.Loc.Lat))
+		h.u64(math.Float64bits(d.Loc.Lon))
+		h.u64(uint64(d.ASN))
+		h.u64(uint64(len(d.Servers)))
+		for _, s := range d.Servers {
+			h.u64(s.ID)
+		}
+	}
+	return h.sum
+}
+
+// ParseHeader reads and validates the fixed header of an image without
+// touching the body or verifying the checksum.
+func ParseHeader(data []byte) (Header, error) {
+	var h Header
+	if len(data) < headerSize {
+		return h, fmt.Errorf("%w: %d bytes, need %d-byte header", ErrFormat, len(data), headerSize)
+	}
+	if string(data[:4]) != magic {
+		return h, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	h.Version = binary.LittleEndian.Uint16(data[4:])
+	if h.Version != Version {
+		return h, fmt.Errorf("%w: version %d, this build speaks %d", ErrVersion, h.Version, Version)
+	}
+	h.Kind = data[6]
+	if h.Kind != KindFull && h.Kind != KindDelta {
+		return h, fmt.Errorf("%w: unknown kind %d", ErrFormat, h.Kind)
+	}
+	h.Policy = mapping.Policy(data[7])
+	h.Epoch = binary.LittleEndian.Uint64(data[8:])
+	h.BaseEpoch = binary.LittleEndian.Uint64(data[16:])
+	h.TTL = time.Duration(binary.LittleEndian.Uint64(data[24:]))
+	h.PlatformFP = binary.LittleEndian.Uint64(data[32:])
+	h.LayoutFP = binary.LittleEndian.Uint64(data[40:])
+	h.Partitions = binary.LittleEndian.Uint32(data[48:])
+	h.Tables = binary.LittleEndian.Uint32(data[52:])
+	h.TableLen = binary.LittleEndian.Uint32(data[56:])
+	h.Endpoints = binary.LittleEndian.Uint32(data[60:])
+	return h, nil
+}
+
+// EncodeFull serializes a complete snapshot image.
+func (c *Codec) EncodeFull(sn *mapping.Snapshot) ([]byte, error) {
+	wl := sn.WireLayout()
+	cans := sn.CANSTables()
+	cansIDs := sortedKeys(cans)
+
+	size := headerSize +
+		4 + 4 + // fallback indexes
+		4 + 4*len(wl.Dense) +
+		4 + 12*len(wl.SpillIDs) +
+		4 + 4*len(wl.PartSeg) +
+		len(wl.SegTargets)*4 +
+		len(wl.SegReps)*repSize +
+		len(wl.SegTargets)*wl.TableLen*rankedSize +
+		4 + 8 // cans count + checksum
+	for _, id := range cansIDs {
+		size += 8 + 4 + len(cans[id])*rankedSize
+	}
+
+	w := newWriter(size)
+	c.putHeader(w, sn, KindFull, 0, wl)
+
+	w.i32(wl.FallbackLDNS)
+	w.i32(wl.FallbackClient)
+	w.u32(uint32(len(wl.Dense)))
+	for _, v := range wl.Dense {
+		w.i32(v)
+	}
+	w.u32(uint32(len(wl.SpillIDs)))
+	for i, id := range wl.SpillIDs {
+		w.u64(id)
+		w.i32(wl.SpillIdx[i])
+	}
+	w.u32(uint32(len(wl.PartSeg)))
+	for _, v := range wl.PartSeg {
+		w.i32(v)
+	}
+	for _, t := range wl.SegTargets {
+		w.i32(t)
+	}
+	for _, rep := range wl.SegReps {
+		w.u64(rep.ID)
+		w.f64(rep.Loc.Lat)
+		w.f64(rep.Loc.Lon)
+		w.u32(rep.ASN)
+		w.u8(uint8(rep.Access))
+	}
+	for s := range wl.SegTargets {
+		if err := c.putTable(w, sn.SegmentTable(s)); err != nil {
+			return nil, err
+		}
+	}
+	w.u32(uint32(len(cansIDs)))
+	for _, id := range cansIDs {
+		tbl := cans[id]
+		w.u64(id)
+		w.u32(uint32(len(tbl)))
+		if err := c.putTable(w, tbl); err != nil {
+			return nil, err
+		}
+	}
+	return w.finish(), nil
+}
+
+// EncodeDelta serializes the arena segments that changed between prev and
+// next as a delta image patching prev's epoch. ok is false — with no error
+// — when a delta is not expressible (different layouts, a CANS snapshot
+// whose candidate map has no delta form, or so many changed segments that
+// a full image is smaller); the publisher then falls back to EncodeFull.
+func (c *Codec) EncodeDelta(prev, next *mapping.Snapshot) (data []byte, ok bool, err error) {
+	if prev == nil || prev.LayoutFingerprint() != next.LayoutFingerprint() ||
+		next.CANSTables() != nil || prev.Epoch() >= next.Epoch() {
+		return nil, false, nil
+	}
+	wl := next.WireLayout()
+	var segs []int32
+	for s := range wl.SegTargets {
+		if !next.SharesSegmentWith(prev, s) {
+			segs = append(segs, int32(s))
+		}
+	}
+	// A delta that rewrites most of the arena is worse than a full image:
+	// it costs the same bytes but pins the replica to a chain of patches.
+	if len(segs)*2 >= len(wl.SegTargets) {
+		return nil, false, nil
+	}
+
+	size := headerSize + 4 + len(segs)*4 + len(segs)*wl.TableLen*rankedSize + 8
+	w := newWriter(size)
+	c.putHeader(w, next, KindDelta, prev.Epoch(), wl)
+	w.u32(uint32(len(segs)))
+	for _, s := range segs {
+		w.i32(s)
+	}
+	for _, s := range segs {
+		if err := c.putTable(w, next.SegmentTable(int(s))); err != nil {
+			return nil, false, err
+		}
+	}
+	return w.finish(), true, nil
+}
+
+// Decode reconstructs a snapshot from an image. For delta images, prev
+// must be the installed snapshot at the image's base epoch (the fetcher's
+// last install); Decode returns ErrDeltaBase when it is missing or does
+// not match, signalling the fetcher to re-request a full image. Decoded
+// snapshots are self-contained: they never alias the input buffer.
+//
+// Decode is hardened against corrupt or adversarial input: every length
+// and index is bounds-checked against the remaining buffer and the
+// declared geometry, and the trailing checksum is verified first, so no
+// input can panic the replica or install an out-of-range table reference.
+func (c *Codec) Decode(data []byte, prev *mapping.Snapshot) (*mapping.Snapshot, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize+8 {
+		return nil, fmt.Errorf("%w: no checksum trailer", ErrFormat)
+	}
+	body := data[:len(data)-8]
+	want := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := fnvSum(body); got != want {
+		return nil, fmt.Errorf("%w: got %016x want %016x", ErrChecksum, got, want)
+	}
+	if h.PlatformFP != c.fp {
+		return nil, fmt.Errorf("%w: image %016x, codec %016x", ErrPlatformMismatch, h.PlatformFP, c.fp)
+	}
+	if h.TableLen != uint32(len(c.platform.Deployments)) {
+		return nil, fmt.Errorf("%w: table length %d, platform has %d deployments",
+			ErrFormat, h.TableLen, len(c.platform.Deployments))
+	}
+	r := &reader{b: body, off: headerSize}
+	if h.Kind == KindDelta {
+		return c.decodeDelta(h, r, prev)
+	}
+	return c.decodeFull(h, r)
+}
+
+func (c *Codec) decodeFull(h Header, r *reader) (*mapping.Snapshot, error) {
+	tables, tl := int(h.Tables), int(h.TableLen)
+	wl := mapping.WireLayout{
+		NParts:    int(h.Partitions),
+		TableLen:  tl,
+		Endpoints: int(h.Endpoints),
+	}
+	// nSlots is the partition-index value space: universe partitions plus
+	// the two fallbacks. Every partition reference must stay inside it.
+	nSlots := int64(h.Partitions) + 2
+	wl.FallbackLDNS = r.i32()
+	wl.FallbackClient = r.i32()
+
+	nDense := r.sliceLen(4)
+	wl.Dense = make([]int32, nDense)
+	for i := range wl.Dense {
+		wl.Dense[i] = r.i32()
+	}
+	nSpill := r.sliceLen(12)
+	wl.SpillIDs = make([]uint64, nSpill)
+	wl.SpillIdx = make([]int32, nSpill)
+	for i := range wl.SpillIDs {
+		wl.SpillIDs[i] = r.u64()
+		wl.SpillIdx[i] = r.i32()
+	}
+	nPartSeg := r.sliceLen(4)
+	wl.PartSeg = make([]int32, nPartSeg)
+	for i := range wl.PartSeg {
+		wl.PartSeg[i] = r.i32()
+	}
+	wl.SegTargets = make([]int32, tables)
+	for s := range wl.SegTargets {
+		wl.SegTargets[s] = r.i32()
+	}
+	wl.SegReps = make([]netmodel.Endpoint, tables)
+	for s := range wl.SegReps {
+		wl.SegReps[s] = netmodel.Endpoint{
+			ID:     r.u64(),
+			Loc:    geo.Point{Lat: r.f64(), Lon: r.f64()},
+			ASN:    r.u32(),
+			Access: netmodel.AccessType(r.u8()),
+		}
+	}
+	arena, err := c.getTables(r, tables, tl)
+	if err != nil {
+		return nil, err
+	}
+	var cansMap map[uint64][]mapping.Ranked
+	nCANS := r.sliceLen(12)
+	if nCANS > 0 {
+		cansMap = make(map[uint64][]mapping.Ranked, nCANS)
+	}
+	for i := uint64(0); i < nCANS; i++ {
+		id := r.u64()
+		n := r.sliceLen(rankedSize)
+		tbl, err := c.getTables(r, int(n), 1)
+		if err != nil {
+			return nil, err
+		}
+		cansMap[id] = tbl
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(r.b)-r.off)
+	}
+
+	// Structural validation: every partition index must land inside the
+	// declared slot space and every segment reference inside the table
+	// list, or a hostile image could crash the serving hot path later.
+	if int64(len(wl.PartSeg)) != nSlots {
+		return nil, fmt.Errorf("%w: %d partition segments for %d slots", ErrFormat, len(wl.PartSeg), nSlots)
+	}
+	if !validIdx(wl.FallbackLDNS, nSlots) || !validIdx(wl.FallbackClient, nSlots) {
+		return nil, fmt.Errorf("%w: fallback partition out of range", ErrFormat)
+	}
+	for _, p := range wl.Dense {
+		if !validIdx(p, nSlots) {
+			return nil, fmt.Errorf("%w: dense partition index out of range", ErrFormat)
+		}
+	}
+	for i, p := range wl.SpillIdx {
+		if !validIdx(p, nSlots) {
+			return nil, fmt.Errorf("%w: spill partition index out of range", ErrFormat)
+		}
+		if i > 0 && wl.SpillIDs[i-1] >= wl.SpillIDs[i] {
+			return nil, fmt.Errorf("%w: spill IDs not strictly ascending", ErrFormat)
+		}
+	}
+	for _, s := range wl.PartSeg {
+		if s < 0 || int(s) >= tables {
+			return nil, fmt.Errorf("%w: partition segment out of range", ErrFormat)
+		}
+	}
+	return mapping.AssembleSnapshot(h.Epoch, h.Policy, h.TTL, wl, arena, cansMap), nil
+}
+
+func (c *Codec) decodeDelta(h Header, r *reader, prev *mapping.Snapshot) (*mapping.Snapshot, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("%w: no base snapshot", ErrDeltaBase)
+	}
+	if prev.Epoch() != h.BaseEpoch {
+		return nil, fmt.Errorf("%w: base epoch %d, have %d", ErrDeltaBase, h.BaseEpoch, prev.Epoch())
+	}
+	if prev.LayoutFingerprint() != h.LayoutFP {
+		return nil, fmt.Errorf("%w: layout fingerprint mismatch", ErrDeltaBase)
+	}
+	tables, tl := prev.Tables(), int(h.TableLen)
+	if int(h.Tables) != tables || tl != len(c.platform.Deployments) {
+		return nil, fmt.Errorf("%w: geometry mismatch", ErrDeltaBase)
+	}
+	nSegs := r.sliceLen(uint64(4 + tl*rankedSize))
+	segs := make([]int32, nSegs)
+	for i := range segs {
+		segs[i] = r.i32()
+		if segs[i] < 0 || int(segs[i]) >= tables {
+			return nil, fmt.Errorf("%w: delta segment out of range", ErrFormat)
+		}
+		if i > 0 && segs[i-1] >= segs[i] {
+			return nil, fmt.Errorf("%w: delta segments not strictly ascending", ErrFormat)
+		}
+	}
+	delta, err := c.getTables(r, int(nSegs), tl)
+	if err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(r.b)-r.off)
+	}
+	return prev.WithDeltaSegments(h.Epoch, h.Policy, h.TTL, segs, delta), nil
+}
+
+// putHeader writes the fixed header for sn.
+func (c *Codec) putHeader(w *writer, sn *mapping.Snapshot, kind uint8, baseEpoch uint64, wl mapping.WireLayout) {
+	w.raw([]byte(magic))
+	w.u16(Version)
+	w.u8(kind)
+	w.u8(uint8(sn.Policy()))
+	w.u64(sn.Epoch())
+	w.u64(baseEpoch)
+	w.u64(uint64(sn.TTL()))
+	w.u64(c.fp)
+	w.u64(sn.LayoutFingerprint())
+	w.u32(uint32(wl.NParts))
+	w.u32(uint32(len(wl.SegTargets)))
+	w.u32(uint32(wl.TableLen))
+	w.u32(uint32(wl.Endpoints))
+}
+
+// putTable writes one rank table as (deployment index, score bits) pairs.
+func (c *Codec) putTable(w *writer, tbl []mapping.Ranked) error {
+	for _, rk := range tbl {
+		idx, ok := c.depIdx[rk.Deployment]
+		if !ok {
+			return fmt.Errorf("mapwire: snapshot ranks a deployment outside the codec's platform")
+		}
+		w.u32(idx)
+		w.u64(math.Float64bits(rk.Score))
+	}
+	return nil
+}
+
+// getTables reads n tables of tl entries each into one flat slice,
+// resolving deployment indexes against the codec's platform.
+func (c *Codec) getTables(r *reader, n, tl int) ([]mapping.Ranked, error) {
+	if n == 0 || tl == 0 {
+		return nil, nil
+	}
+	total := n * tl
+	if remaining := len(r.b) - r.off; r.err == nil && total*rankedSize > remaining {
+		r.err = fmt.Errorf("%w: %d table entries exceed %d remaining bytes", ErrFormat, total, remaining)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]mapping.Ranked, total)
+	for i := range out {
+		idx := r.u32()
+		score := r.f64()
+		if int(idx) >= len(c.platform.Deployments) {
+			return nil, fmt.Errorf("%w: deployment index %d of %d", ErrFormat, idx, len(c.platform.Deployments))
+		}
+		out[i] = mapping.Ranked{Deployment: c.platform.Deployments[idx], Score: score}
+	}
+	return out, nil
+}
+
+// validIdx reports whether a partition index is -1 (unassigned) or inside
+// the slot space.
+func validIdx(p int32, nSlots int64) bool { return p >= -1 && int64(p) < nSlots }
+
+// sortedKeys returns the CANS map's keys in ascending order, the canonical
+// wire order that makes encoding deterministic.
+func sortedKeys(m map[uint64][]mapping.Ranked) []uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

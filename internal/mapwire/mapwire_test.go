@@ -1,0 +1,294 @@
+package mapwire
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"eum/internal/cdn"
+	"eum/internal/mapping"
+	"eum/internal/netmodel"
+	"eum/internal/world"
+)
+
+// The fixture world is deliberately small: wire-format correctness does
+// not depend on scale (scale_guard_test.go and the bench guard cover
+// that), and the fuzz target rebuilds snapshots from this fixture on
+// every corpus entry.
+var (
+	fixOnce sync.Once
+	fixW    *world.World
+	fixP    *cdn.Platform
+	fixCfg  = mapping.Config{Policy: mapping.EndUser, PingTargets: 150, PartitionMiles: 75}
+)
+
+func fixture() (*world.World, *cdn.Platform) {
+	fixOnce.Do(func() {
+		fixW = world.MustGenerate(world.Config{Seed: 11, NumBlocks: 1200, IPv6Fraction: 0.2})
+		fixP = cdn.MustGenerateUniverse(fixW, cdn.Config{Seed: 11, NumDeployments: 80, ServersPerDeployment: 4})
+	})
+	return fixW, fixP
+}
+
+// shiftNet perturbs pings for chosen endpoints, standing in for the
+// measurement sweeps that dirty single targets between epochs.
+type shiftNet struct {
+	base  mapping.Prober
+	shift map[uint64]float64
+}
+
+func (p *shiftNet) PingMs(a, b netmodel.Endpoint) float64 {
+	return p.base.PingMs(a, b) + p.shift[a.ID] + p.shift[b.ID]
+}
+
+// sameAnswers fails unless both snapshots rank identically (deployment
+// pointer and bitwise score) for every block and LDNS in the world,
+// plus the unknown-ID fallback rows.
+func sameAnswers(t *testing.T, got, want *mapping.Snapshot, w *world.World) {
+	t.Helper()
+	check := func(id uint64, client bool, what string) {
+		t.Helper()
+		g, wnt := got.RankOf(id, client), want.RankOf(id, client)
+		if len(g) != len(wnt) {
+			t.Fatalf("%s %d: %d ranked, want %d", what, id, len(g), len(wnt))
+		}
+		for j := range g {
+			if g[j] != wnt[j] {
+				t.Fatalf("%s %d rank %d: %s/%v, want %s/%v", what, id, j,
+					g[j].Deployment.Name, g[j].Score, wnt[j].Deployment.Name, wnt[j].Score)
+			}
+		}
+	}
+	for _, blk := range w.Blocks {
+		check(blk.ID, true, "block")
+	}
+	for _, l := range w.LDNSes {
+		check(l.ID, false, "ldns")
+	}
+	check(1<<63+12345, true, "unknown-block")
+	check(1<<63+54321, false, "unknown-ldns")
+}
+
+func TestFullRoundTrip(t *testing.T) {
+	w, p := fixture()
+	for _, pol := range []mapping.Policy{mapping.NSBased, mapping.EndUser, mapping.ClientAwareNS} {
+		t.Run(pol.String(), func(t *testing.T) {
+			sn := mapping.NewSnapshotBuilder(w, p, netmodel.NewDefault(), fixCfg).Build(7, pol)
+			c := NewCodec(p)
+			data, err := c.EncodeFull(sn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := ParseHeader(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Kind != KindFull || h.Epoch != 7 || h.Policy != pol {
+				t.Fatalf("header %+v: want full/epoch 7/%s", h, pol)
+			}
+			dec, err := c.Decode(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Epoch() != sn.Epoch() || dec.Policy() != sn.Policy() ||
+				dec.TTL() != sn.TTL() || dec.Tables() != sn.Tables() {
+				t.Fatalf("decoded epoch=%d policy=%s ttl=%v tables=%d, want %d/%s/%v/%d",
+					dec.Epoch(), dec.Policy(), dec.TTL(), dec.Tables(),
+					sn.Epoch(), sn.Policy(), sn.TTL(), sn.Tables())
+			}
+			if dec.LayoutFingerprint() != sn.LayoutFingerprint() {
+				t.Fatal("decoded layout fingerprint differs")
+			}
+			sameAnswers(t, dec, sn, w)
+			again, err := c.EncodeFull(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("re-encode differs: %d vs %d bytes", len(again), len(data))
+			}
+		})
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	w, p := fixture()
+	prober := &shiftNet{base: netmodel.NewDefault(), shift: map[uint64]float64{}}
+	b := mapping.NewSnapshotBuilder(w, p, prober, fixCfg)
+	sn1 := b.Build(1, mapping.EndUser)
+
+	target, ok := b.Scorer().TargetFor(w.LDNSes[3].Endpoint())
+	if !ok {
+		t.Fatal("no ping target for LDNS 3")
+	}
+	prober.shift[target.ID] += 40
+	b.MarkMeasurementsDirty(target.ID)
+	sn2 := b.Build(2, mapping.EndUser)
+
+	c := NewCodec(p)
+	full1, err := c.EncodeFull(sn1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full2, err := c.EncodeFull(sn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, ok, err := c.EncodeDelta(sn1, sn2)
+	if err != nil || !ok {
+		t.Fatalf("EncodeDelta: ok=%v err=%v", ok, err)
+	}
+	if h, err := ParseHeader(delta); err != nil || h.Kind != KindDelta || h.BaseEpoch != 1 {
+		t.Fatalf("delta header %+v err=%v", h, err)
+	}
+	// The one-target dirty set must ship a small fraction of the full
+	// image even at this toy scale; at Huge-lab scale the bench guard
+	// holds the same ratio under 10%.
+	if 10*len(delta) >= len(full2) {
+		t.Fatalf("delta %d bytes is not <10%% of full %d bytes", len(delta), len(full2))
+	}
+
+	// Replica path: install the decoded full epoch 1, then apply the delta.
+	dec1, err := c.Decode(full1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := c.Decode(delta, dec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Epoch() != 2 {
+		t.Fatalf("delta-applied epoch %d, want 2", dec2.Epoch())
+	}
+	sameAnswers(t, dec2, sn2, w)
+	// The delta-applied snapshot must re-encode to the same full image
+	// the publisher would ship for epoch 2.
+	again, err := c.EncodeFull(dec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, full2) {
+		t.Fatal("delta-applied snapshot re-encodes differently from the publisher's full image")
+	}
+}
+
+func TestEncodeDeltaRefusals(t *testing.T) {
+	w, p := fixture()
+	b := mapping.NewSnapshotBuilder(w, p, netmodel.NewDefault(), fixCfg)
+	sn1 := b.Build(1, mapping.EndUser)
+	sn2 := b.Build(2, mapping.EndUser)
+	c := NewCodec(p)
+
+	if _, ok, err := c.EncodeDelta(nil, sn2); ok || err != nil {
+		t.Fatalf("nil base: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := c.EncodeDelta(sn2, sn1); ok || err != nil {
+		t.Fatalf("epoch regression: ok=%v err=%v", ok, err)
+	}
+	cans := mapping.NewSnapshotBuilder(w, p, netmodel.NewDefault(), fixCfg).Build(3, mapping.ClientAwareNS)
+	if _, ok, err := c.EncodeDelta(sn2, cans); ok || err != nil {
+		t.Fatalf("CANS target: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	w, p := fixture()
+	sn := mapping.NewSnapshotBuilder(w, p, netmodel.NewDefault(), fixCfg).Build(1, mapping.EndUser)
+	c := NewCodec(p)
+	data, err := c.EncodeFull(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Decode(nil, nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("nil input: %v", err)
+	}
+	if _, err := c.Decode(data[:headerSize-1], nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("short input: %v", err)
+	}
+	for _, pos := range []int{0, 4, 9, headerSize + 3, len(data) / 2, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		if _, err := c.Decode(mut, nil); err == nil {
+			t.Fatalf("flip at %d decoded successfully", pos)
+		}
+	}
+	if _, err := c.Decode(append(append([]byte(nil), data...), 0), nil); err == nil {
+		t.Fatal("trailing byte decoded successfully")
+	}
+
+	// A codec for a different platform must refuse the image outright.
+	otherP := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 99, NumDeployments: 80, ServersPerDeployment: 4})
+	if _, err := NewCodec(otherP).Decode(data, nil); !errors.Is(err, ErrPlatformMismatch) {
+		t.Fatalf("foreign platform: %v", err)
+	}
+}
+
+func TestDecodeDeltaBaseMismatch(t *testing.T) {
+	w, p := fixture()
+	prober := &shiftNet{base: netmodel.NewDefault(), shift: map[uint64]float64{}}
+	b := mapping.NewSnapshotBuilder(w, p, prober, fixCfg)
+	sn1 := b.Build(1, mapping.EndUser)
+	target, ok := b.Scorer().TargetFor(w.LDNSes[0].Endpoint())
+	if !ok {
+		t.Fatal("no ping target")
+	}
+	prober.shift[target.ID] += 25
+	b.MarkMeasurementsDirty(target.ID)
+	sn2 := b.Build(2, mapping.EndUser)
+
+	c := NewCodec(p)
+	delta, ok, err := c.EncodeDelta(sn1, sn2)
+	if err != nil || !ok {
+		t.Fatalf("EncodeDelta: ok=%v err=%v", ok, err)
+	}
+	if _, err := c.Decode(delta, nil); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("no base: %v", err)
+	}
+	if _, err := c.Decode(delta, sn2); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("wrong-epoch base: %v", err)
+	}
+}
+
+// FuzzSnapshotWire drives the decoder with mutated wire images. The
+// invariants: a clean image round-trips byte-identically through
+// decode → re-encode, and any single-byte corruption is rejected with
+// an error — never a panic, never a silently-wrong snapshot (the
+// checksum trailer covers every preceding byte).
+func FuzzSnapshotWire(f *testing.F) {
+	w, p := fixture()
+	sn := mapping.NewSnapshotBuilder(w, p, netmodel.NewDefault(), fixCfg).Build(1, mapping.EndUser)
+	c := NewCodec(p)
+	clean, err := c.EncodeFull(sn)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint32(0), byte(0))
+	f.Add(uint32(5), byte(1))
+	f.Add(uint32(headerSize), byte(0xff))
+	f.Add(uint32(len(clean)-1), byte(0x80))
+	f.Fuzz(func(t *testing.T, pos uint32, xor byte) {
+		data := append([]byte(nil), clean...)
+		i := int(pos) % len(data)
+		data[i] ^= xor
+		dec, err := c.Decode(data, nil)
+		if xor != 0 {
+			if err == nil {
+				t.Fatalf("corrupt image (flip %#x at %d) decoded successfully", xor, i)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("clean image failed to decode: %v", err)
+		}
+		again, err := c.EncodeFull(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, clean) {
+			t.Fatal("re-encode differs from the original image")
+		}
+	})
+}

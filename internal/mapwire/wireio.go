@@ -1,0 +1,123 @@
+package mapwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// writer appends little-endian primitives to a pre-sized buffer. Encoders
+// compute the exact image size up front, so finish() never reallocates.
+type writer struct {
+	b []byte
+}
+
+func newWriter(size int) *writer { return &writer{b: make([]byte, 0, size)} }
+
+func (w *writer) raw(p []byte) { w.b = append(w.b, p...) }
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+
+// finish appends the FNV-1a checksum trailer and returns the image.
+func (w *writer) finish() []byte {
+	return binary.LittleEndian.AppendUint64(w.b, fnvSum(w.b))
+}
+
+// reader consumes little-endian primitives with sticky error handling:
+// the first out-of-bounds read latches err and every later read returns
+// zero, so decode loops stay straight-line and check r.err at the end
+// (or wherever a length is about to size an allocation).
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.b)-r.off < n {
+		r.err = fmt.Errorf("%w: truncated at offset %d (need %d of %d bytes)",
+			ErrFormat, r.off, n, len(r.b)-r.off)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// sliceLen reads an element count and validates it against the bytes
+// actually remaining (each element needs at least elemSize bytes), so a
+// corrupt length can never size a huge allocation or push reads past the
+// buffer.
+func (r *reader) sliceLen(elemSize uint64) uint64 {
+	n := uint64(r.u32())
+	if r.err == nil && elemSize > 0 && n > uint64(len(r.b)-r.off)/elemSize {
+		r.err = fmt.Errorf("%w: length %d exceeds %d remaining bytes (elem %d)",
+			ErrFormat, n, len(r.b)-r.off, elemSize)
+		return 0
+	}
+	return n
+}
+
+// FNV-1a, matching the constants used across the repo.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvSum(p []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range p {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvHasher accumulates u64 words; PlatformFingerprint uses it.
+type fnvHasher struct{ sum uint64 }
+
+func newFNV() *fnvHasher { return &fnvHasher{sum: fnvOffset64} }
+
+func (h *fnvHasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.sum ^= (v >> (8 * i)) & 0xff
+		h.sum *= fnvPrime64
+	}
+}
