@@ -26,7 +26,13 @@ SCALEBENCH = BenchmarkSnapshotScale
 # numbers and the <10% delta guard in BENCH_wire.json).
 WIREBENCH = BenchmarkSnapshotWire
 
-.PHONY: all check vet build test race chaos dist-chaos obs crossbuild scale-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-wire bench-figures
+# Load-feedback republish cost over the Huge lab: proximity-only warm
+# publish, armed-but-idle gauges, and the ReasonLoad full re-rank (see
+# DESIGN.md "Load-aware mapping & feedback control"; numbers in
+# BENCH_load.json).
+LOADBENCH = BenchmarkLoadRepublish
+
+.PHONY: all check vet build test race chaos load-chaos dist-chaos obs crossbuild scale-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-wire bench-load bench-figures
 
 all: check
 
@@ -35,7 +41,7 @@ all: check
 # distribution-plane partition/heal drill, then the observability smoke
 # test against a live in-process stack, then cross-compiles of the
 # non-linux / non-amd64 fallback paths.
-check: vet build race chaos dist-chaos obs scale-smoke crossbuild
+check: vet build race chaos load-chaos dist-chaos obs scale-smoke crossbuild
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +63,14 @@ race:
 # -v so the shed/stale/RRL counter log lines land in CI output.
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestEndToEndThroughFaults' ./internal/faultnet/
+
+# Load-feedback chaos drill: flash crowd + deployment brownout + 10%
+# packet loss + continuous map churn against the closed feedback loop,
+# asserting >=99% lookup success, zero damping-window violations, and
+# graceful proximity-only degradation when the load feed dies (see
+# DESIGN.md "Load-aware mapping & feedback control").
+load-chaos:
+	$(GO) test -race -v -run 'TestLoadChaos' ./internal/faultnet/
 
 # Distribution-plane drill: one publisher and three fetching replicas over
 # real sockets, a total control-network partition cut with faultnet, >=99%
@@ -119,4 +133,10 @@ bench-figures:
 bench-wire:
 	$(GO) test -run 'TestNone' -bench '$(WIREBENCH)' -benchmem .
 
-bench: bench-hot bench-sim bench-qps bench-scale bench-wire
+# Load-feedback republish cost over the Huge lab (numbers recorded in
+# BENCH_load.json; beta0_warm must stay within noise of BENCH_scale.json's
+# warm_republish).
+bench-load:
+	$(GO) test -run 'TestNone' -bench '$(LOADBENCH)' -benchmem .
+
+bench: bench-hot bench-sim bench-qps bench-scale bench-wire bench-load

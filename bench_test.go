@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"eum/internal/authority"
+	"eum/internal/cdn"
 	"eum/internal/dnsclient"
 	"eum/internal/dnsmsg"
 	"eum/internal/dnsserver"
@@ -1310,4 +1311,77 @@ func BenchmarkServerThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 		})
 	}
+}
+
+// benchUtil is a controllable UtilizationSource for the load-republish
+// benchmark: fixed per-deployment readings, always fresh.
+type benchUtil struct{ u map[uint64]float64 }
+
+func (s benchUtil) Utilization(d *cdn.Deployment) (float64, bool) { return s.u[d.ID], true }
+
+// BenchmarkLoadRepublish measures what the load-feedback loop adds to
+// republish latency at the million-block Huge lab. beta0_warm is the
+// proximity-only warm republish (the same path BenchmarkSnapshotScale's
+// warm_republish records — beta=0 must stay within noise of it).
+// beta2_warm arms load scoring with every gauge idle: the captured
+// utilization vector is all zeros, so the build skips the re-rank and
+// shares the arena wholesale. beta2_load_republish is the ReasonLoad
+// path — one deployment's smoothed utilization moves by a visible step
+// each build, so every rank table re-sorts against the new vector; this
+// is the cost of one feedback-loop republish under overload. Numbers are
+// recorded in BENCH_load.json.
+func BenchmarkLoadRepublish(b *testing.B) {
+	hugeLabOnce.Do(func() { hugeLab = experiments.NewLab(experiments.Huge, 1) })
+	l := hugeLab
+	cfg := experiments.DefaultScaleConfig(experiments.Huge)
+	newSys := func(beta float64) *mapping.System {
+		return mapping.NewSystem(l.World, l.Platform, l.Net, mapping.Config{
+			Policy:         mapping.EndUser,
+			PingTargets:    cfg.PingTargets,
+			PartitionMiles: cfg.PartitionMiles,
+			BalanceFactor:  beta,
+		})
+	}
+
+	b.Run("beta0_warm", func(b *testing.B) {
+		sys := newSys(0)
+		sys.Rebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Rebuild()
+		}
+	})
+
+	b.Run("beta2_warm", func(b *testing.B) {
+		sys := newSys(2)
+		sys.SetUtilizationSource(benchUtil{u: map[uint64]float64{}})
+		sys.Rebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Rebuild()
+		}
+		if lr, _ := sys.Builder().LoadStats(); lr != 0 {
+			b.Fatalf("idle gauges forced %d load re-ranks; warm path lost", lr)
+		}
+	})
+
+	b.Run("beta2_load_republish", func(b *testing.B) {
+		sys := newSys(2)
+		src := benchUtil{u: map[uint64]float64{}}
+		sys.SetUtilizationSource(src)
+		hot := l.Platform.Deployments[0]
+		sys.Rebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate the hot deployment's reading so the quantized
+			// vector changes on every build — each iteration pays a full
+			// load re-rank, as a threshold-crossing republish would.
+			src.u[hot.ID] = 0.5 + 0.5*float64(i%2)
+			sys.Builder().MarkLoadDirty()
+			sys.Rebuild()
+		}
+		if lr, _ := sys.Builder().LoadStats(); lr == 0 {
+			b.Fatal("no load re-ranks recorded; the load path did not run")
+		}
+	})
 }

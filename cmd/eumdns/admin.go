@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"net/netip"
@@ -29,11 +30,16 @@ type adminState struct {
 	reg     *telemetry.Registry
 	system  *mapping.System
 	mm      *mapmaker.MapMaker
+	lm      *mapmaker.LoadMonitor
 	auth    *authority.Authority
 	fetcher *mapdist.Fetcher
 	pub     *mapdist.Publisher
 	mode    string
 	blocks  int
+	// platform and balance feed the /mapz load section; lm is non-nil only
+	// on map-building nodes with the feedback loop enabled.
+	platform *cdn.Platform
+	balance  float64
 }
 
 // newAdminMux builds the admin HTTP surface: /metrics (Prometheus text, or
@@ -91,6 +97,24 @@ type mapzBuild struct {
 	RerankedTables    uint64  `json:"reranked_tables"`
 }
 
+// mapzLoad is the /mapz view of the load-feedback loop: the balance knob
+// in force, the builder's load-triggered work and stale-signal tripwires,
+// the monitor's notification counters, and the instantaneous utilization
+// of every deployment currently carrying load.
+type mapzLoad struct {
+	BalanceFactor    float64 `json:"balance_factor"`
+	LoadRebuilds     uint64  `json:"load_rebuilds"`
+	StaleSignals     uint64  `json:"stale_signals"`
+	Notifies         uint64  `json:"notifies,omitempty"`
+	Damped           uint64  `json:"damped,omitempty"`
+	Crossings        uint64  `json:"crossings,omitempty"`
+	Overloaded       int     `json:"overloaded_deployments,omitempty"`
+	WindowViolations uint64  `json:"window_violations,omitempty"`
+	// Utilisation lists only deployments with non-zero load, so the
+	// document stays small on an idle platform.
+	Utilisation map[string]float64 `json:"utilisation,omitempty"`
+}
+
 // mapz describes the currently installed map snapshot as JSON: what an
 // operator checks first when answers look wrong ("is the map fresh, and
 // which epoch is serving?"). Replicas add their distribution sync status;
@@ -109,6 +133,7 @@ func (st adminState) mapz(w http.ResponseWriter, _ *http.Request) {
 		BuildFailures  uint64              `json:"build_failures"`
 		Degrade        string              `json:"degrade,omitempty"`
 		Build          *mapzBuild          `json:"build,omitempty"`
+		Load           *mapzLoad           `json:"load,omitempty"`
 		Sync           *mapdist.SyncStatus `json:"sync,omitempty"`
 	}{
 		Epoch:      snap.Epoch(),
@@ -140,6 +165,33 @@ func (st adminState) mapz(w http.ResponseWriter, _ *http.Request) {
 	}
 	b.FullBuilds, b.IncrementalBuilds, b.RerankedTables = st.system.Builder().BuildStats()
 	doc.Build = b
+	if st.balance > 0 {
+		l := &mapzLoad{BalanceFactor: st.balance}
+		l.LoadRebuilds, l.StaleSignals = st.system.Builder().LoadStats()
+		if st.lm != nil {
+			l.Notifies = st.lm.Notifies()
+			l.Damped = st.lm.Damped()
+			l.Crossings = st.lm.Crossings()
+			l.Overloaded = st.lm.Overloaded()
+			l.WindowViolations = st.lm.WindowViolations()
+			// The monitor's stale tripwire counts reads the builder never
+			// saw a fresh signal for; surface the larger of the two.
+			if s := st.lm.StaleSignals(); s > l.StaleSignals {
+				l.StaleSignals = s
+			}
+		}
+		if st.platform != nil {
+			for _, d := range st.platform.Deployments {
+				if d.Load() > 0 {
+					if l.Utilisation == nil {
+						l.Utilisation = map[string]float64{}
+					}
+					l.Utilisation[d.Name] = d.Utilisation()
+				}
+			}
+		}
+		doc.Load = l
+	}
 	if st.fetcher != nil {
 		sync := st.fetcher.Status()
 		doc.Sync = &sync
@@ -182,6 +234,27 @@ func runHealthMonitor(ctx context.Context, mon *cdn.Monitor, every time.Duration
 			return
 		case now := <-t.C:
 			mon.Tick(now)
+		}
+	}
+}
+
+// runLoadMonitor drives the load-feedback loop until ctx is cancelled.
+// Each tick first decays the platform's cumulative demand counters toward
+// zero on the monitor's EWMA time constant — turning the authority's
+// per-answer demand increments into a rate-like gauge — then samples
+// every deployment's utilization into the monitor, which republishes the
+// map through the change feed on smoothed threshold crossings.
+func runLoadMonitor(ctx context.Context, lm *mapmaker.LoadMonitor, p *cdn.Platform, every time.Duration) {
+	decay := math.Exp(-float64(every) / float64(lm.Config().EWMA))
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			p.ScaleLoad(decay)
+			lm.Tick(p, now)
 		}
 	}
 }

@@ -268,6 +268,68 @@ func TestHealthzDegraded(t *testing.T) {
 	}
 }
 
+// TestMapzLoadSection checks the load-feedback view of /mapz: present
+// exactly when the balance knob is on, carrying the monitor counters and
+// the per-deployment utilisation of loaded deployments; and the matching
+// per-deployment gauges appear on /metrics.
+func TestMapzLoadSection(t *testing.T) {
+	w := world.MustGenerate(world.Config{Seed: 3, NumBlocks: 400})
+	platform := cdn.MustGenerateUniverse(w, cdn.Config{Seed: 3, NumDeployments: 40})
+	system := mapping.NewSystem(w, platform, netmodel.NewDefault(),
+		mapping.Config{PingTargets: 40, BalanceFactor: 2})
+	mm := mapmaker.New(system, mapmaker.Config{})
+	lm := mapmaker.NewLoadMonitor(mm, mapmaker.LoadSignalConfig{})
+	system.SetUtilizationSource(lm)
+
+	hot := platform.Deployments[0]
+	hot.Servers[0].AddLoad(3)
+
+	st := adminState{
+		reg: telemetry.NewRegistry(), system: system, mm: mm, lm: lm,
+		platform: platform, balance: 2, blocks: 400,
+	}
+	rec := httptest.NewRecorder()
+	st.mapz(rec, httptest.NewRequest(http.MethodGet, "/mapz", nil))
+	var doc struct {
+		Load *struct {
+			BalanceFactor float64            `json:"balance_factor"`
+			Utilisation   map[string]float64 `json:"utilisation"`
+		} `json:"load"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Load == nil || doc.Load.BalanceFactor != 2 {
+		t.Fatalf("/mapz load section = %+v", doc.Load)
+	}
+	if u := doc.Load.Utilisation[hot.Name]; u <= 0 {
+		t.Errorf("loaded deployment %s utilisation = %g, want > 0", hot.Name, u)
+	}
+	if len(doc.Load.Utilisation) != 1 {
+		t.Errorf("utilisation lists %d deployments, want only the loaded one", len(doc.Load.Utilisation))
+	}
+
+	// Balance off: no load section.
+	st.balance = 0
+	rec = httptest.NewRecorder()
+	st.mapz(rec, httptest.NewRequest(http.MethodGet, "/mapz", nil))
+	if strings.Contains(rec.Body.String(), `"load"`) {
+		t.Error("/mapz carries a load section with balance_factor 0")
+	}
+
+	// The per-deployment gauge reaches /metrics through the registry.
+	platform.RegisterLoadMetrics(st.reg)
+	lm.RegisterMetrics(st.reg)
+	rec = httptest.NewRecorder()
+	st.reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"cdn_deployment_utilisation_", "mapmaker_load_notifies_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
 func get(t *testing.T, url string, wantCode int) string {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -66,6 +66,16 @@ func main() {
 		"datagrams drained/flushed per syscall via recvmmsg/sendmmsg, linux only (0 or 1 = single-packet)")
 	staleMaxAge := flag.Duration("stale-max-age", 30*time.Second,
 		"serve-stale watchdog: map age entering degraded answers (0 disables)")
+	balanceFactor := flag.Float64("balance-factor", 0,
+		"distance-vs-load balance knob: rank tables order deployments by ping x (1 + balance x util^2); 0 keeps pure proximity mapping")
+	loadThreshold := flag.Float64("load-threshold", 0,
+		"smoothed utilization entering the overloaded state (0 = default 0.8; requires -balance-factor)")
+	loadHysteresis := flag.Float64("load-hysteresis", 0,
+		"overload exit threshold is the enter threshold minus this band (0 = default 0.15; requires -balance-factor)")
+	loadEWMA := flag.Duration("load-ewma", 0,
+		"utilization smoothing time constant (0 = default 30s; requires -balance-factor)")
+	loadMaxAge := flag.Duration("load-max-age", 0,
+		"load observations older than this score proximity-only (0 = default 3x the EWMA window; requires -balance-factor)")
 	mapmakerAddr := flag.String("mapmaker-addr", "",
 		"replica mode: fetch maps from this MapMaker admin address instead of building locally")
 	publisher := flag.Bool("publisher", false,
@@ -89,6 +99,11 @@ func main() {
 	cfg.BatchSize = *batch
 	cfg.StaleMaxAgeSeconds = int(staleMaxAge.Seconds())
 	cfg.MapRefreshSeconds = int(mapRefresh.Seconds())
+	cfg.BalanceFactor = *balanceFactor
+	cfg.LoadRebuildThreshold = *loadThreshold
+	cfg.LoadHysteresis = *loadHysteresis
+	cfg.LoadEWMASeconds = loadEWMA.Seconds()
+	cfg.LoadSignalMaxAgeSeconds = loadMaxAge.Seconds()
 	cfg.AdminAddr = *adminAddr
 	if *mapmakerAddr != "" {
 		cfg.Mode = config.ModeReplica
@@ -141,6 +156,7 @@ func main() {
 		Policy:         policy,
 		PingTargets:    cfg.World.Blocks / 10,
 		PartitionMiles: cfg.PartitionMiles,
+		BalanceFactor:  cfg.BalanceFactor,
 	})
 
 	// Control plane. Standalone and publisher nodes run a background
@@ -153,6 +169,7 @@ func main() {
 	defer stopControl()
 	var (
 		mm      *mapmaker.MapMaker
+		lm      *mapmaker.LoadMonitor
 		pub     *mapdist.Publisher
 		fetcher *mapdist.Fetcher
 	)
@@ -182,11 +199,31 @@ func main() {
 			go mm.Run(ctx)
 			log.Printf("map maker publishing every %v", refresh)
 		}
+		// Load-feedback loop: a monitor smooths the platform's demand
+		// gauges, republishes through the change feed on overload
+		// crossings, and serves the builder its utilization signal. Only
+		// map-building nodes run one — a replica serves whatever order the
+		// publisher's loop already baked into the snapshot.
+		if lc, ok := cfg.LoadSignalConfig(); ok {
+			lm = mapmaker.NewLoadMonitor(mm, lc)
+			system.SetUtilizationSource(lm)
+			go runLoadMonitor(ctx, lm, platform, time.Second)
+			log.Printf("load feedback: balance %g, overload enter %g / exit %g, ewma %v",
+				cfg.BalanceFactor, lm.Config().EnterUtil,
+				lm.Config().EnterUtil-lm.Config().Hysteresis, lm.Config().EWMA)
+		}
 	}
 
 	handler, auth, described, err := buildHandler(cfg, system, platform)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// With the feedback loop on, every full mapping decision records one
+	// demand unit on its picked server, so the utilization gauges the
+	// monitor samples actually move with query traffic (runLoadMonitor
+	// decays them back toward zero on the EWMA time constant).
+	if auth != nil && cfg.BalanceFactor > 0 {
+		auth.SetAnswerDemand(1)
 	}
 	if *verbose {
 		handler = dnsserver.WithLogging(handler, slog.New(slog.NewJSONHandler(os.Stderr, nil)))
@@ -240,9 +277,14 @@ func main() {
 		if pub != nil {
 			pub.RegisterMetrics(reg)
 		}
+		platform.RegisterLoadMetrics(reg)
+		if lm != nil {
+			lm.RegisterMetrics(reg)
+		}
 		mux := newAdminMux(adminState{
-			reg: reg, system: system, mm: mm, auth: auth,
+			reg: reg, system: system, mm: mm, lm: lm, auth: auth,
 			fetcher: fetcher, pub: pub, mode: mode, blocks: cfg.World.Blocks,
+			platform: platform, balance: cfg.BalanceFactor,
 		})
 		go func() {
 			log.Printf("admin HTTP on %s (/metrics /healthz /mapz /debug/pprof)", cfg.AdminAddr)

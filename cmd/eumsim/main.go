@@ -149,6 +149,18 @@ var figures = map[string]struct {
 		_, rep := experiments.SnapshotScale(lab, experiments.DefaultScaleConfig(s))
 		return []*experiments.Report{rep}, nil
 	}},
+	"loadloop": {"closed-loop flash crowd: surge, spill, recede, reconverge", func(lab *experiments.Lab, s experiments.Scale) ([]*experiments.Report, error) {
+		_, rep, err := experiments.ClosedLoopFlashCrowd(lab, experiments.ClosedLoopConfig{})
+		return []*experiments.Report{rep}, err
+	}},
+	"brownout": {"deployment brownout under Zipf demand, by balance factor", func(lab *experiments.Lab, s experiments.Scale) ([]*experiments.Report, error) {
+		_, rep, err := experiments.BrownoutZipf(lab, nil)
+		return []*experiments.Report{rep}, err
+	}},
+	"frontier": {"balance-factor frontier: proximity cost vs load balance", func(lab *experiments.Lab, s experiments.Scale) ([]*experiments.Report, error) {
+		_, rep, err := experiments.BalanceFrontier(lab, nil, "")
+		return []*experiments.Report{rep}, err
+	}},
 }
 
 func main() {

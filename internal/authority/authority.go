@@ -122,6 +122,13 @@ type Authority struct {
 	// degrade is the staleness watchdog configuration (see DegradeConfig);
 	// the zero value disables it. Set before serving begins.
 	degrade DegradeConfig
+	// answerDemand is the demand recorded against the picked server for
+	// every full mapping decision (cache hits record nothing — within one
+	// TTL window the cached answer stands for the same client population,
+	// so misses approximate per-window demand). Feeds the deployment load
+	// gauges the load-feedback loop watches; 0 disables accounting. Set
+	// before serving begins.
+	answerDemand float64
 	// epochDebug, when set, appends a TXT record carrying the decision's
 	// snapshot epoch to every mapping answer, so transport-level tests can
 	// verify end-to-end that each answer came from a map that was live
@@ -206,6 +213,11 @@ func (a *Authority) SetShards(n int) {
 func (a *Authority) SetDegradeConfig(cfg DegradeConfig) {
 	a.degrade = cfg.withDefaults()
 }
+
+// SetAnswerDemand sets the demand units each full mapping decision records
+// on the picked server (see the answerDemand field); 0 keeps load
+// accounting off. Call before serving begins.
+func (a *Authority) SetAnswerDemand(d float64) { a.answerDemand = d }
 
 // SetEpochDebug toggles the per-answer epoch TXT record (see the
 // epochDebug field). Call before serving begins; the record is for test
@@ -320,6 +332,7 @@ func (a *Authority) serveMapping(shard int, remote netip.AddrPort, query *dnsmsg
 	req := mapping.Request{
 		Domain: string(q.Name.Canonical()),
 		LDNS:   remote.Addr().Unmap(),
+		Demand: a.answerDemand,
 	}
 	var ecs *dnsmsg.ClientSubnet
 	if query.EDNS {

@@ -67,6 +67,23 @@ func (s *Server) AddLoad(delta float64) bool {
 // ResetLoad zeroes the server's load (start of a load-balancing interval).
 func (s *Server) ResetLoad() { s.load.Store(0) }
 
+// ScaleLoad multiplies the server's load by f (clamped at zero). Live
+// servers accumulate demand units per answer; a periodic exponential decay
+// via ScaleLoad turns the cumulative counter into a rate-like gauge for
+// the load-feedback loop.
+func (s *Server) ScaleLoad(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	for {
+		old := s.load.Load()
+		v := math.Float64frombits(old) * f
+		if s.load.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Utilisation returns load/capacity.
 func (s *Server) Utilisation() float64 {
 	if s.cap == 0 {
@@ -84,6 +101,13 @@ type Deployment struct {
 	ASN     uint32
 	Country string
 	Servers []*Server
+
+	// capLoss is the fractional capacity reduction in [0,1], stored as
+	// float64 bits. A brownout (cooling failure, partial rack loss, admin
+	// drain) reduces effective capacity without flipping liveness. Stored
+	// as a *loss* rather than a factor so the zero value means "full
+	// capacity" and existing Deployment literals stay valid.
+	capLoss atomic.Uint64
 }
 
 // Endpoint returns the deployment as a network-model endpoint.
@@ -91,7 +115,27 @@ func (d *Deployment) Endpoint() netmodel.Endpoint {
 	return netmodel.Endpoint{ID: d.ID, Loc: d.Loc, ASN: d.ASN, Access: netmodel.AccessBackbone}
 }
 
-// Capacity returns the summed capacity of live servers.
+// CapacityFactor returns the fraction of nominal capacity currently
+// available, in [0,1]. 1 means healthy; below 1 the deployment is browned
+// out (see SetCapacityFactor).
+func (d *Deployment) CapacityFactor() float64 {
+	return 1 - math.Float64frombits(d.capLoss.Load())
+}
+
+// SetCapacityFactor sets the fraction of nominal capacity available,
+// clamped to [0,1]. 0 means fully browned out (no usable capacity even if
+// servers answer health probes); 1 restores full capacity.
+func (d *Deployment) SetCapacityFactor(f float64) {
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	d.capLoss.Store(math.Float64bits(1 - f))
+}
+
+// Capacity returns the summed capacity of live servers, scaled by the
+// brownout capacity factor.
 func (d *Deployment) Capacity() float64 {
 	var sum float64
 	for _, s := range d.Servers {
@@ -99,7 +143,7 @@ func (d *Deployment) Capacity() float64 {
 			sum += s.cap
 		}
 	}
-	return sum
+	return sum * d.CapacityFactor()
 }
 
 // Load returns the summed load of live servers.
@@ -136,10 +180,31 @@ func (d *Deployment) Alive() bool {
 	return false
 }
 
+// Utilisation returns the deployment's load/capacity ratio. A deployment
+// with zero capacity (all servers dead, or fully browned out) reports 0
+// when idle and +Inf when carrying load.
+func (d *Deployment) Utilisation() float64 {
+	c := d.Capacity()
+	if c <= 0 {
+		if d.Load() <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return d.Load() / c
+}
+
 // ResetLoad zeroes every server's load.
 func (d *Deployment) ResetLoad() {
 	for _, s := range d.Servers {
 		s.ResetLoad()
+	}
+}
+
+// ScaleLoad multiplies every server's load by f (see Server.ScaleLoad).
+func (d *Deployment) ScaleLoad(f float64) {
+	for _, s := range d.Servers {
+		s.ScaleLoad(f)
 	}
 }
 
@@ -306,6 +371,14 @@ func (p *Platform) NumServers() int {
 func (p *Platform) ResetLoad() {
 	for _, d := range p.Deployments {
 		d.ResetLoad()
+	}
+}
+
+// ScaleLoad multiplies load on all deployments by f — the periodic decay
+// step of the live load-feedback loop.
+func (p *Platform) ScaleLoad(f float64) {
+	for _, d := range p.Deployments {
+		d.ScaleLoad(f)
 	}
 }
 

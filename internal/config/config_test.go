@@ -106,6 +106,30 @@ func TestValidateErrors(t *testing.T) {
 		{"negative-listener-shards", func(c *Config) { c.ListenerShards = -2 }},
 		{"negative-batch-size", func(c *Config) { c.BatchSize = -1 }},
 		{"batch-size-above-64", func(c *Config) { c.BatchSize = 65 }},
+		{"negative-balance-factor", func(c *Config) { c.BalanceFactor = -1 }},
+		{"negative-load-threshold", func(c *Config) { c.BalanceFactor = 2; c.LoadRebuildThreshold = -0.5 }},
+		{"negative-load-hysteresis", func(c *Config) { c.BalanceFactor = 2; c.LoadHysteresis = -0.1 }},
+		{"negative-load-ewma", func(c *Config) { c.BalanceFactor = 2; c.LoadEWMASeconds = -30 }},
+		{"negative-load-max-age", func(c *Config) { c.BalanceFactor = 2; c.LoadSignalMaxAgeSeconds = -90 }},
+		{"load-knob-without-balance", func(c *Config) { c.LoadRebuildThreshold = 0.9 }},
+		{"hysteresis-swallows-enter", func(c *Config) {
+			c.BalanceFactor = 2
+			c.LoadRebuildThreshold = 0.7
+			c.LoadHysteresis = 0.7
+		}},
+		{"hysteresis-above-default-enter", func(c *Config) {
+			c.BalanceFactor = 2
+			c.LoadHysteresis = 0.9 // enter defaults to 0.8
+		}},
+		{"max-age-below-ewma", func(c *Config) {
+			c.BalanceFactor = 2
+			c.LoadEWMASeconds = 60
+			c.LoadSignalMaxAgeSeconds = 45
+		}},
+		{"max-age-below-default-ewma", func(c *Config) {
+			c.BalanceFactor = 2
+			c.LoadSignalMaxAgeSeconds = 10 // EWMA defaults to 30s
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -310,6 +334,77 @@ func TestServingKnobsTranslate(t *testing.T) {
 	dc := cfg.DegradeConfig()
 	if dc.StaleAfter != 45*time.Second {
 		t.Errorf("stale after = %v", dc.StaleAfter)
+	}
+}
+
+// TestValidateLoadKnobMessages pins the load-feedback validation errors
+// to actionable text: each names the conflicting knobs and says which way
+// to move them.
+func TestValidateLoadKnobMessages(t *testing.T) {
+	cfg := Default()
+	cfg.BalanceFactor = 2
+	cfg.LoadRebuildThreshold = 0.6
+	cfg.LoadHysteresis = 0.8
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "never be declared recovered") {
+		t.Errorf("wide hysteresis error = %v, want mention of the unreachable exit threshold", err)
+	}
+
+	cfg = Default()
+	cfg.BalanceFactor = 2
+	cfg.LoadEWMASeconds = 120
+	cfg.LoadSignalMaxAgeSeconds = 60
+	err = cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "proximity-only") {
+		t.Errorf("short max-age error = %v, want mention of permanent proximity-only degradation", err)
+	}
+
+	cfg = Default()
+	cfg.LoadEWMASeconds = 60 // without balance_factor
+	err = cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "balance_factor") {
+		t.Errorf("inert knob error = %v, want mention of balance_factor", err)
+	}
+}
+
+func TestLoadSignalConfigTranslate(t *testing.T) {
+	cfg := Default()
+	if _, ok := cfg.LoadSignalConfig(); ok {
+		t.Fatal("balance_factor 0 produced a load signal config")
+	}
+
+	cfg.BalanceFactor = 2
+	cfg.LoadRebuildThreshold = 0.9
+	cfg.LoadHysteresis = 0.25
+	cfg.LoadEWMASeconds = 12.5
+	cfg.LoadSignalMaxAgeSeconds = 60
+	cfg.MapRefreshSeconds = 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lc, ok := cfg.LoadSignalConfig()
+	if !ok {
+		t.Fatal("load signal config missing despite balance_factor")
+	}
+	if lc.EnterUtil != 0.9 || lc.Hysteresis != 0.25 {
+		t.Errorf("thresholds = %g/%g", lc.EnterUtil, lc.Hysteresis)
+	}
+	if lc.EWMA != 12500*time.Millisecond {
+		t.Errorf("ewma = %v, want 12.5s", lc.EWMA)
+	}
+	if lc.MaxSignalAge != time.Minute {
+		t.Errorf("max signal age = %v", lc.MaxSignalAge)
+	}
+	if lc.MinRepublish != 4*time.Second {
+		t.Errorf("min republish = %v, want half the 8s refresh cadence", lc.MinRepublish)
+	}
+
+	// Unset knobs stay zero so the monitor applies its own defaults.
+	cfg = Default()
+	cfg.BalanceFactor = 1
+	lc, ok = cfg.LoadSignalConfig()
+	if !ok || lc.EnterUtil != 0 || lc.EWMA != 0 {
+		t.Errorf("partial config = %+v, %v (zero fields should defer to monitor defaults)", lc, ok)
 	}
 }
 

@@ -1,0 +1,528 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/demand"
+	"eum/internal/geo"
+	"eum/internal/mapmaker"
+	"eum/internal/mapping"
+	"eum/internal/stats"
+	"eum/internal/world"
+)
+
+// loadLoopT0 anchors the simulated clock every closed-loop experiment
+// advances; wall time never leaks into the results.
+var loadLoopT0 = time.Unix(1_700_000_000, 0)
+
+// ClosedLoopConfig parameterises the closed-loop flash-crowd drill.
+// Zero-valued fields take the defaults from DefaultClosedLoopConfig.
+type ClosedLoopConfig struct {
+	// Country hosts the surge.
+	Country string
+	// Beta is the snapshot builder's balance factor.
+	Beta float64
+	// Multiples is the per-round surge intensity (regional demand as a
+	// multiple of local capacity): the timeline the loop walks through.
+	Multiples []float64
+	// Interval is the simulated time between rounds (one load-monitor
+	// tick per round).
+	Interval time.Duration
+	// PingTargets bounds the mapping system's measured endpoint set.
+	PingTargets int
+}
+
+// DefaultClosedLoopConfig is a surge-and-recede timeline: quiet, ramp to
+// 4x local capacity, recede, then enough quiet rounds for the smoothed
+// signal to drain and the map to reconverge.
+func DefaultClosedLoopConfig() ClosedLoopConfig {
+	return ClosedLoopConfig{
+		Country:     "DE",
+		Beta:        2,
+		Multiples:   []float64{0, 1, 2, 4, 4, 2, 1, 0.25, 0, 0, 0, 0},
+		Interval:    10 * time.Second,
+		PingTargets: 800,
+	}
+}
+
+func (c ClosedLoopConfig) withDefaults() ClosedLoopConfig {
+	d := DefaultClosedLoopConfig()
+	if c.Country == "" {
+		c.Country = d.Country
+	}
+	if c.Beta == 0 {
+		c.Beta = d.Beta
+	}
+	if len(c.Multiples) == 0 {
+		c.Multiples = d.Multiples
+	}
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.PingTargets <= 0 {
+		c.PingTargets = d.PingTargets
+	}
+	return c
+}
+
+// ClosedLoopRow is one round of the closed-loop drill.
+type ClosedLoopRow struct {
+	Round        int
+	LoadMultiple float64
+	// Epoch is the snapshot the round's queries were answered from.
+	Epoch uint64
+	// SpillFraction is the demand share served outside the surging country.
+	SpillFraction float64
+	// MeanDistance and P95Distance are demand-weighted client-to-server
+	// miles.
+	MeanDistance float64
+	P95Distance  float64
+	// RemapFraction is the fraction of surge blocks whose assigned
+	// deployment changed since the previous round.
+	RemapFraction float64
+	// MaxUtil is the highest deployment utilization after the round's
+	// demand landed.
+	MaxUtil float64
+	// OverloadShare is the fraction of the round's demand sitting above
+	// deployment capacity — demand that would be served degraded. The
+	// global balancer only places demand over capacity when every
+	// candidate is saturated, so this measures how often the published
+	// map left a block no unsaturated choice.
+	OverloadShare float64
+	// Overloaded is the monitor's overloaded-deployment count after the
+	// round's tick.
+	Overloaded int
+}
+
+// ClosedLoopResult is the drill's outcome plus its control-loop health
+// counters.
+type ClosedLoopResult struct {
+	Rows []ClosedLoopRow
+	// Notifies / Damped / WindowViolations are the monitor's counters:
+	// how often the loop republished, how many crossings the damping
+	// interval absorbed, and whether any notification violated the
+	// damping window (must be 0).
+	Notifies         uint64
+	Damped           uint64
+	WindowViolations uint64
+	// MaxFlips is the worst per-deployment overload state-transition
+	// count — the oscillation measure. A clean surge-and-recede pass is
+	// at most 2 (one enter, one exit).
+	MaxFlips uint64
+	// TotalRemaps counts block assignment changes summed over all rounds;
+	// a stable loop re-maps each block a bounded number of times, not
+	// once per round.
+	TotalRemaps int
+	// Reconverged reports whether the final round's assignments are
+	// identical to the quiet first round's.
+	Reconverged bool
+}
+
+// ClosedLoopFlashCrowd runs the regional flash crowd with the feedback
+// loop closed: each round assigns the surge demand through the published
+// map, the load monitor smooths the resulting utilization and republishes
+// on threshold crossings, and the next round maps through the shifted
+// tables. The paper's mapping system reacts to "liveness, capacity, and
+// other real-time information" — this drill checks the reaction is
+// proportionate: demand spills while the surge lasts, the map returns to
+// proximity when it recedes, and neither transition oscillates.
+func ClosedLoopFlashCrowd(lab *Lab, cfg ClosedLoopConfig) (*ClosedLoopResult, *Report, error) {
+	cfg = cfg.withDefaults()
+	var target *world.Country
+	for _, c := range lab.World.Countries {
+		if c.Code() == cfg.Country {
+			target = c
+		}
+	}
+	if target == nil {
+		return nil, nil, fmt.Errorf("experiments: unknown country %q", cfg.Country)
+	}
+	var localCap, regionDemand float64
+	for _, d := range lab.Platform.Deployments {
+		if d.Country == cfg.Country {
+			localCap += d.Capacity()
+		}
+	}
+	for _, b := range target.Blocks {
+		regionDemand += b.Demand
+	}
+	if localCap == 0 {
+		return nil, nil, fmt.Errorf("experiments: no deployments in %q", cfg.Country)
+	}
+
+	lab.Platform.ResetLoad()
+	defer lab.Platform.ResetLoad()
+	sys := mapping.NewSystem(lab.World, lab.Platform, lab.Net, mapping.Config{
+		Policy: mapping.EndUser, PingTargets: cfg.PingTargets, BalanceFactor: cfg.Beta,
+	})
+	mm := mapmaker.New(sys, mapmaker.Config{})
+	// EWMA at half the round interval keeps the smoothed signal responsive
+	// (a sustained surge crosses within a round) while still draining to
+	// zero within the quiet tail.
+	lm := mapmaker.NewLoadMonitor(mm, mapmaker.LoadSignalConfig{
+		EWMA:         cfg.Interval / 2,
+		MinRepublish: cfg.Interval / 2,
+		MaxSignalAge: time.Hour,
+	})
+	now := loadLoopT0
+	lm.SetClock(func() time.Time { return now })
+	sys.SetUtilizationSource(lm)
+
+	res := &ClosedLoopResult{}
+	rep := &Report{
+		ID: "loadloop",
+		Caption: fmt.Sprintf("Closed-loop flash crowd in %s (beta=%g): surge, spill, recede, reconverge",
+			cfg.Country, cfg.Beta),
+		Columns: []string{"round", "load-multiple", "epoch", "spill-pct", "mean-dist-mi", "remap-pct", "max-util", "overloaded"},
+	}
+
+	var first, prev map[uint64]uint64 // block endpoint ID -> deployment ID
+	for r, mult := range cfg.Multiples {
+		lab.Platform.ResetLoad()
+		// Model the standalone refresh cadence: one periodic rebuild per
+		// round, plus whatever ReasonLoad crossings the monitor queued.
+		mm.Notify(mapmaker.ReasonPeriodic)
+		sn := mm.Sync()
+
+		scale := mult * localCap / regionDemand
+		var dist stats.Dataset
+		spilled, total := 0.0, 0.0
+		cur := make(map[uint64]uint64, len(target.Blocks))
+		remapped := 0
+		for _, b := range target.Blocks {
+			resp, err := sys.MapAt(sn, mapping.Request{
+				Domain: "viral.net", LDNS: b.LDNS.Addr, ClientSubnet: b.Prefix,
+				Demand: b.Demand * scale,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			id := b.Endpoint().ID
+			cur[id] = resp.Deployment.ID
+			if prev != nil && prev[id] != resp.Deployment.ID {
+				remapped++
+			}
+			total += b.Demand
+			if resp.Deployment.Country != cfg.Country {
+				spilled += b.Demand
+			}
+			dist.Add(geo.Distance(b.Loc, resp.Deployment.Loc), b.Demand)
+		}
+		maxUtil, overflow, landed := 0.0, 0.0, 0.0
+		for _, d := range lab.Platform.Deployments {
+			if u := d.Utilisation(); u > maxUtil {
+				maxUtil = u
+			}
+			landed += d.Load()
+			if over := d.Load() - d.Capacity(); over > 0 {
+				overflow += over
+			}
+		}
+		// Close the loop: the monitor observes this round's utilization at
+		// the round boundary and republishes on smoothed crossings.
+		now = now.Add(cfg.Interval)
+		lm.Tick(lab.Platform, now)
+
+		row1 := ClosedLoopRow{
+			Round: r, LoadMultiple: mult, Epoch: sn.Epoch(),
+			SpillFraction: spilled / total,
+			MeanDistance:  dist.Mean(),
+			P95Distance:   dist.Percentile(95),
+			MaxUtil:       maxUtil,
+			Overloaded:    lm.Overloaded(),
+		}
+		if landed > 0 {
+			row1.OverloadShare = overflow / landed
+		}
+		if prev != nil {
+			row1.RemapFraction = float64(remapped) / float64(len(target.Blocks))
+			res.TotalRemaps += remapped
+		}
+		res.Rows = append(res.Rows, row1)
+		rep.Rows = append(rep.Rows, row(r, mult, fmt.Sprint(row1.Epoch), 100*row1.SpillFraction,
+			row1.MeanDistance, 100*row1.RemapFraction, fmt.Sprintf("%.2f", maxUtil), row1.Overloaded))
+		if first == nil {
+			first = cur
+		}
+		prev = cur
+	}
+
+	res.Notifies = lm.Notifies()
+	res.Damped = lm.Damped()
+	res.WindowViolations = lm.WindowViolations()
+	for _, d := range lab.Platform.Deployments {
+		if f := lm.Flips(d.ID); f > res.MaxFlips {
+			res.MaxFlips = f
+		}
+	}
+	res.Reconverged = true
+	for id, dep := range first {
+		if prev[id] != dep {
+			res.Reconverged = false
+			break
+		}
+	}
+	return res, rep, nil
+}
+
+// BrownoutRow is one balance-factor setting of the brownout experiment.
+type BrownoutRow struct {
+	Beta float64
+	// BaselineTargetUtil is the browned-out deployment's utilization
+	// while still healthy (identical across rows by construction).
+	BaselineTargetUtil float64
+	// PeakTargetUtil is its worst utilization across the brownout rounds.
+	PeakTargetUtil float64
+	// FinalTargetUtil is its utilization once the loop settled, averaged
+	// over the last two rounds: a closed loop facing demand that exceeds
+	// remaining capacity has no stable fixed point (a successful shed
+	// drains the very signal that caused it), so the steady state is a
+	// small limit cycle and one round is a biased sample of it.
+	FinalTargetUtil float64
+	// ShedFraction is how much of its baseline demand the final round
+	// moved elsewhere. The global balancer's hard capacity spill pins a
+	// saturated deployment at exactly its capacity regardless of policy,
+	// so this converges to the same value for every beta.
+	ShedFraction float64
+	// MapShedFraction is how much of the baseline demand whose rank-table
+	// head was the target deployment the *published map* moved off it by
+	// the final round. At beta=0 the tables never change (the head stays
+	// pinned on the browned-out deployment and every shed request pays a
+	// per-query rescue spill); with the loop closed the map itself
+	// redirects, which is what keeps DNS answers cacheable and consistent.
+	MapShedFraction float64
+	// MeanDistance is the final round's demand-weighted mapping distance.
+	MeanDistance float64
+}
+
+// brownoutCapacityFactor is the fractional capacity surviving the
+// brownout (a partial failure: cooling, power capping, or a rack down —
+// the deployment stays up at reduced capacity). Half capacity at a 0.6
+// healthy utilization leaves the deployment offered 1.2x its remaining
+// capacity: deep enough to saturate it, shallow enough that a map-level
+// shed can bring it back under — the regime where closed-loop feedback
+// and per-query rescue spill behave observably differently.
+const brownoutCapacityFactor = 0.5
+
+// BrownoutZipf dims the platform's hottest deployment to half capacity
+// under Zipf-distributed content demand and compares how the mapping
+// plane absorbs it across balance factors. At beta=0 only the hard
+// capacity spill in the global load balancer reacts — the deployment
+// saturates and sheds at the margin. With the feedback loop on, the
+// published map itself moves demand off the browned-out deployment
+// before saturation, at a bounded distance cost.
+func BrownoutZipf(lab *Lab, betas []float64) ([]BrownoutRow, *Report, error) {
+	if len(betas) == 0 {
+		betas = []float64{0, 2}
+	}
+	// The workload: every block's demand split over a Zipf catalogue, so
+	// popular domains concentrate on few servers per deployment through
+	// consistent hashing, as real caches want.
+	cat := demand.MustNewCatalogue(12, 1.1, 9)
+
+	rows := make([]BrownoutRow, 0, len(betas))
+	rep := &Report{
+		ID:      "brownout",
+		Caption: fmt.Sprintf("Deployment brownout to %d%% capacity under Zipf demand, by balance factor", int(100*brownoutCapacityFactor)),
+		Columns: []string{"beta", "baseline-util", "peak-util", "final-util", "shed-pct", "map-shed-pct", "mean-dist-mi"},
+	}
+	for _, beta := range betas {
+		row1, err := brownoutRun(lab, cat, beta)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row1)
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("%g", beta),
+			fmt.Sprintf("%.2f", row1.BaselineTargetUtil), fmt.Sprintf("%.2f", row1.PeakTargetUtil),
+			fmt.Sprintf("%.2f", row1.FinalTargetUtil), 100*row1.ShedFraction,
+			100*row1.MapShedFraction, row1.MeanDistance))
+	}
+	return rows, rep, nil
+}
+
+// brownoutRun is one balance-factor setting: a healthy calibration round,
+// then brownout rounds with the loop closed.
+func brownoutRun(lab *Lab, cat *demand.Catalogue, beta float64) (BrownoutRow, error) {
+	const rounds = 7
+	interval := 10 * time.Second
+
+	lab.Platform.ResetLoad()
+	defer lab.Platform.ResetLoad()
+	sys := mapping.NewSystem(lab.World, lab.Platform, lab.Net, mapping.Config{
+		Policy: mapping.EndUser, PingTargets: 800, BalanceFactor: beta,
+	})
+	mm := mapmaker.New(sys, mapmaker.Config{})
+	var lm *mapmaker.LoadMonitor
+	now := loadLoopT0
+	if beta > 0 {
+		// EWMA at the full round interval damps the loop: a penalty
+		// overshoot (the map shedding everything at once) decays over
+		// several rounds instead of whipsawing the next one.
+		lm = mapmaker.NewLoadMonitor(mm, mapmaker.LoadSignalConfig{
+			EWMA: interval, MinRepublish: interval / 2, MaxSignalAge: time.Hour,
+		})
+		lm.SetClock(func() time.Time { return now })
+		sys.SetUtilizationSource(lm)
+	}
+
+	// Calibration: map the workload once at unit scale to find the
+	// most-utilised deployment, then choose the demand scale that puts it
+	// at 60% utilization while healthy. Calibrating on utilization (not
+	// raw demand) caps the whole platform at 60%, so the brownout is the
+	// only overload in the system — warm enough that losing half the
+	// target's capacity saturates it, cool enough that nothing else trips
+	// the loop.
+	demandOf, _, _, err := brownoutAssign(lab, sys, mm, cat, 1)
+	if err != nil {
+		return BrownoutRow{}, err
+	}
+	var target *cdn.Deployment
+	var peak float64
+	for _, d := range lab.Platform.Deployments {
+		if u := demandOf[d.ID] / d.Capacity(); u > peak {
+			target, peak = d, u
+		}
+	}
+	scale := 0.6 / peak
+
+	res := BrownoutRow{Beta: beta}
+	defer target.SetCapacityFactor(1)
+	var baselineTargetDemand, baselineHeadDemand float64
+	const settled = 2 // rounds averaged: one full period of the limit cycle
+	for r := 0; r < rounds; r++ {
+		lab.Platform.ResetLoad()
+		if r == 1 {
+			target.SetCapacityFactor(brownoutCapacityFactor)
+		}
+		demandOf, headOf, dist, err := brownoutAssign(lab, sys, mm, cat, scale)
+		if err != nil {
+			return BrownoutRow{}, err
+		}
+		util := demandOf[target.ID] / target.Capacity()
+		switch {
+		case r == 0:
+			res.BaselineTargetUtil = util
+			baselineTargetDemand = demandOf[target.ID]
+			baselineHeadDemand = headOf[target.ID]
+		default:
+			if util > res.PeakTargetUtil {
+				res.PeakTargetUtil = util
+			}
+		}
+		if r >= rounds-settled {
+			res.FinalTargetUtil += util / settled
+			res.ShedFraction += (1 - demandOf[target.ID]/baselineTargetDemand) / settled
+			if baselineHeadDemand > 0 {
+				res.MapShedFraction += (1 - headOf[target.ID]/baselineHeadDemand) / settled
+			}
+			res.MeanDistance += dist.Mean() / settled
+		}
+		now = now.Add(interval)
+		if lm != nil {
+			lm.Tick(lab.Platform, now)
+		}
+	}
+	return res, nil
+}
+
+// brownoutAssign maps every (block, domain) demand share through the
+// current snapshot, returning demand by serving deployment (after the
+// balancer's per-query spill), demand by the block's published rank-table
+// head (before it — what the map alone would do), and the distance
+// dataset. One periodic rebuild precedes the pass, as the refresh cadence
+// would in a live process.
+func brownoutAssign(lab *Lab, sys *mapping.System, mm *mapmaker.MapMaker, cat *demand.Catalogue, scale float64) (demandOf, headOf map[uint64]float64, _ *stats.Dataset, _ error) {
+	mm.Notify(mapmaker.ReasonPeriodic)
+	sn := mm.Sync()
+	demandOf = make(map[uint64]float64, len(lab.Platform.Deployments))
+	headOf = make(map[uint64]float64, len(lab.Platform.Deployments))
+	var dist stats.Dataset
+	for _, b := range lab.World.Blocks {
+		if head, _ := sn.Best(b.Endpoint().ID, true); head != nil {
+			headOf[head.ID] += b.Demand * scale
+		}
+		for _, dom := range cat.Domains {
+			d := b.Demand * dom.Popularity * scale
+			resp, err := sys.MapAt(sn, mapping.Request{
+				Domain: dom.Name, LDNS: b.LDNS.Addr, ClientSubnet: b.Prefix, Demand: d,
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			demandOf[resp.Deployment.ID] += d
+			dist.Add(geo.Distance(b.Loc, resp.Deployment.Loc), d)
+		}
+	}
+	return demandOf, headOf, &dist, nil
+}
+
+// FrontierRow is one balance-factor point of the cost-vs-balance
+// frontier. Every metric is averaged over the sweep's final rounds: the
+// closed loop hunts around its fixed point (a republish sheds load, the
+// overload exits, the next periodic rebuild pulls demand back), so a
+// single round is a noisy sample of the steady state.
+type FrontierRow struct {
+	Beta          float64
+	MeanDistance  float64
+	P95Distance   float64
+	MaxUtil       float64
+	SpillFraction float64
+	// OverloadShare is the steady-state fraction of demand the balancer
+	// had to place above capacity — the degradation beta buys down.
+	OverloadShare float64
+}
+
+// BalanceFrontier sweeps the balance factor under a sustained 2x regional
+// overload and traces the frontier the knob buys: proximity cost (mean
+// and tail mapping distance) against load balance (worst deployment
+// utilization). It is the load-aware companion to Fig 25's
+// deployment-count sweep — where Fig 25 trades latency against platform
+// size, this trades latency against headroom on a fixed platform.
+func BalanceFrontier(lab *Lab, betas []float64, country string) ([]FrontierRow, *Report, error) {
+	if len(betas) == 0 {
+		betas = []float64{0, 0.5, 1, 2, 4, 8}
+	}
+	if country == "" {
+		country = "DE"
+	}
+	rows := make([]FrontierRow, 0, len(betas))
+	rep := &Report{
+		ID:      "frontier",
+		Caption: fmt.Sprintf("Balance-factor frontier: proximity cost vs load balance under a 2x surge in %s", country),
+		Columns: []string{"beta", "mean-dist-mi", "p95-dist-mi", "max-util", "spill-pct", "overload-pct"},
+	}
+	const settled = 3 // rounds averaged at the end of the sweep
+	for _, beta := range betas {
+		cfg := ClosedLoopConfig{
+			Country: country,
+			Beta:    beta,
+			// Enough sustained rounds for the loop to reach its fixed point
+			// before the rounds the row averages over.
+			Multiples: []float64{0, 2, 2, 2, 2, 2, 2, 2},
+		}
+		if beta == 0 {
+			// withDefaults would turn 0 into the default beta; run the
+			// proximity-only baseline through the same loop explicitly.
+			cfg.Beta = -1
+		}
+		res, _, err := ClosedLoopFlashCrowd(lab, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		row1 := FrontierRow{Beta: beta}
+		for _, r := range res.Rows[len(res.Rows)-settled:] {
+			row1.MeanDistance += r.MeanDistance / settled
+			row1.P95Distance += r.P95Distance / settled
+			row1.MaxUtil += r.MaxUtil / settled
+			row1.SpillFraction += r.SpillFraction / settled
+			row1.OverloadShare += r.OverloadShare / settled
+		}
+		rows = append(rows, row1)
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("%g", beta), row1.MeanDistance,
+			row1.P95Distance, fmt.Sprintf("%.2f", row1.MaxUtil), 100*row1.SpillFraction,
+			100*row1.OverloadShare))
+	}
+	return rows, rep, nil
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import "testing"
+
+// TestClosedLoopFlashCrowd is the control-loop health contract: the map
+// must spill while the surge lasts, return to proximity when it recedes,
+// and do both without oscillating or violating the damping window.
+func TestClosedLoopFlashCrowd(t *testing.T) {
+	cfg := DefaultClosedLoopConfig()
+	res, rep, err := ClosedLoopFlashCrowd(lab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Multiples) {
+		t.Fatalf("rows = %d, want one per multiple (%d)", len(res.Rows), len(cfg.Multiples))
+	}
+	if len(rep.Rows) != len(res.Rows) {
+		t.Fatalf("report rows = %d, want %d", len(rep.Rows), len(res.Rows))
+	}
+
+	// The loop actually closed: the monitor republished at least once and
+	// never broke its own damping contract.
+	if res.Notifies == 0 {
+		t.Fatal("monitor never notified — the feedback loop did not engage")
+	}
+	if res.WindowViolations != 0 {
+		t.Fatalf("window violations = %d, want 0", res.WindowViolations)
+	}
+
+	// No oscillation: a surge-and-recede pass gives each deployment a
+	// bounded number of overload state transitions, not one per round.
+	if res.MaxFlips > 8 {
+		t.Fatalf("max overload flips = %d, want <= 8 (oscillation)", res.MaxFlips)
+	}
+
+	// Demand spills at the peak and returns home afterwards.
+	peak := 0.0
+	for _, r := range res.Rows {
+		if r.SpillFraction > peak {
+			peak = r.SpillFraction
+		}
+	}
+	if peak < 0.2 {
+		t.Fatalf("peak spill fraction = %.3f, want >= 0.2 during a 4x surge", peak)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.SpillFraction != 0 {
+		t.Fatalf("final spill fraction = %.3f, want 0 after the surge recedes", last.SpillFraction)
+	}
+	if last.RemapFraction != 0 {
+		t.Fatalf("final remap fraction = %.3f, want 0 once reconverged", last.RemapFraction)
+	}
+	if !res.Reconverged {
+		t.Fatal("assignments did not reconverge to the quiet baseline")
+	}
+
+	// Remaps are bounded: each surge block moves a handful of times over
+	// the whole timeline, not once per round per block.
+	var surgeBlocks int
+	for _, c := range lab.World.Countries {
+		if c.Code() == cfg.Country {
+			surgeBlocks = len(c.Blocks)
+		}
+	}
+	if surgeBlocks == 0 {
+		t.Fatalf("no blocks in %s", cfg.Country)
+	}
+	if max := 6 * surgeBlocks; res.TotalRemaps > max {
+		t.Fatalf("total remaps = %d over %d blocks, want <= %d", res.TotalRemaps, surgeBlocks, max)
+	}
+}
+
+// TestBrownoutZipf checks the experiment separates the two shedding
+// mechanisms: at beta=0 every shed request is a per-query rescue spill
+// and the published map never moves (the deployment stays pinned at
+// capacity); with the loop closed the map itself sheds enough head
+// demand to bring the deployment back under capacity, at a bounded
+// distance cost.
+func TestBrownoutZipf(t *testing.T) {
+	rows, rep, err := BrownoutZipf(lab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d (report %d), want 2", len(rows), len(rep.Rows))
+	}
+	base, fb := rows[0], rows[1]
+	if base.Beta != 0 || fb.Beta <= 0 {
+		t.Fatalf("betas = %g, %g; want 0 then >0", base.Beta, fb.Beta)
+	}
+
+	// Identical calibration: both runs start the target at the same
+	// healthy utilization.
+	if d := base.BaselineTargetUtil - fb.BaselineTargetUtil; d > 0.01 || d < -0.01 {
+		t.Fatalf("baseline utils diverge: %.3f vs %.3f", base.BaselineTargetUtil, fb.BaselineTargetUtil)
+	}
+
+	// Proximity-only: the map never moves, so all shedding is rescue
+	// spill and the target stays pinned at exactly its capacity.
+	if base.MapShedFraction > 0.01 || base.MapShedFraction < -0.01 {
+		t.Fatalf("beta=0 map shed = %.3f, want 0 (tables must not change)", base.MapShedFraction)
+	}
+	if base.FinalTargetUtil < 0.99 {
+		t.Fatalf("beta=0 final util = %.3f, want pinned at 1.0", base.FinalTargetUtil)
+	}
+
+	// Closed loop: the published map sheds a real share of the head
+	// demand and the deployment comes back under capacity.
+	if fb.MapShedFraction < 0.15 {
+		t.Fatalf("beta=%g map shed = %.3f, want >= 0.15", fb.Beta, fb.MapShedFraction)
+	}
+	if fb.FinalTargetUtil >= 0.95 {
+		t.Fatalf("beta=%g final util = %.3f, want < 0.95 (map shed should unpin the target)",
+			fb.Beta, fb.FinalTargetUtil)
+	}
+
+	// The distance price for shedding is bounded: the workload is global
+	// and only one deployment's demand moves.
+	if fb.MeanDistance > 1.25*base.MeanDistance {
+		t.Fatalf("beta=%g mean distance %.1f vs %.1f at beta=0: shed cost too high",
+			fb.Beta, fb.MeanDistance, base.MeanDistance)
+	}
+}
+
+// TestBalanceFrontier checks the knob trades in the advertised direction:
+// more balance factor buys less demand stranded above capacity, paid for
+// in mapping distance and regional spill.
+func TestBalanceFrontier(t *testing.T) {
+	betas := []float64{0, 2, 8}
+	rows, rep, err := BalanceFrontier(lab, betas, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(betas) || len(rep.Rows) != len(betas) {
+		t.Fatalf("rows = %d (report %d), want %d", len(rows), len(rep.Rows), len(betas))
+	}
+	base := rows[0]
+	for _, r := range rows[1:] {
+		if r.OverloadShare >= base.OverloadShare {
+			t.Errorf("beta=%g overload share %.3f, want < beta=0's %.3f",
+				r.Beta, r.OverloadShare, base.OverloadShare)
+		}
+	}
+	high := rows[len(rows)-1]
+	if high.MeanDistance <= base.MeanDistance {
+		t.Errorf("beta=%g mean distance %.1f, want > beta=0's %.1f (balance costs proximity)",
+			high.Beta, high.MeanDistance, base.MeanDistance)
+	}
+	if high.SpillFraction <= base.SpillFraction {
+		t.Errorf("beta=%g spill %.3f, want > beta=0's %.3f",
+			high.Beta, high.SpillFraction, base.SpillFraction)
+	}
+}

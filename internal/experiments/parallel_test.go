@@ -42,6 +42,21 @@ func sweepReports(t *testing.T) string {
 	add(rep)
 	_, rep = TrafficClasses(l)
 	add(rep)
+	_, rep, err := ClosedLoopFlashCrowd(l, ClosedLoopConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(rep)
+	_, rep, err = BrownoutZipf(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(rep)
+	_, rep, err = BalanceFrontier(l, []float64{0, 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(rep)
 	return sb.String()
 }
 

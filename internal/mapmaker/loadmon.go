@@ -1,0 +1,315 @@
+package mapmaker
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eum/internal/cdn"
+	"eum/internal/telemetry"
+)
+
+// LoadSignalConfig parameterises the load-feedback loop between the
+// platform's load gauges and the map (see LoadMonitor).
+type LoadSignalConfig struct {
+	// EnterUtil is the smoothed utilization at which a deployment enters
+	// the overloaded state (and the map is republished). Default 0.8.
+	EnterUtil float64
+	// Hysteresis is how far below EnterUtil the smoothed utilization must
+	// fall before the deployment exits the overloaded state: the exit
+	// threshold is EnterUtil - Hysteresis. A single threshold would flip
+	// state on every wobble around it — each flip republishing the map,
+	// shifting demand, and moving the gauge back across the threshold (the
+	// thundering-herd flip-flop). Default 0.15.
+	Hysteresis float64
+	// EWMA is the smoothing time constant for utilization gauges. Raw load
+	// moves with every DNS answer; the map must react to sustained
+	// overload, not to instantaneous spikes. Default 30s.
+	EWMA time.Duration
+	// MaxSignalAge is how stale a deployment's last load observation may
+	// be before the monitor refuses to report it (the builder then scores
+	// that deployment proximity-only). A dead telemetry feed must degrade
+	// the loop to plain proximity mapping, never freeze demand on whatever
+	// the last reading happened to be. Default 3×EWMA.
+	MaxSignalAge time.Duration
+	// MinRepublish is the damping interval between ReasonLoad
+	// notifications: however many thresholds are crossed, the monitor
+	// wakes the map maker at most once per interval (later crossings are
+	// pended and flushed on a subsequent Tick). Default 5s.
+	MinRepublish time.Duration
+}
+
+// Defaults for zero-valued LoadSignalConfig fields. Exported so config
+// validation can cross-check partially-specified knob sets against the
+// values that will actually take effect.
+const (
+	DefaultLoadEnterUtil    = 0.8
+	DefaultLoadHysteresis   = 0.15
+	DefaultLoadEWMA         = 30 * time.Second
+	DefaultLoadMinRepublish = 5 * time.Second
+)
+
+func (c LoadSignalConfig) withDefaults() LoadSignalConfig {
+	if c.EnterUtil <= 0 {
+		c.EnterUtil = DefaultLoadEnterUtil
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = DefaultLoadHysteresis
+	}
+	if c.EWMA <= 0 {
+		c.EWMA = DefaultLoadEWMA
+	}
+	if c.MaxSignalAge <= 0 {
+		c.MaxSignalAge = 3 * c.EWMA
+	}
+	if c.MinRepublish <= 0 {
+		c.MinRepublish = DefaultLoadMinRepublish
+	}
+	return c
+}
+
+// utilCeiling caps raw utilization readings before smoothing, so one
+// zero-capacity deployment (+Inf utilization) cannot poison its EWMA
+// forever.
+const utilCeiling = 10.0
+
+// loadState is one deployment's smoothed signal.
+type loadState struct {
+	ewma       float64
+	last       time.Time
+	init       bool
+	overloaded bool
+	flips      uint64
+}
+
+// LoadMonitor closes the loop between the platform's load gauges and the
+// published map: it EWMA-smooths per-deployment utilization, detects
+// overload threshold crossings with a hysteresis band, and feeds
+// ReasonLoad into the MapMaker's change feed — rate-limited by a
+// min-republish damping interval so a flash crowd shifting on and off a
+// deployment cannot oscillate the map. It is also the builder's
+// UtilizationSource: builds read the smoothed (never the instantaneous)
+// signal, and observations older than MaxSignalAge are withheld so a dead
+// feed degrades scoring to proximity-only.
+//
+// Drive it deterministically with Observe/Tick and an explicit now
+// (simulations, tests), or from a goroutine sampling the platform on a
+// cadence (cmd/eumdns). All methods are safe for concurrent use.
+type LoadMonitor struct {
+	mm  *MapMaker // may be nil: monitoring without a change feed
+	cfg LoadSignalConfig
+	now func() time.Time // freshness clock for Utilization; default time.Now
+
+	mu         sync.Mutex
+	states     map[uint64]*loadState
+	lastNotify time.Time
+	pending    bool
+
+	notifies         atomic.Uint64
+	damped           atomic.Uint64
+	crossings        atomic.Uint64
+	staleSignals     atomic.Uint64
+	windowViolations atomic.Uint64
+}
+
+// NewLoadMonitor creates a load monitor feeding mm's change feed (mm may
+// be nil for observe-only use). Zero-valued config fields take defaults.
+func NewLoadMonitor(mm *MapMaker, cfg LoadSignalConfig) *LoadMonitor {
+	return &LoadMonitor{
+		mm:     mm,
+		cfg:    cfg.withDefaults(),
+		now:    time.Now,
+		states: map[uint64]*loadState{},
+	}
+}
+
+// Config returns the monitor's effective (defaulted) configuration.
+func (lm *LoadMonitor) Config() LoadSignalConfig { return lm.cfg }
+
+// SetClock overrides the freshness clock Utilization compares observation
+// ages against — deterministic simulations drive it alongside their
+// simulated time. Call before concurrent use.
+func (lm *LoadMonitor) SetClock(now func() time.Time) { lm.now = now }
+
+// Observe feeds one utilization reading for a deployment at the given
+// time, updating its EWMA and firing the change feed on threshold
+// crossings.
+func (lm *LoadMonitor) Observe(d *cdn.Deployment, util float64, now time.Time) {
+	if util < 0 || math.IsNaN(util) {
+		util = 0
+	}
+	if util > utilCeiling {
+		util = utilCeiling
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.states[d.ID]
+	if st == nil {
+		st = &loadState{}
+		lm.states[d.ID] = st
+	}
+	if !st.init {
+		st.ewma, st.init = util, true
+	} else if dt := now.Sub(st.last); dt > 0 {
+		alpha := 1 - math.Exp(-float64(dt)/float64(lm.cfg.EWMA))
+		st.ewma += alpha * (util - st.ewma)
+	}
+	if now.After(st.last) {
+		st.last = now
+	}
+	switch {
+	case !st.overloaded && st.ewma >= lm.cfg.EnterUtil:
+		st.overloaded = true
+		st.flips++
+		lm.crossings.Add(1)
+		lm.requestNotifyLocked(now)
+	case st.overloaded && st.ewma <= lm.cfg.EnterUtil-lm.cfg.Hysteresis:
+		st.overloaded = false
+		st.flips++
+		lm.crossings.Add(1)
+		lm.requestNotifyLocked(now)
+	}
+}
+
+// Tick samples every deployment's utilization gauge at the given time and
+// flushes any damped notification whose interval has elapsed. This is the
+// poll-driven way to run the monitor (the push-driven way is calling
+// Observe from wherever load reports arrive).
+func (lm *LoadMonitor) Tick(p *cdn.Platform, now time.Time) {
+	for _, d := range p.Deployments {
+		lm.Observe(d, d.Utilisation(), now)
+	}
+	lm.mu.Lock()
+	if lm.pending && now.Sub(lm.lastNotify) >= lm.cfg.MinRepublish {
+		lm.pending = false
+		lm.sendNotifyLocked(now)
+	}
+	lm.mu.Unlock()
+}
+
+// requestNotifyLocked fires ReasonLoad, or pends it when inside the
+// damping window (flushed by a later Tick).
+func (lm *LoadMonitor) requestNotifyLocked(now time.Time) {
+	if lm.mm == nil {
+		return
+	}
+	if !lm.lastNotify.IsZero() && now.Sub(lm.lastNotify) < lm.cfg.MinRepublish {
+		lm.pending = true
+		lm.damped.Add(1)
+		return
+	}
+	lm.sendNotifyLocked(now)
+}
+
+func (lm *LoadMonitor) sendNotifyLocked(now time.Time) {
+	// Tripwire, not control flow: every send must sit outside the damping
+	// window of the previous one.
+	if !lm.lastNotify.IsZero() && now.Sub(lm.lastNotify) < lm.cfg.MinRepublish {
+		lm.windowViolations.Add(1)
+	}
+	lm.lastNotify = now
+	lm.notifies.Add(1)
+	lm.mm.Notify(ReasonLoad)
+}
+
+// Utilization implements mapping.UtilizationSource: the smoothed signal
+// for d, with ok=false when the deployment was never observed or its last
+// observation is older than MaxSignalAge (counted on the stale-signal
+// tripwire; the builder scores such deployments proximity-only).
+func (lm *LoadMonitor) Utilization(d *cdn.Deployment) (float64, bool) {
+	lm.mu.Lock()
+	st := lm.states[d.ID]
+	var util float64
+	ok := false
+	if st != nil && st.init {
+		util, ok = st.ewma, true
+		if lm.now().Sub(st.last) > lm.cfg.MaxSignalAge {
+			util, ok = 0, false
+		}
+	}
+	lm.mu.Unlock()
+	if !ok {
+		lm.staleSignals.Add(1)
+	}
+	return util, ok
+}
+
+// Overloaded returns how many deployments are currently in the overloaded
+// state.
+func (lm *LoadMonitor) Overloaded() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	n := 0
+	for _, st := range lm.states {
+		if st.overloaded {
+			n++
+		}
+	}
+	return n
+}
+
+// Flips returns how many overload state transitions deployment id has
+// made — the oscillation measure chaos drills bound.
+func (lm *LoadMonitor) Flips(id uint64) uint64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if st := lm.states[id]; st != nil {
+		return st.flips
+	}
+	return 0
+}
+
+// Smoothed returns the current EWMA utilization for deployment id (0,
+// false when never observed).
+func (lm *LoadMonitor) Smoothed(id uint64) (float64, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if st := lm.states[id]; st != nil && st.init {
+		return st.ewma, true
+	}
+	return 0, false
+}
+
+// Notifies returns how many ReasonLoad notifications have been sent.
+func (lm *LoadMonitor) Notifies() uint64 { return lm.notifies.Load() }
+
+// Damped returns how many threshold crossings were absorbed into a
+// pending notification by the min-republish damping interval.
+func (lm *LoadMonitor) Damped() uint64 { return lm.damped.Load() }
+
+// Crossings returns the total overload threshold crossings (both
+// directions) across all deployments.
+func (lm *LoadMonitor) Crossings() uint64 { return lm.crossings.Load() }
+
+// StaleSignals returns the tripwire count of Utilization reads that found
+// no fresh observation.
+func (lm *LoadMonitor) StaleSignals() uint64 { return lm.staleSignals.Load() }
+
+// WindowViolations returns how many notifications were sent inside the
+// previous notification's damping window. Always 0 by construction; chaos
+// drills assert it stays that way.
+func (lm *LoadMonitor) WindowViolations() uint64 { return lm.windowViolations.Load() }
+
+// RegisterMetrics wires the monitor's counters into reg under the
+// mapmaker_load_ namespace.
+func (lm *LoadMonitor) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("mapmaker_load_notifies_total",
+		"ReasonLoad change-feed notifications sent.", lm.notifies.Load)
+	reg.Counter("mapmaker_load_damped_total",
+		"Load threshold crossings absorbed by the min-republish damping interval.",
+		lm.damped.Load)
+	reg.Counter("mapmaker_load_crossings_total",
+		"Overload threshold crossings (enter + exit) across deployments.",
+		lm.crossings.Load)
+	reg.Counter("mapmaker_load_stale_signals_total",
+		"Utilization reads served stale/missing (scored proximity-only).",
+		lm.staleSignals.Load)
+	reg.Counter("mapmaker_load_window_violations_total",
+		"Notifications sent inside the damping window (must stay 0).",
+		lm.windowViolations.Load)
+	reg.Gauge("mapmaker_load_overloaded_deployments",
+		"Deployments currently in the overloaded state.", func() float64 {
+			return float64(lm.Overloaded())
+		})
+}

@@ -65,29 +65,32 @@ func (lb *LoadBalancer) Prepare(p *cdn.Platform) {
 // PickDeployment walks candidates (ordered best-first) and returns the
 // first live deployment that can absorb demand more load. Deployments at
 // or over capacity are skipped unless every candidate is saturated, in
-// which case the best live candidate is returned (serving degraded beats
-// not serving).
+// which case the least-utilised live candidate is returned (serving
+// degraded beats not serving, and spreading the overload across the
+// candidate set beats piling it all on the nearest cluster). Utilisation
+// ties keep the best-scored candidate.
 func (lb *LoadBalancer) PickDeployment(candidates []Ranked, demand float64) (*cdn.Deployment, error) {
 	if lb.LoadPenalty > 0 {
 		if d := lb.pickLoadAware(candidates, demand); d != nil {
 			return d, nil
 		}
 	}
-	var firstLive *cdn.Deployment
+	var coolest *cdn.Deployment
+	coolestUtil := 0.0
 	for _, c := range candidates {
 		d := c.Deployment
 		if !d.Alive() {
 			continue
 		}
-		if firstLive == nil {
-			firstLive = d
-		}
 		if d.Load()+demand <= d.Capacity() {
 			return d, nil
 		}
+		if u := d.Utilisation(); coolest == nil || u < coolestUtil {
+			coolest, coolestUtil = d, u
+		}
 	}
-	if firstLive != nil {
-		return firstLive, nil
+	if coolest != nil {
+		return coolest, nil
 	}
 	return nil, fmt.Errorf("mapping: no live deployment among %d candidates", len(candidates))
 }

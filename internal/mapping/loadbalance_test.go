@@ -349,3 +349,92 @@ func TestLoadAwareFallsBackWhenAllSaturated(t *testing.T) {
 		t.Error("saturated fallback should still serve from the best live candidate")
 	}
 }
+
+// TestPickDeploymentAllSaturatedLeastUtilised pins the degraded-mode spill
+// rule: when every live candidate is at capacity, the pick goes to the
+// least-utilised one (spreading overload), with utilisation ties keeping
+// the best-scored candidate, dead candidates skipped, and any candidate
+// with headroom for the demand short-circuiting the whole question.
+func TestPickDeploymentAllSaturatedLeastUtilised(t *testing.T) {
+	lb := NewLoadBalancer()
+	// mk builds a 2-server deployment loaded to the given utilisation.
+	mk := func(id uint64, util float64) *cdn.Deployment {
+		d := testDeployment(30+id, 2)
+		for _, s := range d.Servers {
+			s.AddLoad(s.Capacity() * util)
+		}
+		return d
+	}
+	cases := []struct {
+		name   string
+		utils  []float64 // one candidate per entry, best score first
+		dead   int       // candidate index to kill (-1: none)
+		brown  int       // candidate index browned out to zero capacity (-1: none)
+		demand float64
+		want   int // expected candidate index
+	}{
+		{"least utilised wins", []float64{3, 1.5, 2}, -1, -1, 1, 1},
+		{"tie keeps best score", []float64{2, 2, 3}, -1, -1, 1, 0},
+		{"dead candidate skipped", []float64{3, 1.5, 2}, 1, -1, 1, 2},
+		{"zero-capacity loaded counts hottest", []float64{3, 1.1, 2}, -1, 1, 1, 2},
+		{"headroom short-circuits", []float64{3, 0.4, 2}, -1, -1, 1, 1},
+		{"demand counts against headroom", []float64{3, 0.8, 1.2}, -1, -1, 1, 1},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var cands []Ranked
+			for i, u := range tc.utils {
+				d := mk(uint64(ci*10+i), u)
+				if i == tc.dead {
+					for _, s := range d.Servers {
+						s.SetAlive(false)
+					}
+				}
+				if i == tc.brown {
+					d.SetCapacityFactor(0)
+				}
+				cands = append(cands, Ranked{Deployment: d, Score: float64(1 + i)})
+			}
+			got, err := lb.PickDeployment(cands, tc.demand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != cands[tc.want].Deployment {
+				gotIdx := -1
+				for i, c := range cands {
+					if c.Deployment == got {
+						gotIdx = i
+					}
+				}
+				t.Errorf("picked candidate %d (util %v), want %d (util %v)",
+					gotIdx, tc.utils[gotIdx], tc.want, tc.utils[tc.want])
+			}
+		})
+	}
+}
+
+// TestPickServersDemandAccounting pins where assigned demand lands: on the
+// primary (first) picked server only, once per decision.
+func TestPickServersDemandAccounting(t *testing.T) {
+	lb := NewLoadBalancer()
+	d := testDeployment(60, 6)
+	before := map[uint64]float64{}
+	for _, s := range d.Servers {
+		before[s.ID] = s.Load()
+	}
+	servers, err := lb.PickServers(d, "accounting.example.net", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := servers[0].Load() - before[servers[0].ID]; got != 2.5 {
+		t.Errorf("primary absorbed %v demand, want 2.5", got)
+	}
+	for _, s := range servers[1:] {
+		if s.Load() != before[s.ID] {
+			t.Errorf("secondary server %d load changed by %v", s.ID, s.Load()-before[s.ID])
+		}
+	}
+	if d.Load() != 2.5 {
+		t.Errorf("deployment load = %v, want 2.5", d.Load())
+	}
+}

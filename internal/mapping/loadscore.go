@@ -1,0 +1,165 @@
+package mapping
+
+import (
+	"math"
+	"sort"
+
+	"eum/internal/cdn"
+)
+
+// UtilizationSource supplies per-deployment utilization (load/capacity) to
+// the snapshot builder at build time. The canonical implementation is the
+// mapmaker's load monitor, which EWMA-smooths the raw load gauges; ok=false
+// means the signal for that deployment is stale or missing (e.g. a dead
+// telemetry feed), in which case the builder must NOT act on it and scores
+// that deployment proximity-only instead.
+type UtilizationSource interface {
+	Utilization(d *cdn.Deployment) (util float64, ok bool)
+}
+
+// Utilization quantization for the composite score. Build-time utilization
+// is rounded to 1/utilQuantum steps before it enters the score, so the
+// captured utilization vector only "changes" when some deployment's load
+// moved by a visible amount — sub-quantum drift keeps the warm-republish
+// path (shared arena, ~1µs) instead of forcing a full re-rank on every
+// periodic publish. utilMax caps the penalty so one wildly overloaded (or
+// zero-capacity, +Inf utilization) deployment stays finitely comparable.
+const (
+	utilQuantum = 64
+	utilMax     = 4.0
+)
+
+// quantizeUtil clamps a raw utilization reading into [0, utilMax] and
+// rounds it onto the build-time quantization grid.
+func quantizeUtil(u float64) float64 {
+	if u < 0 || math.IsNaN(u) {
+		return 0
+	}
+	if u > utilMax {
+		u = utilMax
+	}
+	return math.Round(u*utilQuantum) / utilQuantum
+}
+
+// SetUtilizationSource attaches the load-signal feed consulted on builds
+// with a positive balance factor. nil (the default) falls back to the
+// platform's raw load gauges. Takes effect on the next Build.
+func (b *SnapshotBuilder) SetUtilizationSource(src UtilizationSource) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loadSrc = src
+}
+
+// MarkLoadDirty records that the load signal crossed a republish threshold
+// (the MapMaker's ReasonLoad), forcing the next Build to re-capture
+// utilization and re-rank every table against it even if the quantized
+// vector happens to match the previous build's.
+func (b *SnapshotBuilder) MarkLoadDirty() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loadDirty = true
+}
+
+// BalanceFactor returns the builder's distance-vs-load balance knob.
+func (b *SnapshotBuilder) BalanceFactor() float64 { return b.balance }
+
+// LoadStats reports the load-scoring side of the builder's work: builds
+// that re-ranked every table because the utilization vector changed (as
+// opposed to full builds forced by measurements or layout), and the
+// tripwire count of stale/missing load signals served proximity-only.
+func (b *SnapshotBuilder) LoadStats() (loadRebuilds, staleSignals uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.loadRebuilds, b.staleLoadSignals
+}
+
+// captureUtilLocked reads one utilization value per deployment — the
+// builder's point-in-time load vector for this build. Capturing once keeps
+// the build a pure function of its inputs (the par fan-out over segments
+// must not observe moving gauges), and quantization (see utilQuantum)
+// keeps the vector stable across idle republishes. Stale signals read as 0
+// (proximity-only) and bump the tripwire counter. Returns nil when load
+// scoring is off (balance factor 0).
+func (b *SnapshotBuilder) captureUtilLocked() []float64 {
+	if b.balance <= 0 {
+		return nil
+	}
+	deps := b.scorer.Platform().Deployments
+	utils := make([]float64, len(deps))
+	for i, d := range deps {
+		var u float64
+		if b.loadSrc != nil {
+			v, ok := b.loadSrc.Utilization(d)
+			if !ok {
+				b.staleLoadSignals++
+				continue
+			}
+			u = v
+		} else {
+			u = d.Utilisation()
+		}
+		utils[i] = quantizeUtil(u)
+	}
+	return utils
+}
+
+// loadFactorsLocked turns the captured utilization vector into the
+// per-deployment score multiplier 1 + β·u², or nil when every deployment
+// is idle (every factor 1 — the adjusted table would be byte-identical to
+// the proximity table, so the sort is skipped entirely).
+func (b *SnapshotBuilder) loadFactorsLocked(utils []float64) map[*cdn.Deployment]float64 {
+	if utils == nil {
+		return nil
+	}
+	any := false
+	for _, u := range utils {
+		if u > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	deps := b.scorer.Platform().Deployments
+	f := make(map[*cdn.Deployment]float64, len(deps))
+	for i, d := range deps {
+		u := utils[i]
+		f[d] = 1 + b.balance*u*u
+	}
+	return f
+}
+
+// loadSegTable is segTable with the composite distance-vs-load order
+// applied: entries are reordered by Score·(1 + β·util²) — ping milliseconds
+// inflated for hot deployments, so candidate lists spill to next-nearest
+// deployments as utilization climbs. Stored scores stay the raw ping
+// milliseconds (distance truth does not change because a cluster is busy;
+// downstream consumers — CANS weighting, experiments, /mapz — read them as
+// latency). The sort is stable, so idle deployments (factor 1) keep the
+// exact proximity order and β>0 at zero load is byte-identical to β=0.
+func (b *SnapshotBuilder) loadSegTable(lay *partitionLayout, s int, factors map[*cdn.Deployment]float64) []Ranked {
+	t := b.segTable(lay, s)
+	if factors == nil {
+		return t
+	}
+	adj := make([]Ranked, len(t))
+	copy(adj, t)
+	sort.SliceStable(adj, func(i, j int) bool {
+		return adj[i].Score*factors[adj[i].Deployment] < adj[j].Score*factors[adj[j].Deployment]
+	})
+	return adj
+}
+
+// equalFloat64s reports element-wise equality (nil equals nil).
+func equalFloat64s(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

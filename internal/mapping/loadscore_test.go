@@ -1,0 +1,221 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"eum/internal/cdn"
+)
+
+// rankTablesEqual compares every block's and LDNS's rank table (and Best)
+// across two snapshots, entry by entry — deployment identity and exact
+// score bits.
+func rankTablesEqual(t *testing.T, a, b *Snapshot, wantEqual bool, what string) bool {
+	t.Helper()
+	equal := true
+	check := func(id uint64, client bool) {
+		ra, rb := a.RankOf(id, client), b.RankOf(id, client)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: endpoint %d table lengths %d vs %d", what, id, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j].Deployment != rb[j].Deployment || ra[j].Score != rb[j].Score {
+				equal = false
+				if wantEqual {
+					t.Fatalf("%s: endpoint %d rank %d: %s/%v vs %s/%v", what, id, j,
+						ra[j].Deployment.Name, ra[j].Score, rb[j].Deployment.Name, rb[j].Score)
+				}
+				return
+			}
+		}
+	}
+	for _, blk := range testW.Blocks {
+		check(blk.Endpoint().ID, true)
+	}
+	for _, l := range testW.LDNSes {
+		check(l.Endpoint().ID, false)
+	}
+	return equal
+}
+
+// TestBalanceZeroByteIdentical is the β=0 property test (the load-scoring
+// analogue of TestPartitionIdentityEquivalence): a builder with
+// BalanceFactor 0 must produce byte-identical rank tables to the
+// pre-load-scoring builder regardless of platform load, and a β>0 builder
+// at zero utilization must match them too (stable sort, factor 1
+// everywhere). Under load the β>0 builder must diverge — spilling hot
+// deployments down its tables — while keeping raw ping scores intact, and
+// must reconverge byte-identically once the load recedes.
+func TestBalanceZeroByteIdentical(t *testing.T) {
+	base := NewSystem(testW, testP, testNet, Config{Policy: EndUser, PingTargets: 600})
+	loaded := NewSystem(testW, testP, testNet,
+		Config{Policy: EndUser, PingTargets: 600, BalanceFactor: 2})
+	testP.ResetLoad()
+	defer testP.ResetLoad()
+
+	snA0 := base.Rebuild()
+	snB0 := loaded.Rebuild()
+	rankTablesEqual(t, snA0, snB0, true, "zero-load β=2 vs β=0")
+
+	// Overload the deployment nearest to the first block: util 2.0.
+	hot := snA0.RankOf(testW.Blocks[0].Endpoint().ID, true)[0].Deployment
+	hot.Servers[0].AddLoad(2 * hot.Capacity())
+
+	snA1 := base.Rebuild()
+	rankTablesEqual(t, snA0, snA1, true, "β=0 under load vs β=0 idle")
+
+	snB1 := loaded.Rebuild()
+	if rankTablesEqual(t, snA1, snB1, false, "") {
+		t.Fatal("β=2 tables unchanged under overload — no spill happened")
+	}
+	// The overloaded deployment must shed head positions: strictly fewer
+	// blocks rank it first under β=2 (factor 9 at util 2) than under
+	// proximity. (It may keep blocks whose next-nearest alternative is
+	// more than 9× the ping away — spill never beats a 9× detour.)
+	heads := func(sn *Snapshot) int {
+		n := 0
+		for _, blk := range testW.Blocks {
+			if sn.RankOf(blk.Endpoint().ID, true)[0].Deployment == hot {
+				n++
+			}
+		}
+		return n
+	}
+	if ha, hb := heads(snA1), heads(snB1); hb >= ha {
+		t.Errorf("overloaded %s heads %d tables under β=2, %d under proximity — no shed",
+			hot.Name, hb, ha)
+	}
+	// Stored scores stay raw ping milliseconds: every entry's score must
+	// equal the proximity builder's score for the same deployment.
+	ra := snA1.RankOf(testW.Blocks[0].Endpoint().ID, true)
+	byDep := make(map[*cdn.Deployment]float64, len(ra))
+	for _, r := range ra {
+		byDep[r.Deployment] = r.Score
+	}
+	for _, r := range snB1.RankOf(testW.Blocks[0].Endpoint().ID, true) {
+		if want, ok := byDep[r.Deployment]; !ok || want != r.Score {
+			t.Fatalf("stored score for %s = %v, want raw ping %v", r.Deployment.Name, r.Score, want)
+		}
+	}
+
+	// Load recedes: the β>0 map reconverges to the proximity map exactly.
+	testP.ResetLoad()
+	snB2 := loaded.Rebuild()
+	rankTablesEqual(t, snA0, snB2, true, "β=2 after recede vs β=0")
+}
+
+// TestLoadRebuildCounters pins the build-path accounting: an idle β>0
+// republish shares the previous arena chain (incremental, near-free); a
+// utilization change forces a load rebuild (counted separately from
+// measurement-driven full builds); MarkLoadDirty forces one even when the
+// quantized vector is unchanged.
+func TestLoadRebuildCounters(t *testing.T) {
+	testP.ResetLoad()
+	defer testP.ResetLoad()
+	sys := NewSystem(testW, testP, testNet,
+		Config{Policy: EndUser, PingTargets: 600, BalanceFactor: 1})
+	b := sys.Builder()
+
+	full0, inc0, _ := b.BuildStats()
+	loads0, _ := b.LoadStats()
+
+	// Idle republish: vector unchanged, arenas shared wholesale.
+	sn1 := sys.Rebuild()
+	sn2 := sys.Rebuild()
+	if &sn1.arenas[0][0] != &sn2.arenas[0][0] {
+		t.Error("idle β>0 republish did not share the previous arena")
+	}
+	full1, inc1, _ := b.BuildStats()
+	if full1 != full0 || inc1 != inc0+2 {
+		t.Errorf("idle republishes: full %d→%d inc %d→%d", full0, full1, inc0, inc1)
+	}
+
+	// Sub-quantum load drift must not force a re-rank.
+	d := testP.Deployments[0]
+	d.Servers[0].AddLoad(d.Capacity() / (8 * utilQuantum))
+	sn3 := sys.Rebuild()
+	if &sn2.arenas[0][0] != &sn3.arenas[0][0] {
+		t.Error("sub-quantum load drift forced a re-rank")
+	}
+
+	// A visible utilization change forces a load rebuild, not a full build.
+	d.Servers[0].AddLoad(d.Capacity())
+	sys.Rebuild()
+	full2, _, _ := b.BuildStats()
+	loads1, _ := b.LoadStats()
+	if loads1 != loads0+1 {
+		t.Errorf("loadRebuilds = %d, want %d", loads1, loads0+1)
+	}
+	if full2 != full1 {
+		t.Errorf("load change bumped fullBuilds %d→%d", full1, full2)
+	}
+
+	// MarkLoadDirty forces a re-rank even with the vector unchanged.
+	b.MarkLoadDirty()
+	sys.Rebuild()
+	if loads2, _ := b.LoadStats(); loads2 != loads1+1 {
+		t.Errorf("MarkLoadDirty loadRebuilds = %d, want %d", loads2, loads1+1)
+	}
+}
+
+// staticUtil is a test UtilizationSource with per-deployment values and a
+// global freshness flag.
+type staticUtil struct {
+	utils map[*cdn.Deployment]float64
+	fresh bool
+}
+
+func (s *staticUtil) Utilization(d *cdn.Deployment) (float64, bool) {
+	return s.utils[d], s.fresh
+}
+
+// TestStaleLoadSignalFallsBackToProximity: when every load signal is stale
+// (dead telemetry feed), a β>0 build must ignore the garbage — tables come
+// out byte-identical to proximity-only — and the tripwire counter must
+// fire.
+func TestStaleLoadSignalFallsBackToProximity(t *testing.T) {
+	testP.ResetLoad()
+	defer testP.ResetLoad()
+	base := NewSystem(testW, testP, testNet, Config{Policy: EndUser, PingTargets: 600})
+
+	src := &staticUtil{utils: map[*cdn.Deployment]float64{}, fresh: true}
+	hot := base.Current().RankOf(testW.Blocks[0].Endpoint().ID, true)[0].Deployment
+	src.utils[hot] = 3
+
+	sys := NewSystem(testW, testP, testNet,
+		Config{Policy: EndUser, PingTargets: 600, BalanceFactor: 2})
+	sys.SetUtilizationSource(src)
+
+	// Fresh signal: the hot deployment spills.
+	snFresh := sys.Rebuild()
+	if d, _ := snFresh.Best(testW.Blocks[0].Endpoint().ID, true); d == hot {
+		t.Fatalf("fresh overload signal ignored: %s still heads the table", hot.Name)
+	}
+
+	// Feed dies: same utilization values, ok=false. The build must degrade
+	// to proximity-only, not keep acting on the stale reading.
+	src.fresh = false
+	snStale := sys.Rebuild()
+	rankTablesEqual(t, base.Current(), snStale, true, "stale-signal build vs proximity")
+	if _, stale := sys.Builder().LoadStats(); stale == 0 {
+		t.Error("stale-signal tripwire counter did not fire")
+	}
+}
+
+func TestQuantizeUtil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0},
+		{0, 0},
+		{math.NaN(), 0},
+		{math.Inf(1), utilMax},
+		{100, utilMax},
+		{0.5, 0.5},
+		{1.0 / 300, 0},              // below half a quantum rounds to 0
+		{0.7501 * 1 / 64 * 64, 0.75}, // on-grid value unchanged
+	}
+	for _, tc := range cases {
+		if got := quantizeUtil(tc.in); got != tc.want {
+			t.Errorf("quantizeUtil(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

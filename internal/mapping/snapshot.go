@@ -192,9 +192,27 @@ type SnapshotBuilder struct {
 	dirtyAll     bool
 	dirtyTargets map[int]struct{}
 
-	fullBuilds     uint64
-	incBuilds      uint64
-	rerankedTables uint64
+	// balance is the distance-vs-load balance factor β (Config
+	// .BalanceFactor): tables are ordered by ping·(1 + β·util²). 0 keeps
+	// pure proximity order, byte-identical to the pre-load-scoring builder.
+	balance float64
+	// loadSrc feeds per-deployment utilization at build time (nil: raw
+	// platform gauges); see UtilizationSource.
+	loadSrc UtilizationSource
+	// loadDirty forces the next build to re-rank against a freshly captured
+	// utilization vector (MapMaker's ReasonLoad).
+	loadDirty bool
+	// prevUtil is the quantized utilization vector the previous snapshot's
+	// tables were ordered under; a build whose captured vector differs must
+	// re-rank every table (mixing orders across delta arenas would serve an
+	// inconsistent map).
+	prevUtil []float64
+
+	fullBuilds       uint64
+	incBuilds        uint64
+	rerankedTables   uint64
+	loadRebuilds     uint64
+	staleLoadSignals uint64
 }
 
 // NewSnapshotBuilder creates a standalone builder over the world and
@@ -220,6 +238,7 @@ func newSnapshotBuilder(w *world.World, scorer *Scorer, cfg Config) *SnapshotBui
 		ttl:            cfg.TTL,
 		fallbackLoc:    cfg.FallbackLoc,
 		partitionMiles: cfg.PartitionMiles,
+		balance:        cfg.BalanceFactor,
 		dirtyAll:       true,
 		dirtyTargets:   map[int]struct{}{},
 	}
@@ -371,18 +390,30 @@ func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
 	lay := b.layoutLocked()
 	sc := b.scorer
 	full := b.dirtyAll || b.prev == nil || b.prev.lay != lay || sc.Generation() != b.expectedGen
+	// Load-aware ordering: capture this build's utilization vector (nil at
+	// β=0) and re-rank everything when it moved — the previous arenas were
+	// ordered under prevUtil and cannot be mixed with tables ordered under
+	// the new vector. The scorer caches stay warm, so a load re-rank costs
+	// a copy+sort per table, not a measurement recompute.
+	utils := b.captureUtilLocked()
+	loadChanged := b.balance > 0 && (b.loadDirty || !equalFloat64s(utils, b.prevUtil))
+	factors := b.loadFactorsLocked(utils)
 	tl := lay.tableLen
 
 	sn := &Snapshot{epoch: epoch, policy: policy, ttl: b.ttl, lay: lay}
 	switch {
-	case full:
+	case full || loadChanged:
 		arena := make([]Ranked, len(lay.segments)*tl)
 		par.ForEach(len(lay.segments), func(s int) {
-			copy(arena[s*tl:(s+1)*tl], b.segTable(lay, s))
+			copy(arena[s*tl:(s+1)*tl], b.loadSegTable(lay, s, factors))
 		})
 		sn.arenas = [][]Ranked{arena}
 		sn.segArena, sn.segOff = lay.baseSegArena, lay.baseSegOff
-		b.fullBuilds++
+		if full {
+			b.fullBuilds++
+		} else {
+			b.loadRebuilds++
+		}
 		b.rerankedTables += uint64(len(lay.segments))
 	case len(b.dirtyTargets) == 0:
 		// Nothing changed since the last build: share the chain wholesale.
@@ -411,7 +442,7 @@ func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
 			par.ForEach(len(lay.segments), func(s int) {
 				dst := arena[s*tl : (s+1)*tl]
 				if dirty[s] {
-					copy(dst, b.segTable(lay, s))
+					copy(dst, b.loadSegTable(lay, s, factors))
 				} else {
 					copy(dst, b.prev.segData(int32(s)))
 				}
@@ -421,7 +452,7 @@ func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
 		} else {
 			delta := make([]Ranked, len(segs)*tl)
 			par.ForEach(len(segs), func(i int) {
-				copy(delta[i*tl:(i+1)*tl], b.segTable(lay, segs[i]))
+				copy(delta[i*tl:(i+1)*tl], b.loadSegTable(lay, segs[i], factors))
 			})
 			segArena := append([]int32(nil), b.prev.segArena...)
 			segOff := append([]uint32(nil), b.prev.segOff...)
@@ -441,6 +472,8 @@ func (b *SnapshotBuilder) Build(epoch uint64, policy Policy) *Snapshot {
 	b.dirtyAll = false
 	clear(b.dirtyTargets)
 	b.expectedGen = sc.Generation()
+	b.prevUtil = utils
+	b.loadDirty = false
 	if policy == ClientAwareNS {
 		sn.cans = b.buildCANS(sn)
 	}

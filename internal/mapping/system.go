@@ -74,6 +74,14 @@ type Config struct {
 	// LoadPenalty enables load-aware global balancing (see
 	// LoadBalancer.LoadPenalty); zero keeps hard capacity spill only.
 	LoadPenalty float64
+	// BalanceFactor is the build-time distance-vs-load balance knob β:
+	// snapshot tables are ordered by ping·(1 + β·util²), spilling candidate
+	// lists to next-nearest deployments as utilization climbs. 0 (default)
+	// keeps pure proximity order, byte-identical to β-less builds. Where
+	// LoadPenalty re-ranks a small window per query from instantaneous
+	// load, BalanceFactor shifts the published map itself from the smoothed
+	// load-feedback signal (see mapmaker.LoadMonitor).
+	BalanceFactor float64
 }
 
 // System is the mapping system: it answers "which servers should this
@@ -208,6 +216,13 @@ func (s *System) Rebuild() *Snapshot {
 // Builder exposes the snapshot builder (the control plane's compute
 // stage).
 func (s *System) Builder() *SnapshotBuilder { return s.builder }
+
+// SetUtilizationSource attaches the smoothed load-signal feed the builder
+// consults when BalanceFactor is positive (see SnapshotBuilder
+// .SetUtilizationSource). Takes effect on the next rebuild.
+func (s *System) SetUtilizationSource(src UtilizationSource) {
+	s.builder.SetUtilizationSource(src)
+}
 
 // UnitFor returns the mapping unit (the granularity at which clients are
 // grouped, §5.1) for a client address — the scope at which answers for
