@@ -32,7 +32,7 @@ WIREBENCH = BenchmarkSnapshotWire
 # BENCH_load.json).
 LOADBENCH = BenchmarkLoadRepublish
 
-.PHONY: all check vet build test race chaos load-chaos dist-chaos obs crossbuild scale-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-wire bench-load bench-figures
+.PHONY: all check vet build test race chaos load-chaos dist-chaos obs crossbuild scale-smoke ecsgrid-smoke bench bench-hot bench-sim bench-snapshot bench-qps bench-scale bench-wire bench-load bench-figures
 
 all: check
 
@@ -41,7 +41,7 @@ all: check
 # distribution-plane partition/heal drill, then the observability smoke
 # test against a live in-process stack, then cross-compiles of the
 # non-linux / non-amd64 fallback paths.
-check: vet build race chaos load-chaos dist-chaos obs scale-smoke crossbuild
+check: vet build race chaos load-chaos dist-chaos obs scale-smoke ecsgrid-smoke crossbuild
 
 vet:
 	$(GO) vet ./...
@@ -92,6 +92,13 @@ obs:
 # ceiling at a ~50k-block world (seconds, not minutes).
 scale-smoke:
 	$(GO) test -v -run 'TestSnapshotScaleSmoke' .
+
+# Public-resolver era grids: adoption x ECS-prefix win matrix and the
+# query-amplification sweep, under -race and at two worker counts (the
+# grids must be byte-identical either way; see DESIGN.md "Public-resolver
+# era model").
+ecsgrid-smoke:
+	$(GO) test -race -v -run 'TestECSGrid|TestAmpGrid|TestGridWorkerCountInvariant' ./internal/experiments/
 
 # Hot-path benchmarks with allocation counts. TestServeDNSAllocGuard runs
 # first: it fails the target if ServeDNS (telemetry armed) exceeds the

@@ -40,6 +40,10 @@ func writeCSV(w io.Writer, rep *experiments.Report) error {
 // runner produces one or more reports for a figure id.
 type runner func(lab *experiments.Lab, scale experiments.Scale) ([]*experiments.Report, error)
 
+// ecsTruncate is the -ecs-truncate flag value (validated in main before
+// any figure runs), read by the ecsgrid figure.
+var ecsTruncate uint8 = 20
+
 var figures = map[string]struct {
 	desc string
 	run  runner
@@ -161,6 +165,14 @@ var figures = map[string]struct {
 		_, rep, err := experiments.BalanceFrontier(lab, nil, "")
 		return []*experiments.Report{rep}, err
 	}},
+	"ecsgrid": {"EU-mapping win by ECS adoption x prefix (-ecs-truncate sets the truncated cell)", func(lab *experiments.Lab, s experiments.Scale) ([]*experiments.Report, error) {
+		_, rep, err := experiments.ECSGrid(lab, ecsTruncate)
+		return []*experiments.Report{rep}, err
+	}},
+	"ampgrid": {"authoritative query amplification vs ECS prefix length", func(lab *experiments.Lab, s experiments.Scale) ([]*experiments.Report, error) {
+		_, rep, err := experiments.AmpGrid(lab, nil)
+		return []*experiments.Report{rep}, err
+	}},
 }
 
 func main() {
@@ -171,7 +183,18 @@ func main() {
 		"worker pool size for parallel sweeps (results are identical at any setting)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
+	truncate := flag.Int("ecs-truncate", 20,
+		"truncated-ECS prefix length for the ecsgrid figure (1-24; /24 is the mapping unit)")
 	flag.Parse()
+	if *truncate < 1 || *truncate > 255 {
+		fmt.Fprintf(os.Stderr, "-ecs-truncate %d out of range\n", *truncate)
+		os.Exit(2)
+	}
+	if err := experiments.ValidateECSTruncation(uint8(*truncate)); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	ecsTruncate = uint8(*truncate)
 	par.SetWorkers(*workers)
 
 	if *list {

@@ -478,11 +478,20 @@ func (a *Authority) decide(shard int, req mapping.Request) (*mapping.Response, D
 func (a *Authority) cacheKey(snap *mapping.Snapshot, req mapping.Request) answerKey {
 	if snap.Policy() == mapping.EndUser && req.ClientSubnet.IsValid() {
 		unit := a.system.UnitFor(req.ClientSubnet.Addr())
-		clamp := uint8(unit.Bits())
-		if int(clamp) > req.ClientSubnet.Bits() {
-			clamp = uint8(req.ClientSubnet.Bits())
+		if req.ClientSubnet.Bits() < unit.Bits() {
+			// Truncated ECS: the query reveals less than a mapping unit,
+			// and the decision covers the whole revealed prefix (the
+			// highest-demand block inside it), so file under the query
+			// prefix itself. Keying by the base unit here would let a
+			// truncated /20 and a full /24 for the unit's space collide —
+			// the /20 inheriting the /24 answer's scope or vice versa.
+			return answerKey{
+				domain: req.Domain,
+				scope:  req.ClientSubnet.Masked(),
+				clamp:  uint8(req.ClientSubnet.Bits()),
+			}
 		}
-		return answerKey{domain: req.Domain, scope: unit, clamp: clamp}
+		return answerKey{domain: req.Domain, scope: unit, clamp: uint8(unit.Bits())}
 	}
 	ldns := req.LDNS
 	return answerKey{

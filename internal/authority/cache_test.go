@@ -123,6 +123,53 @@ func TestAnswerCacheScopeClamp(t *testing.T) {
 	}
 }
 
+// TestAnswerCacheTruncatedECS: a privacy-truncating resolver's /20
+// queries and a full-ECS resolver's /24 queries for the same address
+// space keep separate entries with their own scopes — interleaving them
+// in either order never lets one population inherit the other's answer
+// or scope field, and each population still shares within itself.
+func TestAnswerCacheTruncatedECS(t *testing.T) {
+	a, _ := newCachedAuthority(t, mapping.EndUser)
+	blk := testW.Blocks[100]
+	addr := blk.Prefix.Addr()
+
+	full := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", addr, 24))
+	trunc := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", addr, 20))
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d after /24 then /20, want 0/2 (no collision)", hits, misses)
+	}
+	if ecs := full.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 24 {
+		t.Fatalf("/24 scope = %v, want 24", full.ClientSubnet())
+	}
+	if ecs := trunc.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 20 {
+		t.Fatalf("/20 scope = %v, want 20", trunc.ClientSubnet())
+	}
+
+	// Repeats — from a different host in the same /20 for the truncated
+	// side — hit their own entries and keep their own scopes.
+	trunc2 := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", addr.Next(), 20))
+	full2 := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", addr, 24))
+	if hits, misses := a.CacheHits.Load(), a.CacheMisses.Load(); hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d after repeats, want 2/2", hits, misses)
+	}
+	if ecs := trunc2.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 20 {
+		t.Fatalf("repeat /20 scope = %v, want 20 (inherited the /24 entry?)", trunc2.ClientSubnet())
+	}
+	if ecs := full2.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 24 {
+		t.Fatalf("repeat /24 scope = %v, want 24 (inherited the /20 entry?)", full2.ClientSubnet())
+	}
+
+	// A non-octet-aligned /21 source is yet another population: own entry,
+	// scope clamped to exactly 21 (RFC 7871 §7.2.1: y <= x).
+	odd := a.ServeDNS(resolverAddr, ecsQuery(t, "img.cdn.example.net", addr, 21))
+	if misses := a.CacheMisses.Load(); misses != 3 {
+		t.Fatalf("misses=%d after /21, want 3 (own entry)", misses)
+	}
+	if ecs := odd.ClientSubnet(); ecs == nil || ecs.ScopePrefix != 21 {
+		t.Fatalf("/21 scope = %v, want 21", odd.ClientSubnet())
+	}
+}
+
 // TestAnswerCacheTTLExpiry: entries die one TTL after the decision.
 func TestAnswerCacheTTLExpiry(t *testing.T) {
 	a, clk := newCachedAuthority(t, mapping.EndUser)

@@ -30,6 +30,12 @@ var (
 	ErrLabelTooLong    = fmt.Errorf("%w: label exceeds 63 octets", ErrPack)
 	ErrCompressionLoop = fmt.Errorf("%w: compression pointer loop", ErrUnpack)
 	ErrBufferTooSmall  = fmt.Errorf("%w: truncated buffer", ErrUnpack)
+
+	// ErrECSScope marks an EDNS client-subnet option whose SCOPE
+	// PREFIX-LENGTH exceeds its address family's bit length — a malformed
+	// response a cache must not file (RFC 7871 §7.3). Both the wire
+	// parser and ClientSubnet.ScopedPrefixChecked surface it.
+	ErrECSScope = errors.New("dnsmsg: ECS scope prefix exceeds address family")
 )
 
 // Type is a DNS RR type code.

@@ -170,18 +170,34 @@ func (c *ClientSubnet) Prefix() netip.Prefix {
 	return p
 }
 
-// ScopedPrefix returns the address block a cache should file the
+// ScopedPrefixChecked returns the address block a cache should file the
 // response's answer under. RFC 7871 §7.3.1: a scope of 0 means the answer
 // is valid for all addresses, but the cache entry is still stored under
 // the query's source prefix — so scope 0 falls back to SourcePrefix
 // rather than producing a /0 that would let one client's answer shadow
 // the whole address family.
-func (c *ClientSubnet) ScopedPrefix() netip.Prefix {
+//
+// A malformed response can carry a SCOPE PREFIX-LENGTH beyond the address
+// family's bit length (33+ for IPv4, 129+ for IPv6); that surfaces as
+// ErrECSScope so callers can drop the answer instead of filing it under a
+// zero prefix.
+func (c *ClientSubnet) ScopedPrefixChecked() (netip.Prefix, error) {
 	bits := int(c.ScopePrefix)
 	if bits == 0 {
 		bits = int(c.SourcePrefix)
 	}
 	p, err := c.Address.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("%w: scope /%d for %v", ErrECSScope, bits, c.Address)
+	}
+	return p, nil
+}
+
+// ScopedPrefix is ScopedPrefixChecked for callers that treat a malformed
+// scope as "no usable prefix": it returns the zero netip.Prefix (IsValid
+// false) when the scope exceeds the address family.
+func (c *ClientSubnet) ScopedPrefix() netip.Prefix {
+	p, err := c.ScopedPrefixChecked()
 	if err != nil {
 		return netip.Prefix{}
 	}
@@ -213,6 +229,9 @@ func (c *ClientSubnet) packOption(buf []byte) ([]byte, error) {
 		if c.SourcePrefix > 32 {
 			return nil, fmt.Errorf("%w: ECS IPv4 source prefix /%d", ErrPack, c.SourcePrefix)
 		}
+		if c.ScopePrefix > 32 {
+			return nil, fmt.Errorf("%w: ECS IPv4 scope prefix /%d", ErrPack, c.ScopePrefix)
+		}
 	case ECSFamilyIPv6:
 		if !c.Address.Is6() {
 			return nil, fmt.Errorf("%w: ECS family IPv6 with address %v", ErrPack, c.Address)
@@ -221,6 +240,9 @@ func (c *ClientSubnet) packOption(buf []byte) ([]byte, error) {
 		addrBytes = b[:]
 		if c.SourcePrefix > 128 {
 			return nil, fmt.Errorf("%w: ECS IPv6 source prefix /%d", ErrPack, c.SourcePrefix)
+		}
+		if c.ScopePrefix > 128 {
+			return nil, fmt.Errorf("%w: ECS IPv6 scope prefix /%d", ErrPack, c.ScopePrefix)
 		}
 	default:
 		return nil, fmt.Errorf("%w: ECS family %d", ErrPack, c.Family)
@@ -258,12 +280,22 @@ func unpackClientSubnet(body []byte) (*ClientSubnet, error) {
 		if c.SourcePrefix > 32 {
 			return nil, fmt.Errorf("%w: ECS IPv4 source prefix /%d", ErrUnpack, c.SourcePrefix)
 		}
+		if c.ScopePrefix > 32 {
+			// RFC 7871 §7.3: a response scope wider than the family's bit
+			// length is malformed; accepting it would leave caches with a
+			// prefix they cannot represent. ErrECSScope under ErrUnpack so
+			// callers can classify either way.
+			return nil, fmt.Errorf("%w: %w: IPv4 scope /%d", ErrUnpack, ErrECSScope, c.ScopePrefix)
+		}
 		var b [4]byte
 		copy(b[:], body[4:])
 		c.Address = netip.AddrFrom4(b)
 	case ECSFamilyIPv6:
 		if c.SourcePrefix > 128 {
 			return nil, fmt.Errorf("%w: ECS IPv6 source prefix /%d", ErrUnpack, c.SourcePrefix)
+		}
+		if c.ScopePrefix > 128 {
+			return nil, fmt.Errorf("%w: %w: IPv6 scope /%d", ErrUnpack, ErrECSScope, c.ScopePrefix)
 		}
 		var b [16]byte
 		copy(b[:], body[4:])

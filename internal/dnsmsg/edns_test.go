@@ -1,6 +1,7 @@
 package dnsmsg
 
 import (
+	"errors"
 	"net/netip"
 	"testing"
 )
@@ -97,6 +98,81 @@ func TestQueryConformantScope(t *testing.T) {
 	ecs.ScopePrefix = 24
 	if ecs.QueryConformant() {
 		t.Error("non-zero scope reported as query-conformant")
+	}
+}
+
+// TestScopedPrefixOverflow is the regression test for the malformed-scope
+// bug: a response whose SCOPE PREFIX-LENGTH exceeds the address family's
+// bit length (33+ for IPv4, 129+ for IPv6) used to make ScopedPrefix
+// return the zero netip.Prefix with no indication anything was wrong, so
+// a cache keyed on it would file the answer under an invalid prefix.
+// ScopedPrefixChecked must surface ErrECSScope instead.
+func TestScopedPrefixOverflow(t *testing.T) {
+	cases := []struct {
+		name  string
+		addr  string
+		scope uint8
+	}{
+		{"v4-scope-33", "203.0.113.77", 33},
+		{"v4-scope-255", "203.0.113.77", 255},
+		{"v6-scope-129", "2001:db8::1", 129},
+		{"v6-scope-200", "2001:db8::1", 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := uint8(24)
+			if netip.MustParseAddr(c.addr).Is6() {
+				src = 56
+			}
+			ecs, err := NewClientSubnet(netip.MustParseAddr(c.addr), src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ecs.ScopePrefix = c.scope
+			if _, err := ecs.ScopedPrefixChecked(); !errors.Is(err, ErrECSScope) {
+				t.Errorf("ScopedPrefixChecked() err = %v, want ErrECSScope", err)
+			}
+			if p := ecs.ScopedPrefix(); p.IsValid() {
+				t.Errorf("ScopedPrefix() = %v, want the invalid zero prefix", p)
+			}
+			// The malformed option must not pack either.
+			if _, err := ecs.packOption(nil); !errors.Is(err, ErrPack) {
+				t.Errorf("packOption() err = %v, want ErrPack", err)
+			}
+		})
+	}
+}
+
+// TestUnpackRejectsOverflowScope checks the wire-level half: a response
+// option carrying an out-of-family scope is rejected during parse, so the
+// malformed answer never reaches a cache at all.
+func TestUnpackRejectsOverflowScope(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"v4-scope-33", []byte{0x00, 0x01, 24, 33, 203, 0, 113}},
+		{"v6-scope-129", []byte{0x00, 0x02, 56, 129, 0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34, 0x56}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := unpackClientSubnet(c.body)
+			if !errors.Is(err, ErrUnpack) {
+				t.Errorf("unpack err = %v, want ErrUnpack", err)
+			}
+			if !errors.Is(err, ErrECSScope) {
+				t.Errorf("unpack err = %v, want ErrECSScope", err)
+			}
+		})
+	}
+	// Scope at exactly the family width stays legal.
+	for _, body := range [][]byte{
+		{0x00, 0x01, 24, 32, 203, 0, 113},
+		{0x00, 0x02, 56, 128, 0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34, 0x56},
+	} {
+		if _, err := unpackClientSubnet(body); err != nil {
+			t.Errorf("full-width scope rejected: %v", err)
+		}
 	}
 }
 

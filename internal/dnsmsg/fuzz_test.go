@@ -76,6 +76,15 @@ func FuzzECSRoundTrip(f *testing.F) {
 	// Source 0: no address octets at all.
 	f.Add([]byte{0x00, 0x01, 0, 0})
 	f.Add([]byte{})
+	// Non-octet-aligned sources with conformant pad bits (RFC 7871 §6):
+	// /20 (final nibble masked), /21, /23, and an IPv6 /57.
+	f.Add([]byte{0x00, 0x01, 20, 0, 203, 0, 0x70})
+	f.Add([]byte{0x00, 0x01, 21, 0, 203, 0, 0x70})
+	f.Add([]byte{0x00, 0x01, 23, 20, 203, 0, 0x70})
+	f.Add([]byte{0x00, 0x02, 57, 0, 0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34, 0x56, 0x80})
+	// Scope beyond the family bit length: must be rejected, not filed.
+	f.Add([]byte{0x00, 0x01, 24, 33, 203, 0, 113})
+	f.Add([]byte{0x00, 0x02, 56, 200, 0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34, 0x56})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		c, err := unpackClientSubnet(body)

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eum/internal/par"
+)
+
+// smallGridLab is the shared substrate for the grid tests: built once,
+// the grids are read-only over it.
+var smallGridLab = NewLab(Small, 2)
+
+func TestECSGridShape(t *testing.T) {
+	results, rep, err := ECSGrid(smallGridLab, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d cells, want 7 (no-ecs + 3 adoptions x 2 prefixes)", len(results))
+	}
+	if len(rep.Rows) != len(results) {
+		t.Fatalf("report has %d rows for %d cells", len(rep.Rows), len(results))
+	}
+	byName := map[string]int{}
+	for i, r := range results {
+		byName[r.Name] = i
+	}
+	base := results[byName["no-ecs"]]
+	for _, name := range []string{"public-only /20", "public-only /24", "public+large-isp /20", "public+large-isp /24", "universal /20", "universal /24"} {
+		i, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing cell %q (have %v)", name, byName)
+		}
+		if results[i].MeanDistance >= base.MeanDistance {
+			t.Errorf("cell %q mean distance %.1f >= no-ecs baseline %.1f: ECS adoption should shorten mapping distance",
+				name, results[i].MeanDistance, base.MeanDistance)
+		}
+	}
+	// More adoption helps more: universal full ECS beats public-only full ECS.
+	if results[byName["universal /24"]].MeanDistance >= results[byName["public-only /24"]].MeanDistance {
+		t.Errorf("universal /24 distance %.1f >= public-only /24 distance %.1f",
+			results[byName["universal /24"]].MeanDistance, results[byName["public-only /24"]].MeanDistance)
+	}
+	// A finer reveal can't hurt: full /24 is at least as good as truncated
+	// /20 under the same adoption.
+	for _, a := range []string{"public-only", "public+large-isp", "universal"} {
+		if results[byName[a+" /24"]].MeanDistance > results[byName[a+" /20"]].MeanDistance+1e-9 {
+			t.Errorf("%s: /24 distance %.2f worse than /20 distance %.2f",
+				a, results[byName[a+" /24"]].MeanDistance, results[byName[a+" /20"]].MeanDistance)
+		}
+	}
+}
+
+func TestECSGridRejectsBadTruncation(t *testing.T) {
+	for _, bits := range []uint8{25, 32, 255} {
+		if _, _, err := ECSGrid(smallGridLab, bits); err == nil {
+			t.Errorf("ECSGrid accepted truncation /%d, more specific than the /24 mapping unit", bits)
+		}
+	}
+	if err := ValidateECSTruncation(0); err == nil {
+		t.Error("ValidateECSTruncation accepted /0")
+	}
+	if err := ValidateECSTruncation(24); err != nil {
+		t.Errorf("ValidateECSTruncation rejected /24: %v", err)
+	}
+}
+
+func TestAmpGridShape(t *testing.T) {
+	results, rep, err := AmpGrid(smallGridLab, []uint8{8, 16, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d cells, want 4 (no-ecs + 3 prefixes)", len(results))
+	}
+	if len(rep.Rows) != len(results) {
+		t.Fatalf("report has %d rows for %d cells", len(rep.Rows), len(results))
+	}
+	if results[0].AuthQueryMultiplier != 1 || results[0].PublicQueryMultiplier != 1 {
+		t.Fatalf("baseline amplification = %v/%v, want exactly 1",
+			results[0].AuthQueryMultiplier, results[0].PublicQueryMultiplier)
+	}
+	// Public-resolver amplification grows with the revealed prefix length:
+	// finer scopes shard the per-scope answer caches into more entries, so
+	// more of the public resolvers' queries miss. Non-decreasing at every
+	// step (a /8 reveal can legitimately tie no-ECS when all of a
+	// resolver's clients share one /8), strictly higher by the unit.
+	for i := 1; i < len(results); i++ {
+		if results[i].PublicQueryMultiplier < results[i-1].PublicQueryMultiplier {
+			t.Errorf("public amplification decreasing: %s=%.3f after %s=%.3f",
+				results[i].Name, results[i].PublicQueryMultiplier,
+				results[i-1].Name, results[i-1].PublicQueryMultiplier)
+		}
+		if results[i].CacheEntries < results[i-1].CacheEntries {
+			t.Errorf("cache entries shrank: %s=%d after %s=%d",
+				results[i].Name, results[i].CacheEntries,
+				results[i-1].Name, results[i-1].CacheEntries)
+		}
+	}
+	// The /24 reveal is the paper's ~8x regime for public resolvers; leave
+	// slack for the small lab but insist the effect is a clear multiple,
+	// while the total (ISP resolvers included) moves much less.
+	last := results[len(results)-1]
+	if last.PublicQueryMultiplier < 2 {
+		t.Errorf("/24 public amplification = %.2f, want a clear multiple of the no-ECS rate", last.PublicQueryMultiplier)
+	}
+	if last.AuthQueryMultiplier >= last.PublicQueryMultiplier {
+		t.Errorf("total amplification %.2f >= public amplification %.2f: ISP resolvers should dilute the total",
+			last.AuthQueryMultiplier, last.PublicQueryMultiplier)
+	}
+}
+
+func TestAmpGridRejectsBadPrefix(t *testing.T) {
+	if _, _, err := AmpGrid(smallGridLab, []uint8{8, 25}); err == nil {
+		t.Error("AmpGrid accepted prefix /25, more specific than the /24 mapping unit")
+	}
+}
+
+// gridReports renders both grids' tables for the worker-invariance check.
+func gridReports(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	_, rep, err := ECSGrid(smallGridLab, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString(rep.Table())
+	_, rep, err = AmpGrid(smallGridLab, []uint8{12, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString(rep.Table())
+	return sb.String()
+}
+
+// TestGridWorkerCountInvariant: the grid sweeps must be byte-identical at
+// any worker count — the same contract as TestSweepWorkerCountInvariant,
+// but cheap enough to run in -short mode too.
+func TestGridWorkerCountInvariant(t *testing.T) {
+	par.SetWorkers(1)
+	serial := gridReports(t)
+	par.SetWorkers(8)
+	parallel := gridReports(t)
+	par.SetWorkers(0)
+
+	if serial != parallel {
+		a, b := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("grid reports diverge at line %d:\n  workers=1: %s\n  workers=8: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("grid reports differ in length: %d vs %d lines", len(a), len(b))
+	}
+}

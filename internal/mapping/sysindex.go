@@ -205,6 +205,35 @@ func searchU32(keys []uint32, k uint32) int {
 	return -1
 }
 
+// lowerBoundU32 returns the first position whose key is >= k (len(keys)
+// when none is). Range scans over the sorted leaf keys use it to find the
+// start of a coarse prefix's span.
+func lowerBoundU32(keys []uint32, k uint32) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if keys[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+func lowerBoundU64(keys []uint64, k uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if keys[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
 func searchU64(keys []uint64, k uint64) int {
 	lo, hi := 0, len(keys)
 	for lo < hi {
@@ -266,6 +295,52 @@ func (ix *sysIndex) blockByLeaf(addr netip.Addr) (*world.ClientBlock, bool) {
 	hi, _ := addr128(a)
 	if i := searchU64(ix.leaf6Keys, hi>>16); i >= 0 {
 		return ix.blocks[ix.leaf6Blocks[i]], true
+	}
+	return nil, false
+}
+
+// coarseRep resolves an ECS prefix coarser than the leaf granularity (a
+// truncated /20 from a privacy-limiting public resolver, say) to the
+// highest-demand known block inside it, by range-scanning the sorted leaf
+// keys across the prefix's span. Exact unit/leaf lookups cannot serve
+// this case: they probe only the query's base leaf, which may hold no
+// block even when sibling leaves inside the coarse prefix do. Ties go to
+// the lowest leaf key, so the answer is deterministic.
+func (ix *sysIndex) coarseRep(query netip.Prefix) (*world.ClientBlock, bool) {
+	a := query.Addr().Unmap()
+	if a.Is4() {
+		if query.Bits() >= 24 {
+			return ix.blockByLeaf(a)
+		}
+		span := uint32(1) << (24 - query.Bits())
+		base := (addr32(a) >> 8) &^ (span - 1)
+		best := int32(-1)
+		for i := lowerBoundU32(ix.leaf4Keys, base); i < len(ix.leaf4Keys) && ix.leaf4Keys[i] < base+span; i++ {
+			j := ix.leaf4Blocks[i]
+			if best < 0 || ix.blocks[j].Demand > ix.blocks[best].Demand {
+				best = j
+			}
+		}
+		if best >= 0 {
+			return ix.blocks[best], true
+		}
+		return nil, false
+	}
+	if query.Bits() >= 48 {
+		return ix.blockByLeaf(a)
+	}
+	span := uint64(1) << (48 - query.Bits())
+	hi, _ := addr128(a)
+	base := (hi >> 16) &^ (span - 1)
+	best := int32(-1)
+	for i := lowerBoundU64(ix.leaf6Keys, base); i < len(ix.leaf6Keys) && ix.leaf6Keys[i] < base+span; i++ {
+		j := ix.leaf6Blocks[i]
+		if best < 0 || ix.blocks[j].Demand > ix.blocks[best].Demand {
+			best = j
+		}
+	}
+	if best >= 0 {
+		return ix.blocks[best], true
 	}
 	return nil, false
 }

@@ -364,7 +364,22 @@ func (s *System) ldnsCandidates(sn *Snapshot, addr netip.Addr) []Ranked {
 // block when the unit itself is unknown. The bool reports whether the
 // prefix was recognised; unknown prefixes use the snapshot's client
 // fallback table.
+//
+// A query coarser than the mapping unit — a truncated ECS source from a
+// privacy-limiting resolver — takes the range-scan path instead: the
+// unit derived from the query's base address probes only one leaf, which
+// may be empty even when sibling leaves inside the coarse prefix are
+// known. Falling through to the generic fallback there is the bug this
+// guards against: the fallback answer carries scope 0, which the
+// resolver files in its subnet-blind cache, shadowing answers for every
+// client it serves.
 func (s *System) clientEndpointID(unit, query netip.Prefix) (uint64, bool) {
+	if query.Bits() < unit.Bits() {
+		if b, ok := s.index.coarseRep(query); ok {
+			return b.ID, true
+		}
+		return 0, false
+	}
 	if b, ok := s.index.unitRep(unit); ok {
 		return b.ID, true
 	}

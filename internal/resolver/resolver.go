@@ -211,7 +211,9 @@ func (r *Resolver) store(now time.Time, domain string, clientAddr netip.Addr, a 
 	}
 	p, err := clientAddr.Unmap().Prefix(int(a.ScopePrefix))
 	if err != nil {
-		r.plain[domain] = e
+		// Malformed scope (beyond the client's address family, RFC 7871
+		// §7.3): drop the answer. Filing it in the plain cache would let
+		// one client's answer shadow every client of this resolver.
 		return
 	}
 	m := r.scoped[domain]

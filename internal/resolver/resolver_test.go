@@ -143,6 +143,34 @@ func TestScopeZeroGlobalEntry(t *testing.T) {
 	}
 }
 
+// TestMalformedScopeNotCached is the regression test for the
+// malformed-scope caching bug: an upstream answering with a SCOPE
+// PREFIX-LENGTH beyond the client's address family (/40 for an IPv4
+// client) used to be filed in the plain cache — one client's answer
+// silently served to every other client of the resolver. The answer
+// must be dropped: later clients go upstream again and get their own.
+func TestMalformedScopeNotCached(t *testing.T) {
+	up := &stubUpstream{ttl: 20 * time.Second, scope: 40}
+	r := newTestResolver(t, true, up)
+	if _, err := r.Query(t0, "foo.net", client1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheSize(t0); got != 0 {
+		t.Errorf("cache size = %d after malformed-scope answer, want 0", got)
+	}
+	// A far-away client must not inherit the first client's answer.
+	a, err := r.Query(t0, "foo.net", client4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FromCache {
+		t.Error("malformed-scope answer served from cache to an unrelated client")
+	}
+	if up.queries != 2 {
+		t.Errorf("upstream queries = %d, want 2", up.queries)
+	}
+}
+
 func TestTTLExpiry(t *testing.T) {
 	up := &stubUpstream{ttl: 20 * time.Second, scope: 24}
 	r := newTestResolver(t, true, up)

@@ -1,19 +1,14 @@
 package simulation
 
 import (
-	"fmt"
 	"math/rand"
-	"net/netip"
 	"time"
 
 	"eum/internal/cdn"
 	"eum/internal/demand"
-	"eum/internal/mapping"
 	"eum/internal/netmodel"
 	"eum/internal/par"
 	"eum/internal/resolver"
-	"eum/internal/rum"
-	"eum/internal/stats"
 	"eum/internal/world"
 )
 
@@ -46,136 +41,54 @@ type BroadRolloutStage struct {
 // Performance is evaluated by mapping every block through per-LDNS
 // resolvers with the stage's ECS settings; the query-rate multiplier comes
 // from replaying an identical dense query workload through the caches.
+// It is the classic three-cell instance of the general RunECSCells grid.
 func RunBroadRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, seed int64) (*BroadRolloutResult, error) {
-	sys := mapping.NewSystem(w, p, net, mapping.Config{Policy: mapping.EndUser, PingTargets: len(w.Blocks) / 10})
-	// Pin all three adoption stages to the initially published map: the
-	// platform does not change mid-comparison, so every stage must read
-	// the same epoch.
-	up := &resolver.SystemUpstream{System: sys, Snapshot: sys.Current()}
-	rumModel := rum.NewModel(net)
-	_ = rumModel
-
-	depByAddr := map[netip.Addr]*cdn.Deployment{}
-	for _, d := range p.Deployments {
-		for _, s := range d.Servers {
-			depByAddr[s.Addr] = d
-		}
+	cells, err := RunECSCells(w, p, net, seed, []ECSCell{
+		{Name: "no-ecs"},
+		{Name: "public-only", Enabled: func(l *world.LDNS) bool { return l.IsPublic() }},
+		{Name: "universal", Enabled: func(*world.LDNS) bool { return true }},
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	stages := []struct {
-		name string
-		ecs  func(l *world.LDNS) bool
-	}{
-		{"no-ecs", func(*world.LDNS) bool { return false }},
-		{"public-only", func(l *world.LDNS) bool { return l.IsPublic() }},
-		{"universal", func(*world.LDNS) bool { return true }},
-	}
-
-	// Group block indices by LDNS (first-seen order): a resolver's cache
-	// sees only its own clients' queries, in block order, so groups replay
-	// concurrently and the per-group datasets merge in a fixed order.
-	var ldnsOrder []*world.LDNS
-	blocksByLDNS := map[uint64][]int{}
-	for i, b := range w.Blocks {
-		if _, ok := blocksByLDNS[b.LDNS.ID]; !ok {
-			ldnsOrder = append(ldnsOrder, b.LDNS)
-		}
-		blocksByLDNS[b.LDNS.ID] = append(blocksByLDNS[b.LDNS.ID], i)
-	}
-
 	res := &BroadRolloutResult{}
-	var baselineQPS float64
-	for _, stage := range stages {
-		// Fresh resolvers per stage.
-		resolvers := map[uint64]*resolver.Resolver{}
-		for _, l := range w.LDNSes {
-			r, err := resolver.New(resolver.Config{
-				Addr: l.Addr, ECSEnabled: stage.ecs(l), SourcePrefix: 24,
-			}, up)
-			if err != nil {
-				return nil, err
-			}
-			resolvers[l.ID] = r
-		}
-
-		// Performance: every block resolves once and is measured, fanned
-		// out per resolver. Timestamps stay tied to block index, exactly as
-		// in a single serial pass over w.Blocks.
-		base := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
-		type groupPart struct {
-			rtt, dist stats.Dataset
-			err       error
-		}
-		parts := par.Map(len(ldnsOrder), func(gi int) *groupPart {
-			p := &groupPart{}
-			r := resolvers[ldnsOrder[gi].ID]
-			for _, bi := range blocksByLDNS[ldnsOrder[gi].ID] {
-				b := w.Blocks[bi]
-				now := base.Add(time.Duration(bi) * time.Second)
-				ans, err := r.Query(now, "broad.cdn.example.net", hostInBlock(b))
-				if err != nil {
-					p.err = err
-					return p
-				}
-				dep := depByAddr[ans.Servers[0]]
-				if dep == nil {
-					p.err = fmt.Errorf("simulation: unknown server %v", ans.Servers[0])
-					return p
-				}
-				p.rtt.Add(net.BaseRTTMs(b.Endpoint(), dep.Endpoint()), b.Demand)
-				m := rumModel.Measure(now, b, demand.Domain{Name: "broad", DynamicFraction: 0.5, PageBytes: 100_000}, dep, 1)
-				p.dist.Add(m.MappingDistance, b.Demand)
-			}
-			return p
+	for _, c := range cells {
+		res.Stages = append(res.Stages, BroadRolloutStage{
+			Name:                c.Name,
+			MeanRTTMs:           c.MeanRTTMs,
+			P95RTTMs:            c.P95RTTMs,
+			MeanDistance:        c.MeanDistance,
+			AuthQueryMultiplier: c.AuthQueryMultiplier,
 		})
-		var rtt, dist stats.Dataset
-		for _, p := range parts {
-			if p.err != nil {
-				return nil, p.err
-			}
-			rtt.Merge(&p.rtt)
-			dist.Merge(&p.dist)
-		}
-		for _, r := range resolvers {
-			r.Flush()
-		}
-
-		// Query-rate: a dense identical workload through the caches.
-		qps, err := stageQueryRate(w, resolvers, seed)
-		if err != nil {
-			return nil, err
-		}
-		st := BroadRolloutStage{
-			Name:         stage.name,
-			MeanRTTMs:    rtt.Mean(),
-			P95RTTMs:     rtt.Percentile(95),
-			MeanDistance: dist.Mean(),
-		}
-		if stage.name == "no-ecs" {
-			baselineQPS = qps
-		}
-		if baselineQPS > 0 {
-			st.AuthQueryMultiplier = qps / baselineQPS
-		}
-		res.Stages = append(res.Stages, st)
 	}
 	return res, nil
 }
 
 // stageQueryRate replays a fixed dense workload through the resolvers and
-// returns the authoritative query rate. The event stream is drawn up front
-// (a pure function of the seed), then replayed per resolver concurrently:
-// each cache sees exactly its own slice of the stream, in time order.
-func stageQueryRate(w *world.World, resolvers map[uint64]*resolver.Resolver, seed int64) (float64, error) {
+// returns the authoritative query rate (total, and the public-resolver
+// slice of it) plus the live cache entry count at the window's end. The
+// event stream is drawn up front (a pure function of the seed), then
+// replayed per resolver concurrently: each cache sees exactly its own
+// slice of the stream, in time order.
+func stageQueryRate(w *world.World, resolvers map[uint64]*resolver.Resolver, seed int64) (float64, float64, int, error) {
 	rng := rand.New(rand.NewSource(seed))
 	cat := demand.MustNewCatalogue(80, 1.35, seed)
 	sampler, err := demand.NewSampler(w, nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
-	var before uint64
-	for _, r := range resolvers {
+	isPublic := map[uint64]bool{}
+	for _, l := range w.LDNSes {
+		if l.IsPublic() {
+			isPublic[l.ID] = true
+		}
+	}
+	var before, beforePub uint64
+	for id, r := range resolvers {
 		before += r.Metrics.UpstreamQueries
+		if isPublic[id] {
+			beforePub += r.Metrics.UpstreamQueries
+		}
 	}
 	window := 2 * time.Minute
 	events := 60000
@@ -211,12 +124,19 @@ func stageQueryRate(w *world.World, resolvers map[uint64]*resolver.Resolver, see
 	})
 	for _, err := range errs {
 		if err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 	}
-	var after uint64
-	for _, r := range resolvers {
+	var after, afterPub uint64
+	entries := 0
+	end := start.Add(window)
+	for id, r := range resolvers {
 		after += r.Metrics.UpstreamQueries
+		if isPublic[id] {
+			afterPub += r.Metrics.UpstreamQueries
+		}
+		entries += r.CacheSize(end)
 	}
-	return float64(after-before) / window.Seconds(), nil
+	return float64(after-before) / window.Seconds(),
+		float64(afterPub-beforePub) / window.Seconds(), entries, nil
 }

@@ -70,7 +70,9 @@ type FixedUpstream struct {
 	Scope uint8
 }
 
-// Resolve implements resolver.Upstream.
+// Resolve implements resolver.Upstream. The answered scope is clamped to
+// the query's source prefix (RFC 7871 §7.2.1: y <= x) so a truncating
+// resolver revealing /20 never receives a /24 scope it cannot file.
 func (u *FixedUpstream) Resolve(domain string, ldns netip.Addr, subnet netip.Prefix) (resolver.Answer, error) {
 	a := resolver.Answer{
 		Servers: []netip.Addr{netip.AddrFrom4([4]byte{23, 0, 0, 1})},
@@ -78,6 +80,9 @@ func (u *FixedUpstream) Resolve(domain string, ldns netip.Addr, subnet netip.Pre
 	}
 	if subnet.IsValid() {
 		a.ScopePrefix = u.Scope
+		if int(a.ScopePrefix) > subnet.Bits() {
+			a.ScopePrefix = uint8(subnet.Bits())
+		}
 	}
 	return a, nil
 }
@@ -129,7 +134,7 @@ func RunQueryRate(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([]
 			if d, ok := enableDay[l.ID]; ok && day >= d {
 				ecs = true
 			}
-			r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: ecs, SourcePrefix: 24}, up)
+			r, err := resolver.New(ldnsResolverConfig(l, ecs, 0, 0), up)
 			if err != nil {
 				return dayPart{err: err}
 			}
@@ -191,11 +196,13 @@ func pinUpstream(up resolver.Upstream) resolver.Upstream {
 }
 
 // drawEnableDays assigns each public site its ECS enable day, in world
-// LDNS order so the schedule is a pure function of the seed.
+// LDNS order so the schedule is a pure function of the seed. Sites of
+// providers that never ship ECS (the public-resolver era's no-subnet
+// operators) are excluded: they have no enable day at all.
 func drawEnableDays(w *world.World, cfg QueryRateConfig, rng *rand.Rand) map[uint64]int {
 	enableDay := map[uint64]int{}
 	for _, l := range w.LDNSes {
-		if !l.IsPublic() {
+		if !l.IsPublic() || !l.SupportsECS {
 			continue
 		}
 		span := cfg.RolloutEndDay - cfg.RolloutStartDay
@@ -283,7 +290,7 @@ func RunPopularity(w *world.World, cfg QueryRateConfig, up resolver.Upstream) ([
 		}
 		parts := par.Map(len(order), func(gi int) bucketPart {
 			l := order[gi]
-			r, err := resolver.New(resolver.Config{Addr: l.Addr, ECSEnabled: ecs, SourcePrefix: 24}, up)
+			r, err := resolver.New(ldnsResolverConfig(l, ecs, 0, 0), up)
 			if err != nil {
 				return bucketPart{err: err}
 			}

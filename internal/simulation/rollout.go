@@ -127,7 +127,8 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 	enableAt := map[uint64]time.Time{}
 	window := cfg.RolloutEnd.Sub(cfg.RolloutStart)
 	for _, l := range w.LDNSes {
-		if !l.IsPublic() {
+		if !l.IsPublic() || !l.SupportsECS {
+			// No-ECS providers never flip; they have no enable date.
 			continue
 		}
 		enableAt[l.ID] = cfg.RolloutStart.Add(time.Duration(rng.Int63n(int64(window))))
@@ -183,9 +184,8 @@ func RunRollout(w *world.World, p *cdn.Platform, net *netmodel.Model, cfg Rollou
 			if !l.IsPublic() {
 				continue
 			}
-			r, err := resolver.New(resolver.Config{
-				Addr: l.Addr, ECSEnabled: !dayStart.Before(enableAt[l.ID]), SourcePrefix: 24,
-			}, up)
+			ecs := l.SupportsECS && !dayStart.Before(enableAt[l.ID])
+			r, err := resolver.New(ldnsResolverConfig(l, ecs, 0, 0), up)
 			if err != nil {
 				return nil, err
 			}

@@ -84,7 +84,16 @@ type LDNS struct {
 	ASN         uint32 // owning network
 	Provider    string // public provider name; empty for ISP resolvers
 	Site        string // public provider site name
-	SupportsECS bool   // forwards EDNS0 client-subnet (public providers do)
+	SupportsECS bool   // forwards EDNS0 client-subnet (per provider policy)
+
+	// ECSPrefixV4 / ECSPrefixV6 are the source prefix lengths this
+	// resolver reveals when it forwards client-subnet information, from
+	// its provider's ECS policy (full /24, privacy-truncated /20, ...).
+	// Zero means the resolver attaches no ECS (SupportsECS false), or —
+	// for ISP resolvers in universal-adoption what-ifs — the simulation's
+	// conventional default.
+	ECSPrefixV4 uint8
+	ECSPrefixV6 uint8
 
 	// Demand is the total demand of client blocks using this LDNS,
 	// filled in after block assignment.
@@ -295,6 +304,7 @@ func (w *World) id() uint64 {
 func (w *World) createPublicResolverSites() {
 	var siteIP uint32 = 0xD0000000 // 208.0.0.0
 	for _, p := range w.Providers {
+		v4, v6 := p.ECSPrefixes()
 		for _, s := range p.Sites {
 			l := &LDNS{
 				ID:          w.id(),
@@ -304,7 +314,9 @@ func (w *World) createPublicResolverSites() {
 				ASN:         64512, // shared provider ASN space
 				Provider:    p.Name,
 				Site:        s.Name,
-				SupportsECS: p.SupportsECS,
+				SupportsECS: v4 > 0 || v6 > 0,
+				ECSPrefixV4: v4,
+				ECSPrefixV6: v6,
 			}
 			siteIP += 256
 			w.LDNSes = append(w.LDNSes, l)
@@ -324,8 +336,9 @@ type countryGen struct {
 	providers   []ProviderSpec
 	publicSites map[string][]*LDNS
 
-	c   *Country
-	rng *rand.Rand
+	c    *Country
+	rng  *rand.Rand
+	hubs []CitySpec // the country's hub cities (BGP exit candidates)
 
 	nextID  uint64
 	nextASN uint32
@@ -403,6 +416,7 @@ func (g *countryGen) generate(nBlocks int) {
 	if len(hubs) == 0 {
 		hubs = cities[:1]
 	}
+	g.hubs = hubs
 
 	// --- Blocks: multinomial over ASes, then per-block attributes.
 	// Each AS gets a contiguous run of /24s so BGP CIDR aggregation
@@ -539,35 +553,137 @@ func (g *countryGen) ispLDNS(blk *ClientBlock, hubs []CitySpec) *LDNS {
 	return l
 }
 
-// pickPublicResolver anycast-routes blk to a provider site: usually the
-// nearest site, sometimes (MisrouteProb, or systematically for unlucky
-// origin networks) a farther one — IP anycast follows BGP, not geography.
+// pickPublicResolver anycast-routes blk to a provider site. The provider
+// is drawn by demand share; the site comes from the provider's anycast
+// catchment for the block's origin AS (see catchmentSite) — IP anycast
+// follows BGP, not geography, so whole networks land at one site rather
+// than each block independently picking its nearest.
 func (g *countryGen) pickPublicResolver(blk *ClientBlock) *LDNS {
-	rng := g.rng
-	// Provider by share.
-	u := rng.Float64()
-	var spec ProviderSpec
+	return g.catchmentSite(blk, pickProviderIndex(g.rng.Float64(), g.providers))
+}
+
+// pickProviderIndex resolves a uniform draw u in [0,1) to a provider by
+// accumulated share. The last provider absorbs any remainder (shares that
+// sum below 1, or a draw landing past the accumulated total). Termination
+// is index-based on purpose: a name-equality check against the final
+// provider would short-circuit the accumulation whenever provider names
+// repeat (or are empty), silently mis-selecting. Returns -1 only for an
+// empty provider list.
+func pickProviderIndex(u float64, providers []ProviderSpec) int {
 	var acc float64
-	for _, p := range g.providers {
+	for i, p := range providers {
 		acc += p.Share
-		if u <= acc || p.Name == g.providers[len(g.providers)-1].Name {
-			spec = p
-			break
+		if u <= acc || i == len(providers)-1 {
+			return i
 		}
 	}
+	return -1
+}
+
+// catchmentCellDeg quantizes BGP exit geography into ~6-degree cells
+// (roughly 400 miles at mid latitudes): path selection toward an anycast
+// prefix depends on where traffic exits the origin network, not on the
+// client's street address, so every client exiting in one cell shares a
+// catchment.
+const catchmentCellDeg = 6.0
+
+// quantizeCell snaps a point to the centre of its catchment cell.
+func quantizeCell(p geo.Point) geo.Point {
+	return geo.Point{
+		Lat: (math.Floor(p.Lat/catchmentCellDeg) + 0.5) * catchmentCellDeg,
+		Lon: (math.Floor(p.Lon/catchmentCellDeg) + 0.5) * catchmentCellDeg,
+	}
+}
+
+// catchmentSite routes blk to one of the provider's anycast sites via a
+// quantized BGP-path model. The origin AS's preferred exit region decides
+// the site: large ISPs peer regionally and hot-potato out of the hub
+// nearest the client's region, while small ASes single-home behind one
+// transit exit hash-chosen per (AS, provider) — so an entire small AS
+// lands at one site, and a large ISP lands whole regions at a time. A
+// per-(AS, provider, exit-cell) hash draw misroutes some networks to the
+// 2nd/3rd-nearest site with the provider's MisrouteProb, reproducing the
+// systematically unlucky origin networks of §3.2 as wide catchments
+// rather than per-block noise.
+func (g *countryGen) catchmentSite(blk *ClientBlock, provIdx int) *LDNS {
+	spec := g.providers[provIdx]
 	sites := g.publicSites[spec.Name]
-	// Sort sites by distance from the client block.
-	ordered := make([]*LDNS, len(sites))
-	copy(ordered, sites)
-	sort.Slice(ordered, func(i, j int) bool {
-		return geo.Distance(ordered[i].Loc, blk.Loc) < geo.Distance(ordered[j].Loc, blk.Loc)
+	as := blk.AS
+
+	var exitHub CitySpec
+	if as.Large {
+		exitHub = nearestHub(g.hubs, blk.Loc)
+	} else {
+		h := catchHash(g.cfg.Seed, g.c.Spec.Code, as.ASN, spec.Name, 0, 0)
+		exitHub = g.hubs[int(h%uint64(len(g.hubs)))]
+	}
+	exit := quantizeCell(exitHub.Loc)
+
+	// Rank sites by distance from the exit cell (ties break on site ID so
+	// the order is total), then pick per the exit cell's path preference.
+	order := make([]int, len(sites))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di := geo.Distance(sites[order[i]].Loc, exit)
+		dj := geo.Distance(sites[order[j]].Loc, exit)
+		if di != dj {
+			return di < dj
+		}
+		return sites[order[i]].ID < sites[order[j]].ID
 	})
 	idx := 0
-	if rng.Float64() < spec.MisrouteProb && len(ordered) > 1 {
-		// Misrouted: land at the 2nd or 3rd nearest site.
-		idx = 1 + rng.Intn(min(2, len(ordered)-1))
+	if len(sites) > 1 && spec.MisrouteProb > 0 {
+		cellLat := int64(math.Floor(exit.Lat / catchmentCellDeg))
+		cellLon := int64(math.Floor(exit.Lon / catchmentCellDeg))
+		h := catchHash(g.cfg.Seed, g.c.Spec.Code, as.ASN, spec.Name, cellLat, cellLon)
+		if float64(h>>11)/(1<<53) < spec.MisrouteProb {
+			idx = 1 + int(splitmix64(h)%uint64(min(2, len(sites)-1)))
+		}
 	}
-	return ordered[idx]
+	return sites[order[idx]]
+}
+
+// catchHash derives a deterministic 64-bit value for a (seed, country,
+// AS, provider, exit-cell) tuple: FNV-1a over the tuple bytes, finished
+// with a splitmix64 avalanche. Catchment decisions hash instead of
+// consuming the generation rng so they are a stable function of the
+// network's identity, independent of block generation order.
+func catchHash(seed int64, country string, asn uint32, provider string, cellLat, cellLon int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(seed))
+	for i := 0; i < len(country); i++ {
+		h ^= uint64(country[i])
+		h *= prime64
+	}
+	mix(uint64(asn))
+	for i := 0; i < len(provider); i++ {
+		h ^= uint64(provider[i])
+		h *= prime64
+	}
+	mix(uint64(cellLat))
+	mix(uint64(cellLon))
+	return splitmix64(h)
+}
+
+// splitmix64 finishes a hash with strong avalanche behaviour.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // normaliseDemand rescales block demand so each country's total equals its
